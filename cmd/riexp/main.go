@@ -1,0 +1,345 @@
+// Command riexp regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	riexp -exp all                 # everything, test scale (fast)
+//	riexp -exp table3 -scale full  # one experiment at the paper's scale
+//	riexp -exp fig3a -pergroup 50  # override the cohort size
+//
+// Experiments: table1, table2, table3, fig2, fig3a, fig3b, fig3c,
+// fig4a, fig4b, fig4c, bounds, sweep-k, sweep-a, sweep-fee,
+// extensions, market, sensitivity, audit, resell, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"rimarket/internal/analysis"
+	"rimarket/internal/core"
+	"rimarket/internal/experiments"
+	"rimarket/internal/gtrace"
+	"rimarket/internal/pricing"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "riexp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("riexp", flag.ContinueOnError)
+	var (
+		exp      = fs.String("exp", "all", "experiment to run (table1|table2|table3|fig2|fig3a|fig3b|fig3c|fig4a|fig4b|fig4c|bounds|sweep-k|sweep-a|sweep-fee|extensions|market|sensitivity|audit|resell|all)")
+		scale    = fs.String("scale", "test", "experiment scale: test (fast) or full (paper: 300 users, 1-year horizon)")
+		perGroup = fs.Int("pergroup", 0, "override users per fluctuation group")
+		seed     = fs.Int64("seed", 0, "override cohort seed")
+		discount = fs.Float64("a", 0, "override selling discount a in (0, 1]")
+		fee      = fs.Float64("fee", 0, "marketplace fee in [0, 1) applied to sale income")
+		term     = fs.Int("term", 1, "reservation term in years (1 or 3)")
+		traceDir = fs.String("tracedir", "", "run on real EC2-usage-log files (.csv/.csv.gz) from this directory instead of the synthetic cohort")
+		jsonOut  = fs.String("json", "", "also write the full cohort result as JSON to this file")
+		csvOut   = fs.String("csv", "", "also write per-user costs as CSV to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var cfg experiments.Config
+	switch *scale {
+	case "test":
+		cfg = experiments.TestScaleConfig()
+	case "full":
+		cfg = experiments.DefaultConfig()
+	default:
+		return fmt.Errorf("unknown scale %q (want test or full)", *scale)
+	}
+	switch *term {
+	case 1:
+		// The default 1-year card is already in place.
+	case 3:
+		three, err := pricing.ThreeYearTerm(pricing.D2XLarge())
+		if err != nil {
+			return err
+		}
+		if *scale == "test" {
+			// Apply the same 6x shrink as TestScaleConfig, preserving
+			// alpha and theta.
+			three.PeriodHours /= 6
+			three.Upfront /= 6
+		}
+		cfg.Instance = three
+		cfg.Hours = three.PeriodHours
+	default:
+		return fmt.Errorf("unsupported term %d (want 1 or 3)", *term)
+	}
+	if *perGroup > 0 {
+		cfg.PerGroup = *perGroup
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *discount != 0 {
+		cfg.SellingDiscount = *discount
+	}
+	cfg.MarketFee = *fee
+
+	// Table I always reports the real (unscaled) price card — the test
+	// scale shrinks the period and upfront proportionally for speed, but
+	// the paper's pricing table is about the actual Jan-2018 sheet.
+	table1Card, err := pricing.StandardLinuxUSEast().Lookup(cfg.Instance.Name)
+	if err != nil {
+		table1Card = cfg.Instance
+	}
+	if *exp == "table1" {
+		fmt.Fprint(w, experiments.Table1(table1Card))
+		return nil
+	}
+	if *exp == "bounds" {
+		return printBounds(w, cfg)
+	}
+	if sweep, ok := map[string]bool{"sweep-k": true, "sweep-a": true, "sweep-fee": true}[*exp]; ok && sweep {
+		return printSweep(w, cfg, *exp)
+	}
+	if *exp == "resell" {
+		rows, err := experiments.HourResellComparison(cfg, []float64{0.1, 0.25, 0.5, 0.75, 1.0})
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, experiments.RenderHourResell(rows))
+		return nil
+	}
+	if *exp == "audit" {
+		var results []experiments.AuditResult
+		for _, k := range []float64{core.Fraction3T4, core.FractionT2, core.FractionT4} {
+			r, err := experiments.RatioAudit(cfg, k)
+			if err != nil {
+				return err
+			}
+			results = append(results, r)
+		}
+		fmt.Fprint(w, experiments.RenderAudit(results))
+		return nil
+	}
+	if *exp == "sensitivity" {
+		grid, err := experiments.Sensitivity(cfg,
+			[]float64{0.2, 0.4, 0.6, 0.8, 1.0},
+			[]float64{0.125, 0.25, 0.5, 0.75, 0.875})
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, experiments.RenderSensitivity(grid))
+		return nil
+	}
+	if *exp == "market" {
+		points, err := experiments.MarketSession(cfg, []float64{0.05, 0.2, 1, 5})
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, experiments.RenderMarket(points))
+		return nil
+	}
+	if *exp == "extensions" {
+		rows, err := experiments.Extensions(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, experiments.RenderExtensions(rows))
+		return nil
+	}
+
+	var res *experiments.CohortResult
+	if *traceDir != "" {
+		traces, err := gtrace.LoadEC2LogDir(*traceDir)
+		if err != nil {
+			return err
+		}
+		res, err = experiments.RunTraces(cfg, traces)
+		if err != nil {
+			return err
+		}
+	} else {
+		var err error
+		res, err = experiments.RunCohort(cfg)
+		if err != nil {
+			return err
+		}
+	}
+	if err := exportResult(res, *jsonOut, *csvOut); err != nil {
+		return err
+	}
+	switch *exp {
+	case "table2":
+		out, err := experiments.Table2(res)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, out)
+	case "table3":
+		fmt.Fprint(w, experiments.RenderTable3(experiments.Table3(res)))
+	case "fig2":
+		fmt.Fprint(w, experiments.RenderFig2(experiments.Fig2(res)))
+	case "fig3a", "fig3b", "fig3c":
+		policy := map[string]string{
+			"fig3a": experiments.PolicyA3T4,
+			"fig3b": experiments.PolicyAT2,
+			"fig3c": experiments.PolicyAT4,
+		}[*exp]
+		sum, err := experiments.Fig3(res.Users, policy)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, experiments.RenderFig3(sum))
+	case "fig4a", "fig4b", "fig4c":
+		idx := map[string]int{"fig4a": 0, "fig4b": 1, "fig4c": 2}[*exp]
+		fmt.Fprint(w, experiments.RenderFig4(experiments.Fig4(res)[idx]))
+	case "all":
+		fmt.Fprint(w, experiments.Table1(table1Card))
+		fmt.Fprintln(w)
+		fmt.Fprint(w, experiments.RenderFig2(experiments.Fig2(res)))
+		fmt.Fprintln(w)
+		for _, p := range experiments.SellingPolicies {
+			sum, err := experiments.Fig3(res.Users, p)
+			if err != nil {
+				return err
+			}
+			fmt.Fprint(w, experiments.RenderFig3(sum))
+			fmt.Fprintln(w)
+		}
+		for _, fg := range experiments.Fig4(res) {
+			fmt.Fprint(w, experiments.RenderFig4(fg))
+			fmt.Fprintln(w)
+		}
+		t2, err := experiments.Table2(res)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, t2)
+		fmt.Fprintln(w)
+		fmt.Fprint(w, experiments.RenderTable3(experiments.Table3(res)))
+		fmt.Fprintln(w)
+		if err := printBounds(w, cfg); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+	return nil
+}
+
+// exportResult writes optional machine-readable dumps of the cohort.
+func exportResult(res *experiments.CohortResult, jsonPath, csvPath string) error {
+	write := func(path string, fn func(io.Writer, *experiments.CohortResult) error) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := fn(f, res); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := write(jsonPath, experiments.WriteJSON); err != nil {
+		return err
+	}
+	return write(csvPath, experiments.WriteUsersCSV)
+}
+
+// printBounds reports the proven competitive ratios for the catalog
+// and the experiment's instance, plus the adversarially achieved
+// ratios and the randomized algorithm's expected ratio.
+func printBounds(w io.Writer, cfg experiments.Config) error {
+	fmt.Fprintf(w, "Competitive-ratio bounds (a = %.2f)\n", cfg.SellingDiscount)
+	cat := pricing.StandardLinuxUSEast()
+	stats := cat.Stats()
+	fmt.Fprintf(w, "catalog: %d types, alpha in [%.3f, %.3f], theta in [%.2f, %.2f]\n",
+		cat.Len(), stats.AlphaMin, stats.AlphaMax, stats.ThetaMin, stats.ThetaMax)
+	for _, k := range []float64{core.Fraction3T4, core.FractionT2, core.FractionT4} {
+		rep, err := analysis.AnalyzeCatalog(cat, k, cfg.SellingDiscount)
+		if err != nil {
+			return err
+		}
+		policy, err := core.NewThreshold(cfg.Instance, cfg.SellingDiscount, k)
+		if err != nil {
+			return err
+		}
+		worst, err := analysis.WorstMeasuredRatio(policy, cfg.SellingDiscount)
+		if err != nil {
+			return err
+		}
+		instBound, err := analysis.BoundForInstance(cfg.Instance, k, cfg.SellingDiscount)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-10s catalog worst bound %.4f (%s, %s); %s bound %.4f, adversarial measured %.4f\n",
+			policy.Name(), rep.WorstBound.Ratio, rep.WorstInstance, rep.WorstBound.Regime,
+			cfg.Instance.Name, instBound.Ratio, worst)
+	}
+
+	// The Section VII speculation, quantified: the randomized
+	// algorithm's expected ratio on the fixed algorithm's own worst
+	// cases, against an unrestricted OPT.
+	randomized, err := core.NewRandomized(cfg.Instance, cfg.SellingDiscount, core.ExponentialFractions{}, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	fixed, err := core.NewAT4(cfg.Instance, cfg.SellingDiscount)
+	if err != nil {
+		return err
+	}
+	sellMistake, keepMistake, err := analysis.AdversarialSchedules(fixed)
+	if err != nil {
+		return err
+	}
+	for _, c := range []struct {
+		name  string
+		sched []bool
+	}{
+		{name: "sell-mistake", sched: sellMistake},
+		{name: "keep-mistake", sched: keepMistake},
+	} {
+		fixedRatio, err := analysis.FixedUnrestrictedRatio(c.sched, fixed)
+		if err != nil {
+			return err
+		}
+		randRatio, err := analysis.RandomizedExpectedRatio(c.sched, randomized, 128)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "randomized vs A_{T/4} on its %-12s worst case (unrestricted OPT): fixed %.4f, E[randomized] %.4f\n",
+			c.name, fixedRatio, randRatio)
+	}
+	return nil
+}
+
+func printSweep(w io.Writer, cfg experiments.Config, which string) error {
+	switch which {
+	case "sweep-k":
+		points, err := experiments.SweepFraction(cfg, []float64{0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875})
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, experiments.RenderSweep("Ablation — checkpoint fraction k of A_{kT}", "k", points))
+	case "sweep-a":
+		points, err := experiments.SweepDiscount(cfg, []float64{0.2, 0.4, 0.6, 0.8, 1.0})
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, experiments.RenderSweep("Ablation — selling discount a of A_{3T/4}", "a", points))
+	case "sweep-fee":
+		points, err := experiments.SweepMarketFee(cfg, []float64{0, 0.06, 0.12, 0.24})
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, experiments.RenderSweep("Ablation — marketplace fee under A_{3T/4}", "fee", points))
+	}
+	return nil
+}

@@ -1,0 +1,228 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fastArgs shrinks the cohort so every CLI test is quick.
+func fastArgs(extra ...string) []string {
+	return append([]string{"-pergroup", "5"}, extra...)
+}
+
+func TestRunExperiments(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+		want []string
+	}{
+		{
+			name: "table1",
+			args: []string{"-exp", "table1"},
+			want: []string{"Table I", "d2.xlarge", "Partial Upfront", "$1506"},
+		},
+		{
+			name: "table2",
+			args: fastArgs("-exp", "table2"),
+			want: []string{"Table II", "A_{3T/4}", "Keep-Reserved"},
+		},
+		{
+			name: "table3",
+			args: fastArgs("-exp", "table3"),
+			want: []string{"Table III", "Group 1", "All users"},
+		},
+		{
+			name: "fig2",
+			args: fastArgs("-exp", "fig2"),
+			want: []string{"Fig. 2", "Group 1", "Group 3"},
+		},
+		{
+			name: "fig3a",
+			args: fastArgs("-exp", "fig3a"),
+			want: []string{"Fig. 3", "A_{3T/4}", "users saving"},
+		},
+		{
+			name: "fig3b",
+			args: fastArgs("-exp", "fig3b"),
+			want: []string{"A_{T/2}"},
+		},
+		{
+			name: "fig3c",
+			args: fastArgs("-exp", "fig3c"),
+			want: []string{"A_{T/4}"},
+		},
+		{
+			name: "fig4a",
+			args: fastArgs("-exp", "fig4a"),
+			want: []string{"Fig. 4", "Group 1", "mean normalized cost"},
+		},
+		{
+			name: "fig4c",
+			args: fastArgs("-exp", "fig4c"),
+			want: []string{"Group 3"},
+		},
+		{
+			name: "bounds",
+			args: fastArgs("-exp", "bounds"),
+			want: []string{"Competitive-ratio bounds", "A_{3T/4}", "adversarial measured"},
+		},
+		{
+			name: "sweep-k",
+			args: []string{"-exp", "sweep-k", "-pergroup", "3"},
+			want: []string{"checkpoint fraction", "users saving"},
+		},
+		{
+			name: "sweep-a",
+			args: []string{"-exp", "sweep-a", "-pergroup", "3"},
+			want: []string{"selling discount"},
+		},
+		{
+			name: "sweep-fee",
+			args: []string{"-exp", "sweep-fee", "-pergroup", "3"},
+			want: []string{"marketplace fee"},
+		},
+		{
+			name: "extensions",
+			args: []string{"-exp", "extensions", "-pergroup", "3"},
+			want: []string{"A_rand", "Multi"},
+		},
+		{
+			name: "market",
+			args: []string{"-exp", "market", "-pergroup", "3"},
+			want: []string{"realized income", "buyers/hour"},
+		},
+		{
+			name: "sensitivity",
+			args: []string{"-exp", "sensitivity", "-pergroup", "2"},
+			want: []string{"a \\ k"},
+		},
+		{
+			name: "audit",
+			args: []string{"-exp", "audit", "-pergroup", "2"},
+			want: []string{"Competitive-ratio audit", "A_{3T/4}"},
+		},
+		{
+			name: "resell",
+			args: []string{"-exp", "resell", "-pergroup", "3"},
+			want: []string{"hour-resell", "winner"},
+		},
+		{
+			name: "custom discount and seed",
+			args: fastArgs("-exp", "table3", "-a", "0.5", "-seed", "99"),
+			want: []string{"Table III"},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var out strings.Builder
+			if err := run(tt.args, &out); err != nil {
+				t.Fatalf("run(%v): %v", tt.args, err)
+			}
+			for _, want := range tt.want {
+				if !strings.Contains(out.String(), want) {
+					t.Errorf("output missing %q:\n%s", want, out.String())
+				}
+			}
+		})
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-exp", "all", "-pergroup", "4"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Table I", "Fig. 2", "Fig. 3", "Fig. 4", "Table II", "Table III", "Competitive-ratio"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("all output missing %q", want)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{name: "unknown experiment", args: []string{"-exp", "nope"}},
+		{name: "unknown scale", args: []string{"-scale", "huge"}},
+		{name: "bad flag", args: []string{"-bogus"}},
+		{name: "bad discount", args: []string{"-exp", "table3", "-a", "7", "-pergroup", "2"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var out strings.Builder
+			if err := run(tt.args, &out); err == nil {
+				t.Error("run succeeded, want error")
+			}
+		})
+	}
+}
+
+func TestRunExports(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "cohort.json")
+	csvPath := filepath.Join(dir, "users.csv")
+	var out strings.Builder
+	args := []string{"-exp", "table3", "-pergroup", "3", "-json", jsonPath, "-csv", csvPath}
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{jsonPath, csvPath} {
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("export %s: %v", path, err)
+		}
+		if info.Size() == 0 {
+			t.Errorf("export %s is empty", path)
+		}
+	}
+	// Unwritable export path surfaces as an error.
+	if err := run([]string{"-exp", "table3", "-pergroup", "2", "-json", "/nonexistent-dir/x.json"}, &out); err == nil {
+		t.Error("bad export path accepted")
+	}
+}
+
+func TestRunTraceDir(t *testing.T) {
+	dir := t.TempDir()
+	// Three small traces with distinct fluctuation profiles.
+	files := map[string]string{
+		"stable.csv":   "# user: s1\nhour,instances\n",
+		"volatile.csv": "# user: v1\nhour,instances\n0,40\n",
+	}
+	for h := 0; h < 300; h++ {
+		files["stable.csv"] += fmt.Sprintf("%d,5\n", h)
+	}
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var out strings.Builder
+	if err := run([]string{"-exp", "table3", "-tracedir", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Table III") {
+		t.Errorf("output:\n%s", out.String())
+	}
+	// Empty directory errors.
+	if err := run([]string{"-exp", "table3", "-tracedir", t.TempDir()}, &out); err == nil {
+		t.Error("empty trace dir accepted")
+	}
+}
+
+func TestRunThreeYearTerm(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-exp", "table3", "-term", "3", "-pergroup", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Table III") {
+		t.Errorf("output:\n%s", out.String())
+	}
+	if err := run([]string{"-exp", "table3", "-term", "2"}, &out); err == nil {
+		t.Error("term 2 accepted")
+	}
+}

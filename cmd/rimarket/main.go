@@ -1,0 +1,85 @@
+// Command rimarket demonstrates the reserved-instance marketplace
+// simulator: a population of sellers lists underutilized reservations
+// at varying discounts and a stream of buyers clears the book, showing
+// the lowest-upfront-first selling sequence and the fee flows of
+// Section III.B.
+//
+// Usage:
+//
+//	rimarket -sellers 12 -buyers 5 -instance d2.xlarge -fee 0.12
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"rimarket/internal/marketplace"
+	"rimarket/internal/pricing"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rimarket:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("rimarket", flag.ContinueOnError)
+	var (
+		sellers  = fs.Int("sellers", 12, "number of sellers listing one reservation each")
+		buyers   = fs.Int("buyers", 5, "number of buyers, each requesting a random count")
+		instance = fs.String("instance", "d2.xlarge", "instance type from the built-in catalog")
+		fee      = fs.Float64("fee", marketplace.AmazonFee, "marketplace service fee")
+		seed     = fs.Int64("seed", 7, "seed for discounts and buyer demand")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	it, err := pricing.StandardLinuxUSEast().Lookup(*instance)
+	if err != nil {
+		return err
+	}
+	m, err := marketplace.New(marketplace.WithFee(*fee))
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(*seed))
+
+	fmt.Fprintf(w, "listing %d reservations of %s (R = $%.0f, T = %d h)\n",
+		*sellers, it.Name, it.Upfront, it.PeriodHours)
+	for i := 0; i < *sellers; i++ {
+		seller := fmt.Sprintf("seller-%02d", i)
+		remaining := it.PeriodHours / 4 * (1 + rng.Intn(3)) // T/4, T/2 or 3T/4 left
+		discount := 0.5 + rng.Float64()*0.5
+		id, err := m.ListAtDiscount(seller, it, remaining, discount)
+		if err != nil {
+			return err
+		}
+		cap := marketplace.ProratedCap(it, remaining)
+		fmt.Fprintf(w, "  #%d %s: %4d h remaining, cap $%7.2f, ask $%7.2f (%.0f%% of cap)\n",
+			id, seller, remaining, cap, discount*cap, discount*100)
+	}
+
+	fmt.Fprintf(w, "\nbuyers arrive (lowest ask sells first):\n")
+	for i := 0; i < *buyers; i++ {
+		buyer := fmt.Sprintf("buyer-%02d", i)
+		want := 1 + rng.Intn(3)
+		sales, err := m.Buy(buyer, it.Name, want)
+		if err != nil {
+			fmt.Fprintf(w, "  %s wanted %d: %v\n", buyer, want, err)
+			continue
+		}
+		for _, s := range sales {
+			fmt.Fprintf(w, "  %s bought #%d from %s for $%.2f (seller nets $%.2f, fee $%.2f)\n",
+				buyer, s.Listing.ID, s.Listing.Seller, s.PricePaid, s.SellerProceeds, s.Fee)
+		}
+	}
+
+	fmt.Fprintf(w, "\nclearing summary: %d sales, marketplace fees $%.2f, %d listings still open\n",
+		len(m.Sales()), m.FeesCollected(), len(m.OpenListings(it.Name)))
+	return nil
+}

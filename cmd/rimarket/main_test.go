@@ -1,0 +1,63 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunDemo(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-sellers", "6", "-buyers", "3", "-seed", "1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"listing 6 reservations", "buyers arrive", "clearing summary", "fee"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	var a, b strings.Builder
+	if err := run([]string{"-seed", "42"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-seed", "42"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("same seed produced different output")
+	}
+}
+
+func TestRunSalesAreOrderedByPrice(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-sellers", "8", "-buyers", "8", "-seed", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	// Every listed reservation eventually sells when buyers outnumber
+	// listings; the clearing summary must say 8 sales.
+	if !strings.Contains(out.String(), "8 sales") {
+		t.Errorf("expected full clearing:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{name: "unknown instance", args: []string{"-instance", "nope.large"}},
+		{name: "bad fee", args: []string{"-fee", "1.5"}},
+		{name: "bad flag", args: []string{"-zzz"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var out strings.Builder
+			if err := run(tt.args, &out); err == nil {
+				t.Error("run succeeded, want error")
+			}
+		})
+	}
+}

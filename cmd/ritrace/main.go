@@ -1,0 +1,194 @@
+// Command ritrace generates, inspects and converts demand traces in
+// the formats the paper's evaluation uses.
+//
+// Usage:
+//
+//	ritrace gen -out traces/ -pergroup 10 -hours 2000   # synthetic cohort as EC2 logs
+//	ritrace inspect -trace traces/user-g1-000.csv       # stats for one log
+//	ritrace gen-gtrace -out tasks.csv -pergroup 5       # Google-style task events
+//	ritrace convert -in tasks.csv -out traces/          # task events -> EC2 logs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"rimarket/internal/gtrace"
+	"rimarket/internal/stats"
+	"rimarket/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ritrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: ritrace <gen|gen-gtrace|inspect|convert> [flags]")
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "gen":
+		return genCohort(rest, w)
+	case "gen-gtrace":
+		return genGTrace(rest, w)
+	case "inspect":
+		return inspect(rest, w)
+	case "convert":
+		return convert(rest, w)
+	default:
+		return fmt.Errorf("unknown subcommand %q", cmd)
+	}
+}
+
+func cohortFlags(fs *flag.FlagSet) (perGroup *int, hours *int, seed *int64) {
+	perGroup = fs.Int("pergroup", 5, "users per fluctuation group")
+	hours = fs.Int("hours", 2000, "trace length in hours")
+	seed = fs.Int64("seed", 2018, "cohort seed")
+	return perGroup, hours, seed
+}
+
+func genCohort(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("gen", flag.ContinueOnError)
+	out := fs.String("out", ".", "output directory for EC2-usage-log files")
+	perGroup, hours, seed := cohortFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	traces, err := workload.NewCohort(workload.CohortConfig{PerGroup: *perGroup, Hours: *hours, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+	for _, tr := range traces {
+		path := filepath.Join(*out, tr.User+".csv")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := gtrace.WriteEC2Log(f, tr); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(w, "wrote %d traces to %s\n", len(traces), *out)
+	return nil
+}
+
+func genGTrace(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("gen-gtrace", flag.ContinueOnError)
+	out := fs.String("out", "task_events.csv", "output task-events CSV")
+	compress := fs.Bool("gz", false, "gzip the output (like the real clusterdata files)")
+	perGroup, hours, seed := cohortFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	traces, err := workload.NewCohort(workload.CohortConfig{PerGroup: *perGroup, Hours: *hours, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	events, err := gtrace.SynthesizeTaskEvents(traces, gtrace.DefaultCapacity)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	write := gtrace.WriteTaskEvents
+	if *compress {
+		write = gtrace.WriteTaskEventsGZ
+	}
+	if err := write(f, events); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %d task events for %d users to %s\n", len(events), len(traces), *out)
+	return nil
+}
+
+func inspect(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("inspect", flag.ContinueOnError)
+	path := fs.String("trace", "", "EC2-usage-log CSV to inspect")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *path == "" {
+		return fmt.Errorf("pass -trace FILE")
+	}
+	f, err := os.Open(*path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := gtrace.ReadEC2LogAuto(f)
+	if err != nil {
+		return err
+	}
+	fl := tr.Floats()
+	fmt.Fprintf(w, "user: %s\nhours: %d\ntotal instance-hours: %d\npeak demand: %d\nmean: %.2f\nsigma/mu: %.2f\ngroup: %v\n",
+		tr.User, tr.Len(), tr.TotalDemand(), tr.MaxDemand(), stats.Mean(fl), tr.FluctuationRatio(), workload.Classify(tr))
+	edges, counts, err := stats.Histogram(fl, 8)
+	if err == nil {
+		fmt.Fprintln(w, "\ndemand histogram:")
+		fmt.Fprint(w, stats.RenderHistogram(edges, counts, 40))
+	}
+	return nil
+}
+
+func convert(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("convert", flag.ContinueOnError)
+	in := fs.String("in", "", "task-events CSV to convert")
+	out := fs.String("out", ".", "output directory for per-user EC2 logs")
+	cpu := fs.Float64("cpu", gtrace.DefaultCapacity.CPU, "per-instance CPU capacity")
+	mem := fs.Float64("mem", gtrace.DefaultCapacity.Memory, "per-instance memory capacity")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("pass -in FILE")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	events, err := gtrace.ReadTaskEventsAuto(f)
+	if err != nil {
+		return err
+	}
+	traces, err := gtrace.AggregateByUser(events, gtrace.InstanceCapacity{CPU: *cpu, Memory: *mem, Disk: 1})
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+	for _, tr := range traces {
+		path := filepath.Join(*out, tr.User+".csv")
+		g, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := gtrace.WriteEC2Log(g, tr); err != nil {
+			g.Close()
+			return err
+		}
+		if err := g.Close(); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(w, "converted %d events into %d user traces in %s\n", len(events), len(traces), *out)
+	return nil
+}

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestGenAndInspect(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	if err := run([]string{"gen", "-out", dir, "-pergroup", "2", "-hours", "400", "-seed", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "wrote 6 traces") {
+		t.Errorf("gen output: %s", out.String())
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 6 {
+		t.Fatalf("files = %d, want 6", len(entries))
+	}
+
+	out.Reset()
+	path := filepath.Join(dir, entries[0].Name())
+	if err := run([]string{"inspect", "-trace", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"user:", "sigma/mu:", "group:", "demand histogram"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("inspect output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestGenGTraceAndConvertRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	events := filepath.Join(dir, "tasks.csv")
+	var out strings.Builder
+	if err := run([]string{"gen-gtrace", "-out", events, "-pergroup", "1", "-hours", "200", "-seed", "5"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "task events for 3 users") {
+		t.Errorf("gen-gtrace output: %s", out.String())
+	}
+
+	conv := filepath.Join(dir, "converted")
+	out.Reset()
+	if err := run([]string{"convert", "-in", events, "-out", conv}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "3 user traces") {
+		t.Errorf("convert output: %s", out.String())
+	}
+	entries, err := os.ReadDir(conv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("converted files = %d, want 3", len(entries))
+	}
+	// Converted traces must inspect cleanly.
+	out.Reset()
+	if err := run([]string{"inspect", "-trace", filepath.Join(conv, entries[0].Name())}, &out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{name: "no subcommand", args: nil},
+		{name: "unknown subcommand", args: []string{"frobnicate"}},
+		{name: "inspect without trace", args: []string{"inspect"}},
+		{name: "inspect missing file", args: []string{"inspect", "-trace", "/nonexistent.csv"}},
+		{name: "convert without input", args: []string{"convert"}},
+		{name: "convert missing file", args: []string{"convert", "-in", "/nonexistent.csv"}},
+		{name: "gen bad flag", args: []string{"gen", "-zzz"}},
+		{name: "gen bad pergroup", args: []string{"gen", "-pergroup", "0"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var out strings.Builder
+			if err := run(tt.args, &out); err == nil {
+				t.Error("run succeeded, want error")
+			}
+		})
+	}
+}
+
+func TestGenGTraceGzipRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	events := filepath.Join(dir, "tasks.csv.gz")
+	var out strings.Builder
+	if err := run([]string{"gen-gtrace", "-out", events, "-gz", "-pergroup", "1", "-hours", "150", "-seed", "9"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	conv := filepath.Join(dir, "converted")
+	out.Reset()
+	if err := run([]string{"convert", "-in", events, "-out", conv}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "3 user traces") {
+		t.Errorf("convert output: %s", out.String())
+	}
+}

@@ -1,0 +1,88 @@
+// Quickstart: should I sell my reserved instance?
+//
+// A team reserved one d2.xlarge a while ago; the project wound down and
+// the instance now mostly idles. This example shows the paper's
+// A_{3T/4} decision at the three-quarters checkpoint, compares all
+// three online algorithms against keeping the reservation, and checks
+// the proven competitive-ratio bound.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rimarket"
+)
+
+func main() {
+	// A scaled-down d2.xlarge (60-day period, same alpha and theta as the
+	// real card) keeps the demo instant; swap in rimarket.D2XLarge() and a
+	// year-long trace for the real thing.
+	it := rimarket.TestScaleConfig().Instance
+	const a = 0.8 // list at 80% of the prorated upfront fee
+
+	// The project ran hard for the first 6% of the period, then wound
+	// down to a job every other day.
+	demand := make([]int, it.PeriodHours)
+	for h := range demand {
+		switch {
+		case h < it.PeriodHours*6/100:
+			demand[h] = 1
+		case h%48 == 9:
+			demand[h] = 1
+		}
+	}
+
+	// Reserve at hour zero, as the team did.
+	plan := make([]int, it.PeriodHours)
+	plan[0] = 1
+
+	policy, err := rimarket.NewA3T4(it, a)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("instance %s: upfront $%.2f, on-demand $%.4f/h, reserved $%.4f/h (alpha %.2f)\n",
+		it.Name, it.Upfront, it.OnDemandHourly, it.ReservedHourly, it.Alpha())
+	fmt.Printf("%s break-even: %.1f working hours out of the %d-hour window\n\n",
+		policy.Name(), policy.BreakEven(), policy.CheckpointAge(it.PeriodHours))
+
+	cfg := rimarket.SimConfig{Instance: it, SellingDiscount: a}
+	fmt.Printf("%-14s %12s %8s\n", "policy", "total cost", "sold")
+	var keep float64
+	for _, run := range []struct {
+		name   string
+		policy rimarket.SellingPolicy
+	}{
+		{name: "Keep-Reserved", policy: rimarket.KeepReserved{}},
+		{name: "A_{3T/4}", policy: mustPolicy(rimarket.NewA3T4(it, a))},
+		{name: "A_{T/2}", policy: mustPolicy(rimarket.NewAT2(it, a))},
+		{name: "A_{T/4}", policy: mustPolicy(rimarket.NewAT4(it, a))},
+	} {
+		res, err := rimarket.Run(demand, plan, cfg, run.policy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if run.name == "Keep-Reserved" {
+			keep = res.Cost.Total()
+		}
+		fmt.Printf("%-14s %12.2f %8d\n", run.name, res.Cost.Total(), res.SoldCount())
+	}
+	fmt.Printf("\nkeeping costs $%.2f; the online algorithms shed the idle reservation and recoup part of the upfront fee.\n", keep)
+
+	// The theory: A_{3T/4} never costs more than (2 - alpha - a/4) times
+	// the clairvoyant optimum on this instance.
+	bound, err := rimarket.RatioA3T4(it.Alpha(), a)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("proven competitive ratio for A_{3T/4}: %.4f (%v)\n", bound.Ratio, bound.Regime)
+}
+
+func mustPolicy(p rimarket.Threshold, err error) rimarket.Threshold {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return p
+}

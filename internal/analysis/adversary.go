@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"rimarket/internal/core"
+	"rimarket/internal/pricing"
+)
+
+// AdversarialSchedules constructs the worst-case per-instance busy
+// schedules from the proofs of Propositions 1-3 for A_{kT}:
+//
+//   - Case 1 (sell mistake, epsilon = 1): the instance works just under
+//     the break-even before the checkpoint — the online algorithm sells —
+//     and demand then persists for the whole remaining period, which the
+//     online algorithm must re-buy on-demand while OPT would have kept
+//     (or sold only at the very end).
+//   - Case 2 (keep mistake, epsilon = k): the instance works just at the
+//     break-even before the checkpoint — the online algorithm keeps —
+//     and demand then stops entirely, so the online algorithm carries a
+//     useless reservation that OPT would have sold at the checkpoint.
+//
+// Both schedules place the pre-checkpoint busy hours at the front of
+// the window; only their count matters to either algorithm.
+func AdversarialSchedules(policy core.Threshold) (sellMistake, keepMistake []bool, err error) {
+	it := policy.Instance()
+	T := it.PeriodHours
+	ck := policy.CheckpointAge(T)
+	if ck <= 0 || ck >= T {
+		return nil, nil, fmt.Errorf("analysis: degenerate checkpoint %d for period %d", ck, T)
+	}
+	beta := policy.BreakEven()
+
+	// Just below break-even: floor(beta - epsilon), clamped to [0, ck].
+	below := int(math.Ceil(beta)) - 1
+	if below < 0 {
+		below = 0
+	}
+	if below > ck {
+		below = ck
+	}
+	// At or just above break-even: ceil(beta), clamped to [0, ck].
+	above := int(math.Ceil(beta))
+	if float64(above) < beta {
+		above++
+	}
+	if above > ck {
+		above = ck
+	}
+
+	sellMistake = make([]bool, T)
+	for h := 0; h < below; h++ {
+		sellMistake[h] = true
+	}
+	for h := ck; h < T; h++ {
+		sellMistake[h] = true // demand persists after the (mistaken) sale
+	}
+
+	keepMistake = make([]bool, T)
+	for h := 0; h < above; h++ {
+		keepMistake[h] = true
+	}
+	// No demand after the checkpoint: the kept reservation is wasted.
+	return sellMistake, keepMistake, nil
+}
+
+// WorstMeasuredRatio returns the larger of the two adversarial
+// schedules' measured ratios for A_{kT} — the empirically achieved
+// lower bound on the algorithm's competitive ratio.
+func WorstMeasuredRatio(policy core.Threshold, a float64) (float64, error) {
+	sell, keep, err := AdversarialSchedules(policy)
+	if err != nil {
+		return 0, err
+	}
+	r1, err := MeasuredRatio(sell, policy, a)
+	if err != nil {
+		return 0, err
+	}
+	r2, err := MeasuredRatio(keep, policy, a)
+	if err != nil {
+		return 0, err
+	}
+	return math.Max(r1, r2), nil
+}
+
+// CatalogReport summarizes the proven bound of one algorithm across a
+// whole price catalog, as the paper does when it states "for all
+// standard instances (Linux, US East) for 1-year terms".
+type CatalogReport struct {
+	// Fraction is the checkpoint fraction k.
+	Fraction float64
+	// SellingDiscount is a.
+	SellingDiscount float64
+	// WorstBound is the largest per-instance bound across the catalog.
+	WorstBound Bound
+	// WorstInstance names the instance attaining it.
+	WorstInstance string
+	// PaperBound is the bound with theta = ThetaMax (the closed form the
+	// paper reports, e.g. 2 - alpha - a/4 with the catalog's largest
+	// alpha... the paper substitutes each instance's own alpha, so this
+	// uses the catalog's maximum alpha for a single conservative number).
+	PaperBound Bound
+}
+
+// AnalyzeCatalog computes per-catalog bound statistics for A_{kT}.
+func AnalyzeCatalog(cat *pricing.Catalog, k, a float64) (CatalogReport, error) {
+	rep := CatalogReport{Fraction: k, SellingDiscount: a}
+	if cat.Len() == 0 {
+		return CatalogReport{}, fmt.Errorf("analysis: empty catalog")
+	}
+	for _, it := range cat.All() {
+		b, err := BoundForInstance(it, k, a)
+		if err != nil {
+			return CatalogReport{}, fmt.Errorf("analysis: %s: %w", it.Name, err)
+		}
+		if b.Ratio > rep.WorstBound.Ratio {
+			rep.WorstBound = b
+			rep.WorstInstance = it.Name
+		}
+	}
+	stats := cat.Stats()
+	paper, err := RatioForFraction(k, stats.AlphaMax, a, ThetaMax)
+	if err != nil {
+		return CatalogReport{}, err
+	}
+	rep.PaperBound = paper
+	return rep, nil
+}

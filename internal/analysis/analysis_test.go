@@ -1,0 +1,320 @@
+package analysis
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"rimarket/internal/core"
+	"rimarket/internal/pricing"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// cardTheta2: p = 1, R = 120, alpha = 0.25, T = 240 -> theta = 2.
+func cardTheta2() pricing.InstanceType {
+	return pricing.InstanceType{
+		Name:           "adv.large",
+		OnDemandHourly: 1.0,
+		Upfront:        120,
+		ReservedHourly: 0.25,
+		PeriodHours:    240,
+	}
+}
+
+func TestRegimeString(t *testing.T) {
+	if !strings.Contains(RegimeSellMistake.String(), "case-1") {
+		t.Error(RegimeSellMistake.String())
+	}
+	if !strings.Contains(RegimeKeepMistake.String(), "case-2") {
+		t.Error(RegimeKeepMistake.String())
+	}
+	if Regime(7).String() != "Regime(7)" {
+		t.Error(Regime(7).String())
+	}
+}
+
+func TestRatioForFractionValidation(t *testing.T) {
+	tests := []struct {
+		name        string
+		k, alpha, a float64
+		theta       float64
+	}{
+		{name: "k zero", k: 0, alpha: 0.25, a: 0.5, theta: 4},
+		{name: "k one", k: 1, alpha: 0.25, a: 0.5, theta: 4},
+		{name: "alpha one", k: 0.5, alpha: 1, a: 0.5, theta: 4},
+		{name: "a negative", k: 0.5, alpha: 0.25, a: -0.1, theta: 4},
+		{name: "a above one", k: 0.5, alpha: 0.25, a: 1.1, theta: 4},
+		{name: "theta zero", k: 0.5, alpha: 0.25, a: 0.5, theta: 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := RatioForFraction(tt.k, tt.alpha, tt.a, tt.theta); err == nil {
+				t.Error("accepted invalid input")
+			}
+		})
+	}
+}
+
+func TestRatioA3T4MatchesProposition1(t *testing.T) {
+	// For all alpha < 0.36 and a in [0, 1], the paper proves
+	// alpha + a/4 + 4/(4-a) < 2, so case 1 binds: 2 - alpha - a/4.
+	for _, alpha := range []float64{0.1, 0.25, 0.35} {
+		for _, a := range []float64{0, 0.2, 0.5, 0.8, 1.0} {
+			b, err := RatioA3T4(alpha, a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := 2 - alpha - a/4
+			if !almostEqual(b.Ratio, want, 1e-12) {
+				t.Errorf("RatioA3T4(%v, %v) = %v, want %v", alpha, a, b.Ratio, want)
+			}
+			if b.Regime != RegimeSellMistake {
+				t.Errorf("RatioA3T4(%v, %v) regime = %v, want case-1", alpha, a, b.Regime)
+			}
+			// Cross-check the paper's regime condition.
+			if alpha+a/4+4/(4-a) > 2 {
+				t.Errorf("paper condition violated for alpha=%v a=%v", alpha, a)
+			}
+		}
+	}
+}
+
+func TestRatioAT2MatchesProposition2(t *testing.T) {
+	for _, alpha := range []float64{0.1, 0.25, 0.35} {
+		for _, a := range []float64{0, 0.3, 0.7, 1.0} {
+			b, err := RatioAT2(alpha, a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			case1 := 3 - 2*alpha - a/2
+			case2 := 2 / (2 - a)
+			want := math.Max(case1, case2)
+			if !almostEqual(b.Ratio, want, 1e-12) {
+				t.Errorf("RatioAT2(%v, %v) = %v, want %v", alpha, a, b.Ratio, want)
+			}
+			// Paper condition alpha + a/4 + 1/(2-a) <= 3/2 <=> case1 binds.
+			if cond := alpha + a/4 + 1/(2-a); cond <= 1.5 && b.Regime != RegimeSellMistake {
+				t.Errorf("condition %v <= 1.5 but regime %v", cond, b.Regime)
+			}
+		}
+	}
+}
+
+func TestRatioAT4MatchesProposition3(t *testing.T) {
+	for _, alpha := range []float64{0.1, 0.25, 0.35} {
+		for _, a := range []float64{0, 0.3, 0.7, 1.0} {
+			b, err := RatioAT4(alpha, a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			case1 := 4 - 3*alpha - 3*a/4
+			case2 := 4 / (4 - 3*a)
+			want := math.Max(case1, case2)
+			if !almostEqual(b.Ratio, want, 1e-12) {
+				t.Errorf("RatioAT4(%v, %v) = %v, want %v", alpha, a, b.Ratio, want)
+			}
+		}
+	}
+}
+
+func TestRatioOrderingAcrossFractions(t *testing.T) {
+	// Section V: later checkpoints give better (smaller) ratios:
+	// A_{3T/4} <= A_{T/2} <= A_{T/4} in bound.
+	alpha, a := 0.25, 0.8
+	b34, err := RatioA3T4(alpha, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := RatioAT2(alpha, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b4, err := RatioAT4(alpha, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(b34.Ratio < b2.Ratio && b2.Ratio < b4.Ratio) {
+		t.Errorf("bounds not ordered: %v, %v, %v", b34.Ratio, b2.Ratio, b4.Ratio)
+	}
+}
+
+func TestD2XLargeHeadlineRatio(t *testing.T) {
+	// The paper's abstract: for d2.xlarge (alpha = 0.25) A_{3T/4}
+	// achieves 2 - alpha - a/4; with a = 0.8 that is 1.55.
+	b, err := RatioA3T4(0.25, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(b.Ratio, 1.55, 1e-12) {
+		t.Errorf("headline ratio = %v, want 1.55", b.Ratio)
+	}
+}
+
+func TestBoundForInstanceUsesOwnTheta(t *testing.T) {
+	it := cardTheta2() // theta = 2
+	b, err := BoundForInstance(it, core.Fraction3T4, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// case1 = 1 + 0.25*0.75*2 - 0.25*0.8 = 1.175; case2 = 1/(1-0.2) = 1.25.
+	if !almostEqual(b.Ratio, 1.25, 1e-12) || b.Regime != RegimeKeepMistake {
+		t.Errorf("bound = %+v, want 1.25 case-2", b)
+	}
+	if _, err := BoundForInstance(pricing.InstanceType{}, 0.5, 0.5); err == nil {
+		t.Error("invalid instance accepted")
+	}
+}
+
+func TestMeasuredRatioIdleInstance(t *testing.T) {
+	// Idle instance, A_{T/2}: online sells at T/2 (cost R - aR/2); the
+	// restricted OPT also sells at T/2 (the earliest allowed, maximal
+	// income). Ratio = 1.
+	it := cardTheta2()
+	policy, err := core.NewAT2(it, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schedule := make([]bool, it.PeriodHours)
+	r, err := MeasuredRatio(schedule, policy, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(r, 1.0, 1e-9) {
+		t.Errorf("ratio = %v, want 1.0", r)
+	}
+}
+
+func TestVerifyBoundAdversarial(t *testing.T) {
+	it := cardTheta2()
+	for _, k := range []float64{core.Fraction3T4, core.FractionT2, core.FractionT4} {
+		for _, a := range []float64{0.2, 0.5, 0.8, 1.0} {
+			policy, err := core.NewThreshold(it, a, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sell, keep, err := AdversarialSchedules(policy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for name, sched := range map[string][]bool{"sell-mistake": sell, "keep-mistake": keep} {
+				measured, bound, err := VerifyBound(sched, policy, a)
+				if err != nil {
+					t.Errorf("k=%v a=%v %s: %v", k, a, name, err)
+					continue
+				}
+				if measured > bound.Ratio+1e-9 {
+					t.Errorf("k=%v a=%v %s: measured %v > bound %v", k, a, name, measured, bound.Ratio)
+				}
+			}
+		}
+	}
+}
+
+func TestAdversarialSchedulesApproachBound(t *testing.T) {
+	// The worst-case constructions must actually hurt: the measured
+	// ratio should exceed 1 by a reasonable share of the bound's excess.
+	it := cardTheta2()
+	policy, err := core.NewA3T4(it, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst, err := WorstMeasuredRatio(policy, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := BoundForInstance(it, core.Fraction3T4, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst <= 1.0 {
+		t.Fatalf("worst measured ratio %v does not exceed 1", worst)
+	}
+	if worst > bound.Ratio+1e-9 {
+		t.Fatalf("worst measured ratio %v exceeds bound %v", worst, bound.Ratio)
+	}
+	if excess := (worst - 1) / (bound.Ratio - 1); excess < 0.25 {
+		t.Errorf("adversarial ratio %v achieves only %.0f%% of the bound's excess %v",
+			worst, excess*100, bound.Ratio)
+	}
+}
+
+func TestAnalyzeCatalog(t *testing.T) {
+	cat := pricing.StandardLinuxUSEast()
+	rep, err := AnalyzeCatalog(cat, core.Fraction3T4, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WorstInstance == "" || rep.WorstBound.Ratio <= 1 {
+		t.Errorf("report = %+v", rep)
+	}
+	// The paper's conservative closed form with alpha_max and theta = 4
+	// must dominate every per-instance bound... for case-1-binding cards;
+	// globally it must at least dominate the worst case-1 card and be a
+	// sensible ratio.
+	if rep.PaperBound.Ratio <= 1 || rep.PaperBound.Ratio > 2 {
+		t.Errorf("paper bound = %+v outside (1, 2]", rep.PaperBound)
+	}
+	empty, err := pricing.NewCatalog(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AnalyzeCatalog(empty, 0.75, 0.8); err == nil {
+		t.Error("empty catalog accepted")
+	}
+}
+
+// TestPropertyMeasuredNeverExceedsBound is the reproduction's central
+// theory check: for random schedules, canonical fractions and selling
+// discounts, the measured online/OPT ratio never exceeds the proven
+// per-instance bound.
+func TestPropertyMeasuredNeverExceedsBound(t *testing.T) {
+	it := cardTheta2()
+	f := func(raw []uint8, fracSel, aSel uint8) bool {
+		k := []float64{core.Fraction3T4, core.FractionT2, core.FractionT4}[int(fracSel)%3]
+		a := float64(int(aSel)%10+1) / 10
+		policy, err := core.NewThreshold(it, a, k)
+		if err != nil {
+			return false
+		}
+		schedule := make([]bool, it.PeriodHours)
+		for i := range schedule {
+			if i < len(raw) {
+				schedule[i] = raw[i]%2 == 0
+			}
+		}
+		_, _, err = VerifyBound(schedule, policy, a)
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyBurstySchedulesRespectBound stresses block-structured
+// schedules (the shape the proofs' adversary uses) rather than IID
+// noise.
+func TestPropertyBurstySchedulesRespectBound(t *testing.T) {
+	it := cardTheta2()
+	T := it.PeriodHours
+	f := func(busyStart, busyLen, fracSel, aSel uint8) bool {
+		k := []float64{core.Fraction3T4, core.FractionT2, core.FractionT4}[int(fracSel)%3]
+		a := float64(int(aSel)%10+1) / 10
+		policy, err := core.NewThreshold(it, a, k)
+		if err != nil {
+			return false
+		}
+		start := int(busyStart) % T
+		length := int(busyLen) % T
+		schedule := make([]bool, T)
+		for h := start; h < start+length && h < T; h++ {
+			schedule[h] = true
+		}
+		_, _, err = VerifyBound(schedule, policy, a)
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

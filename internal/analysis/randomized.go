@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"fmt"
+
+	"rimarket/internal/core"
+)
+
+// RandomizedExpectedRatio numerically computes the expected
+// online/OPT ratio of the randomized algorithm A_rand on one fixed
+// schedule: the checkpoint fraction k is integrated over the policy's
+// distribution by stratified sampling (u = (i+0.5)/samples), the
+// threshold rule is applied at each sampled k, and the expected cost is
+// divided by the unrestricted offline optimum.
+//
+// Against an oblivious adversary (who fixes the schedule before the
+// random draw) this is the quantity the paper's Section VII
+// speculation is about. Note the benchmark here is the *unrestricted*
+// OPT — free to sell at any age — because the randomized algorithm
+// itself may decide anywhere in (0, T); the fixed algorithms' proven
+// bounds use a restricted OPT and are not directly comparable.
+func RandomizedExpectedRatio(schedule []bool, policy core.Randomized, samples int) (float64, error) {
+	if samples <= 0 {
+		return 0, fmt.Errorf("analysis: samples %d must be positive", samples)
+	}
+	it := policy.Instance()
+	a := policy.Discount()
+	params := core.OfflineParams{
+		Instance:        it,
+		SellingDiscount: a,
+		Billing:         core.BillWhenUsed,
+		// MinSellAge 0: unrestricted OPT.
+	}
+	opt, err := core.OptimalSell(schedule, params)
+	if err != nil {
+		return 0, err
+	}
+	if opt.Cost <= 0 {
+		return 0, fmt.Errorf("analysis: OPT cost %v not positive", opt.Cost)
+	}
+
+	var expected float64
+	dist := policy.Dist()
+	for i := 0; i < samples; i++ {
+		u := (float64(i) + 0.5) / float64(samples)
+		k := dist.Sample(u)
+		fixed, err := core.NewThreshold(it, a, k)
+		if err != nil {
+			return 0, fmt.Errorf("analysis: sampled fraction %v: %w", k, err)
+		}
+		cost, err := core.ThresholdCost(schedule, fixed, core.BillWhenUsed)
+		if err != nil {
+			return 0, err
+		}
+		expected += cost
+	}
+	expected /= float64(samples)
+	return expected / opt.Cost, nil
+}
+
+// FixedUnrestrictedRatio is the fixed algorithm A_{kT}'s measured
+// ratio against the same unrestricted OPT, for apples-to-apples
+// comparison with RandomizedExpectedRatio.
+func FixedUnrestrictedRatio(schedule []bool, policy core.Threshold) (float64, error) {
+	it := policy.Instance()
+	params := core.OfflineParams{
+		Instance:        it,
+		SellingDiscount: policy.Discount(),
+		Billing:         core.BillWhenUsed,
+	}
+	opt, err := core.OptimalSell(schedule, params)
+	if err != nil {
+		return 0, err
+	}
+	if opt.Cost <= 0 {
+		return 0, fmt.Errorf("analysis: OPT cost %v not positive", opt.Cost)
+	}
+	online, err := core.ThresholdCost(schedule, policy, core.BillWhenUsed)
+	if err != nil {
+		return 0, err
+	}
+	return online / opt.Cost, nil
+}

@@ -1,0 +1,78 @@
+package analysis
+
+import (
+	"testing"
+
+	"rimarket/internal/core"
+)
+
+func TestRandomizedExpectedRatioValidation(t *testing.T) {
+	it := cardTheta2()
+	policy, err := core.NewRandomized(it, 0.8, core.ExponentialFractions{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := make([]bool, it.PeriodHours)
+	if _, err := RandomizedExpectedRatio(sched, policy, 0); err == nil {
+		t.Error("zero samples accepted")
+	}
+	if _, err := RandomizedExpectedRatio(make([]bool, 3), policy, 10); err == nil {
+		t.Error("short schedule accepted")
+	}
+}
+
+func TestRandomizedExpectedRatioIdleSchedule(t *testing.T) {
+	// On an always-idle schedule every checkpoint sells; earlier sales
+	// earn more, so the expected ratio is above 1 but modest.
+	it := cardTheta2()
+	policy, err := core.NewRandomized(it, 0.8, core.ExponentialFractions{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := make([]bool, it.PeriodHours)
+	r, err := RandomizedExpectedRatio(sched, policy, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r < 1 || r > 5 {
+		t.Errorf("expected ratio = %v, want in [1, 5]", r)
+	}
+}
+
+// TestRandomizedBeatsFixedOnItsWorstCase quantifies the paper's
+// Section VII speculation: on the deterministic algorithm's own
+// worst-case schedule, the randomized algorithm's expected ratio is
+// strictly better, because only some draws land in the trap.
+func TestRandomizedBeatsFixedOnItsWorstCase(t *testing.T) {
+	it := cardTheta2()
+	const a = 0.8
+	fixed, err := core.NewAT4(it, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sellMistake, keepMistake, err := AdversarialSchedules(fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	randomized, err := core.NewRandomized(it, a, core.ExponentialFractions{}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, sched := range map[string][]bool{"sell-mistake": sellMistake, "keep-mistake": keepMistake} {
+		fixedRatio, err := FixedUnrestrictedRatio(sched, fixed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		randRatio, err := RandomizedExpectedRatio(sched, randomized, 128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if randRatio > fixedRatio+1e-9 {
+			t.Errorf("%s: randomized expected ratio %v worse than fixed %v",
+				name, randRatio, fixedRatio)
+		}
+		if randRatio < 1-1e-9 {
+			t.Errorf("%s: expected ratio %v below 1", name, randRatio)
+		}
+	}
+}

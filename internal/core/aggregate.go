@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+)
+
+// AggregateResult is the outcome of the paper-literal aggregate run.
+type AggregateResult struct {
+	// Sold[t] is s_t, the number of instances sold at hour t.
+	Sold []int
+	// Active[t] is r_t after all of the algorithm's updates (future and
+	// historical decrements included).
+	Active []int
+	// OnDemand[t] is o_t = max(0, d_t - r_t) evaluated against the
+	// final r series.
+	OnDemand []int
+	// Cost is the Eq. (1) total over the run.
+	Cost float64
+}
+
+// AggregateRun is a literal transcription of the paper's Algorithm 1
+// (and Algorithm 2, which differs only in the checkpoint fraction),
+// generalized to fraction k. It operates purely on the aggregate
+// series d_t and n_t, reconstructing each instance's free time from
+// the working-sequence condition
+//
+//	r_j - d_j - i + 1 > l        (Algorithm 1, line 9)
+//
+// and selling when working time falls below the policy's break-even.
+//
+// Two conventions are aligned with the instance-level engine so the
+// implementations can be cross-checked: an instance reserved at hour
+// t0 is active during [t0, t0+T), its decision happens at hour
+// t0 + k*T over the observation window [t0, t0+k*T), and a sold
+// instance stops serving (and being billed) from the decision hour on.
+// The algorithm's "historical information" update (lines 20-21)
+// rewrites r over the sold instance's observation window exactly as the
+// pseudocode prescribes.
+func AggregateRun(demand, newRes []int, policy Threshold) (AggregateResult, error) {
+	if len(demand) != len(newRes) {
+		return AggregateResult{}, fmt.Errorf("core: %d demand hours, %d reservation hours", len(demand), len(newRes))
+	}
+	it := policy.instance
+	T := it.PeriodHours
+	ckAge := policy.CheckpointAge(T)
+	remAge := T - ckAge
+	beta := policy.BreakEven()
+	horizon := len(demand)
+
+	for t, d := range demand {
+		if d < 0 {
+			return AggregateResult{}, fmt.Errorf("core: negative demand %d at hour %d", d, t)
+		}
+		if newRes[t] < 0 {
+			return AggregateResult{}, fmt.Errorf("core: negative reservation count %d at hour %d", newRes[t], t)
+		}
+	}
+
+	// Build the initial r series: r_t grows by n_t at t and shrinks at
+	// t+T (expiry).
+	r := make([]int, horizon)
+	running := 0
+	expiry := make([]int, horizon+T+1)
+	for t := 0; t < horizon; t++ {
+		running -= expiry[t]
+		running += newRes[t]
+		expiry[t+T] += newRes[t]
+		r[t] = running
+	}
+
+	sold := make([]int, horizon)
+	for t := 0; t < horizon; t++ {
+		t0 := t - ckAge
+		if t0 < 0 || newRes[t0] == 0 {
+			continue // Algorithm 1, line 3: nothing to decide this hour
+		}
+		soldInBatch := 0
+		for i := 1; i <= newRes[t0]; i++ {
+			l := 0
+			f := 0
+			for j := t0; j < t; j++ {
+				if j > t0 {
+					l += newRes[j]
+				}
+				if r[j]-demand[j]-i+1 > l {
+					f++ // inst is free at this hour (line 10)
+				}
+			}
+			w := ckAge - f // working time (line 14)
+			if float64(w) >= beta {
+				continue
+			}
+			// Sell (lines 16-22).
+			sold[t]++
+			soldInBatch++
+			for j := t; j < t+remAge && j < horizon; j++ {
+				r[j]-- // the instance no longer serves its remaining period
+			}
+		}
+		// Historical update (lines 20-21): mark the batch's sold
+		// instances processed. Applied after the whole batch is decided —
+		// the free-time condition's "- i + 1" term already accounts for
+		// batch-mates, so rewriting r mid-batch would double-count them.
+		for j := t0; j < t; j++ {
+			r[j] -= soldInBatch
+		}
+	}
+
+	res := AggregateResult{
+		Sold:     sold,
+		Active:   r,
+		OnDemand: make([]int, horizon),
+	}
+	saleIncome := policy.discount * it.Upfront * float64(remAge) / float64(T)
+	for t := 0; t < horizon; t++ {
+		o := demand[t] - r[t]
+		if o < 0 {
+			o = 0
+		}
+		res.OnDemand[t] = o
+		res.Cost += float64(o)*it.OnDemandHourly +
+			float64(newRes[t])*it.Upfront +
+			float64(r[t])*it.ReservedHourly -
+			float64(sold[t])*saleIncome
+	}
+	return res, nil
+}

@@ -1,0 +1,360 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func usedParams() OfflineParams {
+	return OfflineParams{Instance: testInstance(), SellingDiscount: 0.8, Billing: BillWhenUsed}
+}
+
+func activeParams() OfflineParams {
+	p := usedParams()
+	p.Billing = BillWhileActive
+	return p
+}
+
+func TestBillingString(t *testing.T) {
+	if BillWhenUsed.String() != "bill-when-used" {
+		t.Error(BillWhenUsed.String())
+	}
+	if BillWhileActive.String() != "bill-while-active" {
+		t.Error(BillWhileActive.String())
+	}
+	if Billing(9).String() != "Billing(9)" {
+		t.Error(Billing(9).String())
+	}
+}
+
+func TestOfflineParamsValidate(t *testing.T) {
+	good := usedParams()
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+	bad := good
+	bad.SellingDiscount = 2
+	if err := bad.Validate(); err == nil {
+		t.Error("bad discount accepted")
+	}
+	bad = good
+	bad.Billing = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero billing accepted")
+	}
+}
+
+func TestOptimalSellValidation(t *testing.T) {
+	if _, err := OptimalSell(make([]bool, 5), usedParams()); err == nil {
+		t.Error("short schedule accepted")
+	}
+	bad := usedParams()
+	bad.SellingDiscount = -1
+	if _, err := OptimalSell(make([]bool, 40), bad); err == nil {
+		t.Error("bad params accepted")
+	}
+}
+
+func TestOptimalSellIdleInstance(t *testing.T) {
+	// Never-busy instance: sell as early as possible (age 1) to recoup
+	// the most upfront. Income at age e is a*R*(T-e)/T, decreasing in e.
+	schedule := make([]bool, 40)
+	dec, err := OptimalSell(schedule, usedParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Sell || dec.SellAge != 1 {
+		t.Errorf("decision = %+v, want sell at age 1", dec)
+	}
+	// Cost = R - a*R*39/40 = 20 - 15.6 = 4.4; keep = 20.
+	if !almostEqual(dec.Cost, 4.4, 1e-9) {
+		t.Errorf("Cost = %v, want 4.4", dec.Cost)
+	}
+	if !almostEqual(dec.KeepCost, 20, 1e-9) {
+		t.Errorf("KeepCost = %v, want 20", dec.KeepCost)
+	}
+}
+
+func TestOptimalSellFullyBusyInstance(t *testing.T) {
+	// Always-busy instance: every post-sale hour is re-bought at p,
+	// costlier than alpha*p plus the foregone income; keep it.
+	schedule := make([]bool, 40)
+	for i := range schedule {
+		schedule[i] = true
+	}
+	dec, err := OptimalSell(schedule, usedParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Sell {
+		t.Errorf("decision = %+v, want keep", dec)
+	}
+	// Keep cost = R + alpha*p*T = 20 + 10 = 30.
+	if !almostEqual(dec.Cost, 30, 1e-9) {
+		t.Errorf("Cost = %v, want 30", dec.Cost)
+	}
+}
+
+func TestOptimalSellFrontLoadedUsage(t *testing.T) {
+	// Busy for the first 10 hours only: sell right when usage stops
+	// (age 10). Selling earlier re-buys busy hours at p; later forgoes
+	// income.
+	schedule := make([]bool, 40)
+	for i := 0; i < 10; i++ {
+		schedule[i] = true
+	}
+	dec, err := OptimalSell(schedule, usedParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Sell || dec.SellAge != 10 {
+		t.Errorf("decision = %+v, want sell at age 10", dec)
+	}
+	// Cost = R + alpha*p*10 - a*R*30/40 = 20 + 2.5 - 12 = 10.5.
+	if !almostEqual(dec.Cost, 10.5, 1e-9) {
+		t.Errorf("Cost = %v, want 10.5", dec.Cost)
+	}
+}
+
+func TestOptimalSellBillWhileActive(t *testing.T) {
+	// Under Eq. (1)'s accounting an idle instance also pays alpha*p per
+	// active hour, making early sale even more attractive.
+	schedule := make([]bool, 40)
+	dec, err := OptimalSell(schedule, activeParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Sell || dec.SellAge != 1 {
+		t.Errorf("decision = %+v, want sell at age 1", dec)
+	}
+	// Cost = R + alpha*p*1 - a*R*39/40 = 20 + 0.25 - 15.6 = 4.65.
+	if !almostEqual(dec.Cost, 4.65, 1e-9) {
+		t.Errorf("Cost = %v, want 4.65", dec.Cost)
+	}
+	if !almostEqual(dec.KeepCost, 30, 1e-9) {
+		t.Errorf("KeepCost = %v, want 30 (R + alpha*p*T)", dec.KeepCost)
+	}
+}
+
+func TestCostIfSoldAtAndKeptAgree(t *testing.T) {
+	schedule := make([]bool, 40)
+	for i := 5; i < 25; i++ {
+		schedule[i] = true
+	}
+	for _, params := range []OfflineParams{usedParams(), activeParams()} {
+		dec, err := OptimalSell(schedule, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kept, err := CostIfKept(schedule, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(kept, dec.KeepCost, 1e-9) {
+			t.Errorf("%v: CostIfKept = %v, want %v", params.Billing, kept, dec.KeepCost)
+		}
+		if dec.Sell {
+			atOpt, err := CostIfSoldAt(schedule, dec.SellAge, params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !almostEqual(atOpt, dec.Cost, 1e-9) {
+				t.Errorf("%v: CostIfSoldAt(opt) = %v, want %v", params.Billing, atOpt, dec.Cost)
+			}
+		}
+	}
+}
+
+func TestCostIfSoldAtValidation(t *testing.T) {
+	sched := make([]bool, 40)
+	if _, err := CostIfSoldAt(sched, -1, usedParams()); err == nil {
+		t.Error("negative age accepted")
+	}
+	if _, err := CostIfSoldAt(sched, 41, usedParams()); err == nil {
+		t.Error("age beyond period accepted")
+	}
+	if _, err := CostIfSoldAt(make([]bool, 3), 1, usedParams()); err == nil {
+		t.Error("short schedule accepted")
+	}
+	bad := usedParams()
+	bad.Billing = 0
+	if _, err := CostIfSoldAt(sched, 1, bad); err == nil {
+		t.Error("bad billing accepted")
+	}
+	if _, err := CostIfKept(make([]bool, 3), usedParams()); err == nil {
+		t.Error("CostIfKept short schedule accepted")
+	}
+	if _, err := CostIfKept(sched, bad); err == nil {
+		t.Error("CostIfKept bad billing accepted")
+	}
+}
+
+func TestThresholdCostSellsBelowBreakEven(t *testing.T) {
+	it := testInstance()
+	policy, err := NewAT2(it, 0.3) // beta = 4 hours, checkpoint age 20
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 busy hours before the checkpoint (< 4): sold at age 20.
+	schedule := make([]bool, 40)
+	for i := 0; i < 3; i++ {
+		schedule[i] = true
+	}
+	got, err := ThresholdCost(schedule, policy, BillWhenUsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cost = R + alpha*p*3 - a*R*(20/40) = 20 + 0.75 - 3 = 17.75.
+	if !almostEqual(got, 17.75, 1e-9) {
+		t.Errorf("ThresholdCost = %v, want 17.75", got)
+	}
+
+	// Fully busy window: kept; cost = R + alpha*p*totalBusy.
+	for i := range schedule {
+		schedule[i] = true
+	}
+	got, err = ThresholdCost(schedule, policy, BillWhenUsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, 30, 1e-9) {
+		t.Errorf("ThresholdCost busy = %v, want 30", got)
+	}
+}
+
+// TestPropertyOptimalSellIsMinimal: OPT's cost is a lower bound over
+// keeping and every candidate sale age — by construction, but this
+// guards the suffix-sum bookkeeping against regressions.
+func TestPropertyOptimalSellIsMinimal(t *testing.T) {
+	params := usedParams()
+	T := params.Instance.PeriodHours
+	f := func(raw []uint8) bool {
+		schedule := make([]bool, T)
+		for i := range schedule {
+			if i < len(raw) {
+				schedule[i] = raw[i]%2 == 0
+			}
+		}
+		dec, err := OptimalSell(schedule, params)
+		if err != nil {
+			return false
+		}
+		kept, err := CostIfKept(schedule, params)
+		if err != nil || dec.Cost > kept+1e-9 {
+			return false
+		}
+		for e := 1; e < T; e++ {
+			c, err := CostIfSoldAt(schedule, e, params)
+			if err != nil || dec.Cost > c+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyOnlineNeverBelowOPT: the online algorithm can never beat
+// the offline optimum on the same schedule (sanity of both accountings).
+func TestPropertyOnlineNeverBelowOPT(t *testing.T) {
+	it := testInstance()
+	f := func(raw []uint8, fracSel uint8, aSel uint8) bool {
+		fraction := []float64{Fraction3T4, FractionT2, FractionT4}[int(fracSel)%3]
+		a := float64(int(aSel)%10+1) / 10
+		policy, err := NewThreshold(it, a, fraction)
+		if err != nil {
+			return false
+		}
+		schedule := make([]bool, it.PeriodHours)
+		for i := range schedule {
+			if i < len(raw) {
+				schedule[i] = raw[i]%3 == 0
+			}
+		}
+		params := OfflineParams{Instance: it, SellingDiscount: a, Billing: BillWhenUsed}
+		dec, err := OptimalSell(schedule, params)
+		if err != nil {
+			return false
+		}
+		online, err := ThresholdCost(schedule, policy, BillWhenUsed)
+		if err != nil {
+			return false
+		}
+		return online >= dec.Cost-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyActiveBillingDominatesUsage: charging alpha*p for every
+// active hour (Eq. 1) can never be cheaper than charging only used
+// hours (the proofs' accounting), for the same decisions.
+func TestPropertyActiveBillingDominatesUsage(t *testing.T) {
+	it := testInstance()
+	f := func(raw []uint8, fracSel, aSel uint8) bool {
+		fraction := []float64{Fraction3T4, FractionT2, FractionT4}[int(fracSel)%3]
+		a := float64(int(aSel)%10+1) / 10
+		policy, err := NewThreshold(it, a, fraction)
+		if err != nil {
+			return false
+		}
+		schedule := make([]bool, it.PeriodHours)
+		for i := range schedule {
+			if i < len(raw) {
+				schedule[i] = raw[i]%2 == 0
+			}
+		}
+		used, err := ThresholdCost(schedule, policy, BillWhenUsed)
+		if err != nil {
+			return false
+		}
+		active, err := ThresholdCost(schedule, policy, BillWhileActive)
+		if err != nil {
+			return false
+		}
+		return active >= used-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyOptimalSellMonotoneInBusyHours: adding busy hours never
+// makes the offline optimum cheaper to... it can only increase cost
+// (every extra demand hour costs at least alpha*p under any decision).
+func TestPropertyOptimalSellMonotoneInBusyHours(t *testing.T) {
+	params := usedParams()
+	T := params.Instance.PeriodHours
+	f := func(raw []uint8, extra uint8) bool {
+		schedule := make([]bool, T)
+		for i := range schedule {
+			if i < len(raw) {
+				schedule[i] = raw[i]%3 == 0
+			}
+		}
+		base, err := OptimalSell(schedule, params)
+		if err != nil {
+			return false
+		}
+		// Flip one idle hour to busy.
+		idx := int(extra) % T
+		for schedule[idx] {
+			idx = (idx + 1) % T
+			if idx == int(extra)%T {
+				return true // fully busy already
+			}
+		}
+		schedule[idx] = true
+		more, err := OptimalSell(schedule, params)
+		if err != nil {
+			return false
+		}
+		return more.Cost >= base.Cost-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,348 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"rimarket/internal/simulate"
+)
+
+func TestUniformFractions(t *testing.T) {
+	d := UniformFractions{Lo: 0.25, Hi: 0.75}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Sample(0); got != 0.25 {
+		t.Errorf("Sample(0) = %v, want 0.25", got)
+	}
+	if got := d.Sample(1); got != 0.75 {
+		t.Errorf("Sample(1) = %v, want 0.75", got)
+	}
+	if got := d.Sample(0.5); !almostEqual(got, 0.5, 1e-12) {
+		t.Errorf("Sample(0.5) = %v, want 0.5", got)
+	}
+	if !strings.Contains(d.String(), "uniform") {
+		t.Error(d.String())
+	}
+	for _, bad := range []UniformFractions{{Lo: 0, Hi: 0.5}, {Lo: 0.5, Hi: 1}, {Lo: 0.7, Hi: 0.3}} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("Validate(%+v) succeeded", bad)
+		}
+	}
+}
+
+func TestExponentialFractions(t *testing.T) {
+	d := ExponentialFractions{}
+	// Inverse CDF spot checks: F(x) = (e^x - 1)/(e - 1).
+	if got := d.Sample(0); got <= 0 || got > 1e-6 {
+		t.Errorf("Sample(0) = %v, want ~0+", got)
+	}
+	if got := d.Sample(1); got >= 1 || got < 1-1e-6 {
+		t.Errorf("Sample(1) = %v, want ~1-", got)
+	}
+	// Median of the density e^x/(e-1): x = ln(1 + (e-1)/2) ~ 0.6201.
+	if got := d.Sample(0.5); !almostEqual(got, math.Log(1+(math.E-1)/2), 1e-9) {
+		t.Errorf("Sample(0.5) = %v", got)
+	}
+	// Monotone in u.
+	prev := -1.0
+	for u := 0.0; u <= 1; u += 0.1 {
+		v := d.Sample(u)
+		if v <= prev {
+			t.Fatalf("Sample not monotone at u=%v", u)
+		}
+		prev = v
+	}
+	if !strings.Contains(d.String(), "exp") {
+		t.Error(d.String())
+	}
+}
+
+func TestDiscreteFractions(t *testing.T) {
+	d := PaperFractions()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	counts := map[float64]int{}
+	for u := 0.0; u < 1; u += 0.01 {
+		counts[d.Sample(u)]++
+	}
+	for _, f := range d.Fractions {
+		if counts[f] < 25 {
+			t.Errorf("fraction %v drawn %d/100 times, want ~33", f, counts[f])
+		}
+	}
+	if got := d.Sample(1); got != Fraction3T4 {
+		t.Errorf("Sample(1) = %v, want last element", got)
+	}
+	if err := (DiscreteFractions{}).Validate(); err == nil {
+		t.Error("empty support accepted")
+	}
+	if err := (DiscreteFractions{Fractions: []float64{0}}).Validate(); err == nil {
+		t.Error("zero fraction accepted")
+	}
+}
+
+func TestNewRandomizedValidation(t *testing.T) {
+	it := testInstance()
+	if _, err := NewRandomized(it, 0.8, nil, 1); err == nil {
+		t.Error("nil dist accepted")
+	}
+	if _, err := NewRandomized(it, 2, ExponentialFractions{}, 1); err == nil {
+		t.Error("bad discount accepted")
+	}
+	if _, err := NewRandomized(it, 0.8, UniformFractions{Lo: 0.9, Hi: 0.1}, 1); err == nil {
+		t.Error("invalid dist accepted")
+	}
+	p, err := NewRandomized(it, 0.8, ExponentialFractions{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Dist().String() == "" {
+		t.Error("empty dist description")
+	}
+}
+
+func TestRandomizedDeterministicPerSeed(t *testing.T) {
+	it := testInstance()
+	p1, err := NewRandomized(it, 0.8, ExponentialFractions{}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := NewRandomized(it, 0.8, ExponentialFractions{}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p3, err := NewRandomized(it, 0.8, ExponentialFractions{}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var same, diff int
+	for start := 0; start < 50; start++ {
+		a := p1.InstanceCheckpointAge(start, 1, it.PeriodHours)
+		if b := p2.InstanceCheckpointAge(start, 1, it.PeriodHours); a != b {
+			t.Fatalf("same seed differs at start %d: %d vs %d", start, a, b)
+		}
+		if c := p3.InstanceCheckpointAge(start, 1, it.PeriodHours); a == c {
+			same++
+		} else {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("different seeds produced identical draws everywhere")
+	}
+	_ = same
+}
+
+func TestRandomizedAgesInRange(t *testing.T) {
+	it := testInstance()
+	p, err := NewRandomized(it, 0.8, ExponentialFractions{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for start := 0; start < 200; start++ {
+		for idx := 1; idx <= 3; idx++ {
+			age := p.InstanceCheckpointAge(start, idx, it.PeriodHours)
+			if age < 1 || age >= it.PeriodHours {
+				t.Fatalf("age %d outside [1, %d)", age, it.PeriodHours)
+			}
+		}
+	}
+	if ck := p.CheckpointAge(it.PeriodHours); ck <= 0 || ck >= it.PeriodHours {
+		t.Errorf("representative age %d out of range", ck)
+	}
+}
+
+func TestRandomizedEndToEnd(t *testing.T) {
+	// Idle instances must all be sold (any fraction's break-even exceeds
+	// zero working hours); busy instances must all be kept.
+	it := testInstance()
+	p, err := NewRandomized(it, 0.8, UniformFractions{Lo: 0.3, Hi: 0.9}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := it.PeriodHours
+	newRes := make([]int, n)
+	newRes[0] = 3
+	cfg := simulate.Config{Instance: it, SellingDiscount: 0.8}
+
+	idle, err := simulate.Run(make([]int, n), newRes, cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idle.SoldCount() != 3 {
+		t.Errorf("idle run sold %d, want 3", idle.SoldCount())
+	}
+	// Instances must be sold at different ages (their own draws).
+	ages := map[int]bool{}
+	for _, inst := range idle.Instances {
+		ages[inst.SoldAt] = true
+	}
+	if len(ages) < 2 {
+		t.Errorf("all instances sold at the same age %v; per-instance draws not applied", ages)
+	}
+
+	demand := make([]int, n)
+	for i := range demand {
+		demand[i] = 3
+	}
+	busy, err := simulate.Run(demand, newRes, cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if busy.SoldCount() != 0 {
+		t.Errorf("busy run sold %d, want 0", busy.SoldCount())
+	}
+}
+
+func TestPropertyRandomizedReproducible(t *testing.T) {
+	it := testInstance()
+	f := func(seed int64, raw []uint8) bool {
+		p, err := NewRandomized(it, 0.8, ExponentialFractions{}, seed)
+		if err != nil {
+			return false
+		}
+		n := it.PeriodHours
+		demand := make([]int, n)
+		newRes := make([]int, n)
+		newRes[0] = 2
+		for i := range demand {
+			if i < len(raw) {
+				demand[i] = int(raw[i] % 3)
+			}
+		}
+		cfg := simulate.Config{Instance: it, SellingDiscount: 0.8}
+		r1, err := simulate.Run(demand, newRes, cfg, p)
+		if err != nil {
+			return false
+		}
+		r2, err := simulate.Run(demand, newRes, cfg, p)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(r1.Instances, r2.Instances)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewMultiThresholdValidation(t *testing.T) {
+	it := testInstance()
+	tests := []struct {
+		name      string
+		fractions []float64
+	}{
+		{name: "empty", fractions: nil},
+		{name: "zero fraction", fractions: []float64{0, 0.5}},
+		{name: "fraction one", fractions: []float64{0.5, 1}},
+		{name: "not increasing", fractions: []float64{0.5, 0.25}},
+		{name: "duplicate", fractions: []float64{0.5, 0.5}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := NewMultiThreshold(it, 0.8, tt.fractions); err == nil {
+				t.Error("invalid fractions accepted")
+			}
+		})
+	}
+	if _, err := NewMultiThreshold(it, 1.5, []float64{0.5}); err == nil {
+		t.Error("bad discount accepted")
+	}
+	p, err := NewPaperMultiThreshold(it, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{10, 20, 30} // T = 40
+	if got := p.CheckpointAges(it.PeriodHours); !reflect.DeepEqual(got, want) {
+		t.Errorf("CheckpointAges = %v, want %v", got, want)
+	}
+	if got := p.CheckpointAge(it.PeriodHours); got != 10 {
+		t.Errorf("CheckpointAge = %d, want first age 10", got)
+	}
+}
+
+func TestMultiThresholdSecondChance(t *testing.T) {
+	// Busy through T/4 (kept there), idle afterwards: the T/2 or 3T/4
+	// revisit must catch and sell the instance, unlike single-checkpoint
+	// A_{T/4} which keeps it forever.
+	it := testInstance() // T=40; beta(a=0.8): T/4->5.33, T/2->10.67, 3T/4->16
+	multi, err := NewPaperMultiThreshold(it, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := NewAT4(it, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := it.PeriodHours
+	demand := make([]int, n)
+	for i := 0; i < 10; i++ { // busy exactly through the T/4 checkpoint
+		demand[i] = 1
+	}
+	newRes := make([]int, n)
+	newRes[0] = 1
+	cfg := simulate.Config{Instance: it, SellingDiscount: 0.8}
+
+	sRes, err := simulate.Run(demand, newRes, cfg, single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sRes.SoldCount() != 0 {
+		t.Fatalf("single A_{T/4} sold %d, want 0 (worked 10 >= beta 5.33)", sRes.SoldCount())
+	}
+
+	mRes, err := simulate.Run(demand, newRes, cfg, multi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mRes.SoldCount() != 1 {
+		t.Fatalf("multi-checkpoint sold %d, want 1", mRes.SoldCount())
+	}
+	// Kept at T/4 (10 >= 5.33) and at T/2 (10 hours worked < 10.67 ->
+	// sold at T/2 actually). Verify the sale hour is the T/2 checkpoint.
+	if got := mRes.Instances[0].SoldAt; got != 20 {
+		t.Errorf("SoldAt = %d, want 20 (the T/2 revisit)", got)
+	}
+	if mRes.Cost.Total() >= sRes.Cost.Total() {
+		t.Errorf("multi cost %v not below single cost %v", mRes.Cost.Total(), sRes.Cost.Total())
+	}
+}
+
+func TestMultiThresholdMatchesSingleWhenOneFraction(t *testing.T) {
+	it := testInstance()
+	multi, err := NewMultiThreshold(it, 0.8, []float64{FractionT2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := NewAT2(it, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := it.PeriodHours + 10
+	demand := make([]int, n)
+	for i := 0; i < 7; i++ {
+		demand[i] = 1
+	}
+	newRes := make([]int, n)
+	newRes[0] = 1
+	cfg := simulate.Config{Instance: it, SellingDiscount: 0.8}
+	a, err := simulate.Run(demand, newRes, cfg, multi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := simulate.Run(demand, newRes, cfg, single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Instances, b.Instances) {
+		t.Errorf("single-fraction multi diverges from Threshold:\n%+v\n%+v", a.Instances, b.Instances)
+	}
+	if a.Cost != b.Cost {
+		t.Errorf("costs diverge: %+v vs %+v", a.Cost, b.Cost)
+	}
+}

@@ -1,0 +1,150 @@
+// Package core implements the paper's contribution: the online
+// reserved-instance selling algorithms A_{3T/4}, A_{T/2} and A_{T/4}
+// (generalized to an arbitrary checkpoint fraction A_{kT}), the
+// benchmark policies Keep-Reserved and All-Selling, the per-instance
+// optimal offline selling algorithm OPT of Section IV.A, and a literal
+// transcription of the paper's aggregate Algorithms 1 and 2 used to
+// cross-validate the instance-level engine.
+//
+// An online policy watches a reserved instance until it reaches age
+// k*T, computes its working time w over those hours, and sells exactly
+// when w is below the break-even point
+//
+//	beta_k = k * a * R / (p * (1 - alpha))        (Eq. 9 generalized)
+//
+// recouping a * R * (1-k) of the upfront fee while giving up the
+// discounted rate for the remaining (1-k) * T hours.
+package core
+
+import (
+	"fmt"
+
+	"rimarket/internal/pricing"
+	"rimarket/internal/simulate"
+)
+
+// Fractions of the reservation period at which the paper's three
+// algorithms decide (Sections IV and V).
+const (
+	// Fraction3T4 is A_{3T/4}'s checkpoint.
+	Fraction3T4 = 3.0 / 4.0
+	// FractionT2 is A_{T/2}'s checkpoint.
+	FractionT2 = 1.0 / 2.0
+	// FractionT4 is A_{T/4}'s checkpoint.
+	FractionT4 = 1.0 / 4.0
+)
+
+// Threshold is the generalized online selling algorithm A_{kT}: at
+// instance age k*T it sells the instance iff its working time is below
+// the break-even point beta_k. It implements simulate.SellingPolicy.
+type Threshold struct {
+	instance pricing.InstanceType
+	discount float64
+	fraction float64
+}
+
+// Compile-time interface checks for every policy in this package.
+var (
+	_ simulate.SellingPolicy = Threshold{}
+	_ simulate.SellingPolicy = AllSelling{}
+	_ simulate.SellingPolicy = KeepReserved{}
+)
+
+// NewThreshold builds A_{kT} for an arbitrary checkpoint fraction in
+// (0, 1). The paper analyzes k = 3/4, 1/2 and 1/4; other fractions are
+// its stated future-work generalization.
+func NewThreshold(it pricing.InstanceType, sellingDiscount, fraction float64) (Threshold, error) {
+	if err := it.Validate(); err != nil {
+		return Threshold{}, err
+	}
+	if sellingDiscount < 0 || sellingDiscount > 1 {
+		return Threshold{}, fmt.Errorf("core: selling discount %v outside [0, 1]", sellingDiscount)
+	}
+	if fraction <= 0 || fraction >= 1 {
+		return Threshold{}, fmt.Errorf("core: checkpoint fraction %v outside (0, 1)", fraction)
+	}
+	return Threshold{instance: it, discount: sellingDiscount, fraction: fraction}, nil
+}
+
+// NewA3T4 builds the paper's primary algorithm A_{3T/4} (Algorithm 1).
+func NewA3T4(it pricing.InstanceType, sellingDiscount float64) (Threshold, error) {
+	return NewThreshold(it, sellingDiscount, Fraction3T4)
+}
+
+// NewAT2 builds A_{T/2} (Algorithm 2).
+func NewAT2(it pricing.InstanceType, sellingDiscount float64) (Threshold, error) {
+	return NewThreshold(it, sellingDiscount, FractionT2)
+}
+
+// NewAT4 builds A_{T/4} (Section V).
+func NewAT4(it pricing.InstanceType, sellingDiscount float64) (Threshold, error) {
+	return NewThreshold(it, sellingDiscount, FractionT4)
+}
+
+// Fraction returns the policy's checkpoint fraction k.
+func (p Threshold) Fraction() float64 { return p.fraction }
+
+// Instance returns the price card the policy was built for.
+func (p Threshold) Instance() pricing.InstanceType { return p.instance }
+
+// Discount returns the selling discount a the policy was built with.
+func (p Threshold) Discount() float64 { return p.discount }
+
+// BreakEven returns beta_k in hours.
+func (p Threshold) BreakEven() float64 {
+	return p.instance.BreakEvenHours(p.fraction, p.discount)
+}
+
+// Name returns the paper's name for this policy at its canonical
+// fractions, e.g. "A_{3T/4}".
+func (p Threshold) Name() string {
+	switch p.fraction {
+	case Fraction3T4:
+		return "A_{3T/4}"
+	case FractionT2:
+		return "A_{T/2}"
+	case FractionT4:
+		return "A_{T/4}"
+	default:
+		return fmt.Sprintf("A_{%.3gT}", p.fraction)
+	}
+}
+
+// CheckpointAge implements simulate.SellingPolicy.
+func (p Threshold) CheckpointAge(periodHours int) int {
+	return int(p.fraction*float64(periodHours) + 0.5)
+}
+
+// ShouldSell implements simulate.SellingPolicy: sell iff the working
+// time is below break-even (Algorithm 1, line 15).
+func (p Threshold) ShouldSell(ck simulate.Checkpoint) bool {
+	return float64(ck.Worked) < p.BreakEven()
+}
+
+// AllSelling is the paper's All-Selling benchmark: sell every instance
+// at the checkpoint regardless of its working time (Section VI.B).
+type AllSelling struct {
+	fraction float64
+}
+
+// NewAllSelling builds the All-Selling benchmark at the given
+// checkpoint fraction (so it is comparable with the A_{kT} under test).
+func NewAllSelling(fraction float64) (AllSelling, error) {
+	if fraction <= 0 || fraction >= 1 {
+		return AllSelling{}, fmt.Errorf("core: checkpoint fraction %v outside (0, 1)", fraction)
+	}
+	return AllSelling{fraction: fraction}, nil
+}
+
+// CheckpointAge implements simulate.SellingPolicy.
+func (p AllSelling) CheckpointAge(periodHours int) int {
+	return int(p.fraction*float64(periodHours) + 0.5)
+}
+
+// ShouldSell implements simulate.SellingPolicy.
+func (AllSelling) ShouldSell(simulate.Checkpoint) bool { return true }
+
+// KeepReserved is the paper's Keep-Reserved benchmark: never sell. It
+// aliases the engine's neutral default so callers can treat all
+// benchmarks uniformly through this package.
+type KeepReserved = simulate.KeepReserved

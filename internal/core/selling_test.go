@@ -1,0 +1,266 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"rimarket/internal/pricing"
+	"rimarket/internal/simulate"
+)
+
+// testInstance: p = 1.0, R = 20, alpha = 0.25, T = 40, giving
+// theta = p*T/R = 2, inside the paper's measured band (1, 4). With
+// a = 0.8 the break-even points are beta_{3/4} = 16, beta_{1/2} = 10.67
+// and beta_{1/4} = 5.33 hours.
+func testInstance() pricing.InstanceType {
+	return pricing.InstanceType{
+		Name:           "test.small",
+		OnDemandHourly: 1.0,
+		Upfront:        20,
+		ReservedHourly: 0.25,
+		PeriodHours:    40,
+	}
+}
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNewThresholdValidation(t *testing.T) {
+	it := testInstance()
+	tests := []struct {
+		name     string
+		it       pricing.InstanceType
+		discount float64
+		fraction float64
+		wantErr  string
+	}{
+		{name: "bad instance", it: pricing.InstanceType{}, discount: 0.5, fraction: 0.5, wantErr: "no name"},
+		{name: "discount high", it: it, discount: 1.1, fraction: 0.5, wantErr: "selling discount"},
+		{name: "discount negative", it: it, discount: -0.1, fraction: 0.5, wantErr: "selling discount"},
+		{name: "fraction zero", it: it, discount: 0.5, fraction: 0, wantErr: "fraction"},
+		{name: "fraction one", it: it, discount: 0.5, fraction: 1, wantErr: "fraction"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := NewThreshold(tt.it, tt.discount, tt.fraction)
+			if err == nil {
+				t.Fatal("NewThreshold succeeded, want error")
+			}
+			if !strings.Contains(err.Error(), tt.wantErr) {
+				t.Errorf("error %q does not contain %q", err, tt.wantErr)
+			}
+		})
+	}
+	if _, err := NewThreshold(it, 0.8, 0.75); err != nil {
+		t.Errorf("valid construction failed: %v", err)
+	}
+}
+
+func TestThresholdBreakEvenMatchesEq9(t *testing.T) {
+	// Eq. (9): beta = 3*a*R / (4*p*(1-alpha)).
+	it := testInstance()
+	a := 0.6
+	p3, err := NewA3T4(it, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 3 * a * it.Upfront / (4 * it.OnDemandHourly * (1 - 0.25))
+	if got := p3.BreakEven(); !almostEqual(got, want, 1e-9) {
+		t.Errorf("A_{3T/4} BreakEven = %v, want %v", got, want)
+	}
+	// A_{T/2}: beta = a*R / (2*p*(1-alpha)).
+	p2, err := NewAT2(it, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want2 := a * it.Upfront / (2 * it.OnDemandHourly * (1 - 0.25))
+	if got := p2.BreakEven(); !almostEqual(got, want2, 1e-9) {
+		t.Errorf("A_{T/2} BreakEven = %v, want %v", got, want2)
+	}
+	// A_{T/4}: beta = a*R / (4*p*(1-alpha)).
+	p4, err := NewAT4(it, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want4 := a * it.Upfront / (4 * it.OnDemandHourly * (1 - 0.25))
+	if got := p4.BreakEven(); !almostEqual(got, want4, 1e-9) {
+		t.Errorf("A_{T/4} BreakEven = %v, want %v", got, want4)
+	}
+}
+
+func TestThresholdCheckpointAges(t *testing.T) {
+	it := testInstance() // T = 40
+	tests := []struct {
+		fraction float64
+		want     int
+	}{
+		{fraction: Fraction3T4, want: 30},
+		{fraction: FractionT2, want: 20},
+		{fraction: FractionT4, want: 10},
+		{fraction: 0.33, want: 13}, // rounds 13.2
+	}
+	for _, tt := range tests {
+		p, err := NewThreshold(it, 0.5, tt.fraction)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := p.CheckpointAge(it.PeriodHours); got != tt.want {
+			t.Errorf("CheckpointAge(k=%v) = %d, want %d", tt.fraction, got, tt.want)
+		}
+	}
+}
+
+func TestThresholdNames(t *testing.T) {
+	it := testInstance()
+	tests := []struct {
+		fraction float64
+		want     string
+	}{
+		{Fraction3T4, "A_{3T/4}"},
+		{FractionT2, "A_{T/2}"},
+		{FractionT4, "A_{T/4}"},
+		{0.3, "A_{0.3T}"},
+	}
+	for _, tt := range tests {
+		p, err := NewThreshold(it, 0.5, tt.fraction)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := p.Name(); got != tt.want {
+			t.Errorf("Name(k=%v) = %q, want %q", tt.fraction, got, tt.want)
+		}
+	}
+}
+
+func TestThresholdShouldSell(t *testing.T) {
+	it := testInstance()
+	a := 0.3 // A_{T/2}: beta = 0.5*0.3*20/(1*0.75) = 4 hours
+	p, err := NewAT2(it, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	beta := p.BreakEven()
+	if !almostEqual(beta, 4, 1e-9) {
+		t.Fatalf("BreakEven = %v, want 4", beta)
+	}
+	tests := []struct {
+		worked int
+		want   bool
+	}{
+		{worked: 0, want: true},
+		{worked: 3, want: true},
+		{worked: 4, want: false}, // at break-even: keep (strict less-than)
+		{worked: 5, want: false},
+	}
+	for _, tt := range tests {
+		ck := simulate.Checkpoint{Worked: tt.worked}
+		if got := p.ShouldSell(ck); got != tt.want {
+			t.Errorf("ShouldSell(worked=%d) = %v, want %v", tt.worked, got, tt.want)
+		}
+	}
+}
+
+func TestThresholdEndToEndIdleInstanceSold(t *testing.T) {
+	// An instance reserved at hour 0 that never works must be sold at
+	// its checkpoint by every A_{kT}.
+	it := testInstance()
+	n := it.PeriodHours
+	demand := make([]int, n)
+	newRes := make([]int, n)
+	newRes[0] = 1
+	for _, fraction := range []float64{Fraction3T4, FractionT2, FractionT4} {
+		p, err := NewThreshold(it, 0.8, fraction)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := simulate.Config{Instance: it, SellingDiscount: 0.8}
+		res, err := simulate.Run(demand, newRes, cfg, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.SoldCount() != 1 {
+			t.Errorf("k=%v: SoldCount = %d, want 1", fraction, res.SoldCount())
+		}
+		wantAge := p.CheckpointAge(it.PeriodHours)
+		if res.Instances[0].SoldAt != wantAge {
+			t.Errorf("k=%v: SoldAt = %d, want %d", fraction, res.Instances[0].SoldAt, wantAge)
+		}
+	}
+}
+
+func TestThresholdEndToEndBusyInstanceKept(t *testing.T) {
+	it := testInstance()
+	n := it.PeriodHours
+	demand := make([]int, n)
+	for i := range demand {
+		demand[i] = 1
+	}
+	newRes := make([]int, n)
+	newRes[0] = 1
+	for _, fraction := range []float64{Fraction3T4, FractionT2, FractionT4} {
+		p, err := NewThreshold(it, 0.8, fraction)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Sanity: a fully busy window is at or above break-even for this card.
+		window := float64(p.CheckpointAge(it.PeriodHours))
+		if p.BreakEven() > window {
+			t.Fatalf("k=%v: break-even %v exceeds window %v; test card mis-sized", fraction, p.BreakEven(), window)
+		}
+		cfg := simulate.Config{Instance: it, SellingDiscount: 0.8}
+		res, err := simulate.Run(demand, newRes, cfg, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.SoldCount() != 0 {
+			t.Errorf("k=%v: SoldCount = %d, want 0 (instance fully busy)", fraction, res.SoldCount())
+		}
+	}
+}
+
+func TestAllSelling(t *testing.T) {
+	if _, err := NewAllSelling(0); err == nil {
+		t.Error("fraction 0 accepted")
+	}
+	if _, err := NewAllSelling(1); err == nil {
+		t.Error("fraction 1 accepted")
+	}
+	p, err := NewAllSelling(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.CheckpointAge(40); got != 20 {
+		t.Errorf("CheckpointAge = %d, want 20", got)
+	}
+	if !p.ShouldSell(simulate.Checkpoint{Worked: 1000}) {
+		t.Error("AllSelling kept an instance")
+	}
+
+	// End to end: a fully busy instance is still sold.
+	it := testInstance()
+	n := it.PeriodHours
+	demand := make([]int, n)
+	for i := range demand {
+		demand[i] = 1
+	}
+	newRes := make([]int, n)
+	newRes[0] = 1
+	cfg := simulate.Config{Instance: it, SellingDiscount: 0.8}
+	res, err := simulate.Run(demand, newRes, cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SoldCount() != 1 {
+		t.Errorf("SoldCount = %d, want 1", res.SoldCount())
+	}
+}
+
+func TestKeepReservedAlias(t *testing.T) {
+	var p KeepReserved
+	if p.CheckpointAge(40) > 0 {
+		t.Error("KeepReserved has a checkpoint")
+	}
+	if p.ShouldSell(simulate.Checkpoint{}) {
+		t.Error("KeepReserved sold")
+	}
+}

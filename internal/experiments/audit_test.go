@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"rimarket/internal/core"
+)
+
+func TestRatioAudit(t *testing.T) {
+	cfg := smallConfig()
+	res, err := RatioAudit(cfg, core.FractionT2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Audited == 0 {
+		t.Fatal("nothing audited")
+	}
+	if res.MaxMeasured > res.Bound.Ratio+1e-9 {
+		t.Errorf("max measured %v exceeds bound %v", res.MaxMeasured, res.Bound.Ratio)
+	}
+	if res.MeanMeasured < 1-1e-9 {
+		t.Errorf("mean measured %v below 1 (online cannot beat OPT)", res.MeanMeasured)
+	}
+	if res.MaxMeasured < res.MeanMeasured {
+		t.Errorf("max %v below mean %v", res.MaxMeasured, res.MeanMeasured)
+	}
+	out := RenderAudit([]AuditResult{res})
+	if !strings.Contains(out, "A_{T/2}") || !strings.Contains(out, "bound") {
+		t.Errorf("render:\n%s", out)
+	}
+}
+
+func TestRatioAuditValidation(t *testing.T) {
+	cfg := smallConfig()
+	if _, err := RatioAudit(cfg, 0); err == nil {
+		t.Error("invalid fraction accepted")
+	}
+	bad := cfg
+	bad.PerGroup = 0
+	if _, err := RatioAudit(bad, 0.5); err == nil {
+		t.Error("bad config accepted")
+	}
+}
+
+func TestRenderAuditGenericFraction(t *testing.T) {
+	out := RenderAudit([]AuditResult{{Fraction: 0.3, Audited: 1, MeanMeasured: 1, MaxMeasured: 1}})
+	if !strings.Contains(out, "A_{0.3T}") {
+		t.Errorf("render:\n%s", out)
+	}
+}

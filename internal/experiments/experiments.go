@@ -1,0 +1,410 @@
+// Package experiments reproduces the paper's evaluation (Section VI):
+// it synthesizes the 300-user cohort, imitates reservation behavior
+// with the four purchasing algorithms, replays every selling policy
+// through the cost engine, and renders each of the paper's tables and
+// figures (Table I-III, Fig. 2-4) plus the reproduction's extra
+// ablation sweeps.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"rimarket/internal/core"
+	"rimarket/internal/pricing"
+	"rimarket/internal/purchasing"
+	"rimarket/internal/simulate"
+	"rimarket/internal/workload"
+)
+
+// Policy names used as keys in per-user cost maps.
+const (
+	PolicyKeep    = "Keep-Reserved"
+	PolicyA3T4    = "A_{3T/4}"
+	PolicyAT2     = "A_{T/2}"
+	PolicyAT4     = "A_{T/4}"
+	PolicySell3T4 = "All-Selling@3T/4"
+	PolicySellT2  = "All-Selling@T/2"
+	PolicySellT4  = "All-Selling@T/4"
+)
+
+// SellingPolicies lists the online algorithms in presentation order.
+var SellingPolicies = []string{PolicyA3T4, PolicyAT2, PolicyAT4}
+
+// Behaviors names the paper's four reservation-behavior imitators
+// (Section VI.A).
+var Behaviors = []string{"all-reserved", "random", "wang-online", "wang-variant"}
+
+// Config parameterizes one cohort experiment.
+type Config struct {
+	// Instance is the price card; the paper uses d2.xlarge. Its
+	// PeriodHours may be scaled down from a year for fast runs — the
+	// break-even math is scale-free.
+	Instance pricing.InstanceType
+	// SellingDiscount is the seller's listing discount a.
+	SellingDiscount float64
+	// MarketFee is the marketplace's cut of sale income (0 matches the
+	// paper's Eq. (1); 0.12 models Amazon's fee).
+	MarketFee float64
+	// PerGroup is the number of users per fluctuation group (paper: 100).
+	PerGroup int
+	// Hours is the simulation horizon (paper: one reservation period).
+	Hours int
+	// Seed makes the cohort and the random purchasing behavior
+	// reproducible.
+	Seed int64
+	// Parallelism bounds the worker goroutines evaluating users
+	// concurrently; 0 means GOMAXPROCS. Results are identical at any
+	// parallelism: every user's work is seeded independently and results
+	// are returned in cohort order.
+	Parallelism int
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if err := c.Instance.Validate(); err != nil {
+		return err
+	}
+	if c.SellingDiscount < 0 || c.SellingDiscount > 1 {
+		return fmt.Errorf("experiments: selling discount %v outside [0, 1]", c.SellingDiscount)
+	}
+	if c.PerGroup <= 0 {
+		return fmt.Errorf("experiments: PerGroup %d must be positive", c.PerGroup)
+	}
+	if c.Hours <= 0 {
+		return fmt.Errorf("experiments: Hours %d must be positive", c.Hours)
+	}
+	return nil
+}
+
+// DefaultConfig returns the paper's settings at full scale: d2.xlarge,
+// a = 0.8, 100 users per group, a one-year horizon.
+func DefaultConfig() Config {
+	return Config{
+		Instance:        pricing.D2XLarge(),
+		SellingDiscount: 0.8,
+		PerGroup:        100,
+		Hours:           pricing.HoursPerYear,
+		Seed:            2018, // the paper's publication year; any fixed seed works
+	}
+}
+
+// TestScaleConfig returns a smaller configuration (scaled period and
+// cohort) that preserves every shape the paper reports while running in
+// well under a second; used by tests, benches and the quickstart.
+func TestScaleConfig() Config {
+	it := pricing.D2XLarge()
+	// Scale the year down to 60 days, shrinking the upfront fee by the
+	// same factor so alpha and theta (and hence break-evens and bounds)
+	// are unchanged.
+	scale := 6.0
+	it.PeriodHours = int(float64(pricing.HoursPerYear) / scale)
+	it.Upfront /= scale
+	return Config{
+		Instance:        it,
+		SellingDiscount: 0.8,
+		PerGroup:        30,
+		Hours:           it.PeriodHours,
+		Seed:            2018,
+	}
+}
+
+// UserResult is one user's outcome across all selling policies.
+type UserResult struct {
+	// User names the synthetic user.
+	User string
+	// Group is the user's demand-fluctuation band.
+	Group workload.Group
+	// Fluctuation is the user's sigma/mu.
+	Fluctuation float64
+	// Behavior is the purchasing algorithm that imitated the user's
+	// reservations (assigned round-robin across the cohort).
+	Behavior string
+	// Reserved is the total number of instances the behavior reserved.
+	Reserved int
+	// Costs maps policy name to the run's total cost (Eq. 1).
+	Costs map[string]float64
+	// Normalized maps policy name to cost / Keep-Reserved cost.
+	Normalized map[string]float64
+	// Sold maps policy name to the number of instances sold.
+	Sold map[string]int
+}
+
+// CohortResult is a completed cohort experiment.
+type CohortResult struct {
+	// Config echoes the experiment's parameters.
+	Config Config
+	// Users holds one result per user, in cohort order.
+	Users []UserResult
+}
+
+// RunCohort executes the full pipeline: cohort synthesis, reservation
+// planning, and one engine run per (user, selling policy).
+func RunCohort(cfg Config) (*CohortResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	traces, err := workload.NewCohort(workload.CohortConfig{
+		PerGroup: cfg.PerGroup,
+		Hours:    cfg.Hours,
+		Seed:     cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return RunTraces(cfg, traces)
+}
+
+// RunTraces evaluates externally supplied user traces — e.g. real EC2
+// usage logs loaded with gtrace.LoadEC2LogDir — through the same
+// pipeline as RunCohort. Each trace is clipped or zero-padded to
+// cfg.Hours; fluctuation groups come from the traces themselves, so
+// group sizes need not be balanced. cfg.PerGroup is ignored.
+func RunTraces(cfg Config, traces []workload.Trace) (*CohortResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(traces) == 0 {
+		return nil, fmt.Errorf("experiments: no traces")
+	}
+	fitted := make([]workload.Trace, len(traces))
+	for i, tr := range traces {
+		if err := tr.Validate(); err != nil {
+			return nil, fmt.Errorf("experiments: %w", err)
+		}
+		if tr.Len() > cfg.Hours {
+			tr = tr.Clip(cfg.Hours)
+		} else if tr.Len() < cfg.Hours {
+			demand := make([]int, cfg.Hours)
+			copy(demand, tr.Demand)
+			tr = workload.Trace{User: tr.User, Demand: demand}
+		}
+		fitted[i] = tr
+	}
+	traces = fitted
+
+	policies, err := buildPolicies(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	workers := cfg.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(traces) {
+		workers = len(traces)
+	}
+
+	res := &CohortResult{Config: cfg, Users: make([]UserResult, len(traces))}
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+		next     atomic.Int64
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(traces) {
+					return
+				}
+				tr := traces[i]
+				// Policies are immutable values, so sharing them across
+				// workers is safe; each user's random purchaser is seeded
+				// from the user index, so scheduling order cannot leak in.
+				behavior := Behaviors[i%len(Behaviors)]
+				ur, err := runUser(cfg, tr, behavior, int64(i), policies)
+				if err != nil {
+					errOnce.Do(func() {
+						firstErr = fmt.Errorf("experiments: user %s: %w", tr.User, err)
+					})
+					return
+				}
+				res.Users[i] = ur
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return res, nil
+}
+
+// namedPolicy pairs a selling policy with its presentation name.
+type namedPolicy struct {
+	name   string
+	policy simulate.SellingPolicy
+}
+
+func buildPolicies(cfg Config) ([]namedPolicy, error) {
+	a3, err := core.NewA3T4(cfg.Instance, cfg.SellingDiscount)
+	if err != nil {
+		return nil, err
+	}
+	a2, err := core.NewAT2(cfg.Instance, cfg.SellingDiscount)
+	if err != nil {
+		return nil, err
+	}
+	a4, err := core.NewAT4(cfg.Instance, cfg.SellingDiscount)
+	if err != nil {
+		return nil, err
+	}
+	s3, err := core.NewAllSelling(core.Fraction3T4)
+	if err != nil {
+		return nil, err
+	}
+	s2, err := core.NewAllSelling(core.FractionT2)
+	if err != nil {
+		return nil, err
+	}
+	s4, err := core.NewAllSelling(core.FractionT4)
+	if err != nil {
+		return nil, err
+	}
+	return []namedPolicy{
+		{name: PolicyKeep, policy: core.KeepReserved{}},
+		{name: PolicyA3T4, policy: a3},
+		{name: PolicyAT2, policy: a2},
+		{name: PolicyAT4, policy: a4},
+		{name: PolicySell3T4, policy: s3},
+		{name: PolicySellT2, policy: s2},
+		{name: PolicySellT4, policy: s4},
+	}, nil
+}
+
+func behaviorPolicy(cfg Config, behavior string, seed int64) (purchasing.Policy, error) {
+	switch behavior {
+	case "all-reserved":
+		return purchasing.AllReserved{}, nil
+	case "random":
+		return purchasing.NewRandom(cfg.Seed ^ seed), nil
+	case "wang-online":
+		return purchasing.NewWangOnline(cfg.Instance), nil
+	case "wang-variant":
+		return purchasing.NewWangVariant(cfg.Instance), nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown behavior %q", behavior)
+	}
+}
+
+func runUser(cfg Config, tr workload.Trace, behavior string, seed int64, policies []namedPolicy) (UserResult, error) {
+	planner, err := behaviorPolicy(cfg, behavior, seed)
+	if err != nil {
+		return UserResult{}, err
+	}
+	newRes, err := purchasing.PlanReservations(tr.Demand, cfg.Instance.PeriodHours, planner)
+	if err != nil {
+		return UserResult{}, err
+	}
+	reserved := 0
+	for _, n := range newRes {
+		reserved += n
+	}
+
+	ur := UserResult{
+		User:        tr.User,
+		Group:       workload.Classify(tr),
+		Fluctuation: tr.FluctuationRatio(),
+		Behavior:    behavior,
+		Reserved:    reserved,
+		Costs:       make(map[string]float64, len(policies)),
+		Normalized:  make(map[string]float64, len(policies)),
+		Sold:        make(map[string]int, len(policies)),
+	}
+	engCfg := simulate.Config{
+		Instance:        cfg.Instance,
+		SellingDiscount: cfg.SellingDiscount,
+		MarketFee:       cfg.MarketFee,
+	}
+	for _, np := range policies {
+		run, err := simulate.Run(tr.Demand, newRes, engCfg, np.policy)
+		if err != nil {
+			return UserResult{}, fmt.Errorf("policy %s: %w", np.name, err)
+		}
+		ur.Costs[np.name] = run.Cost.Total()
+		ur.Sold[np.name] = run.SoldCount()
+	}
+	keep := ur.Costs[PolicyKeep]
+	for name, c := range ur.Costs {
+		if keep != 0 {
+			ur.Normalized[name] = c / keep
+		} else {
+			ur.Normalized[name] = 1
+		}
+	}
+	return ur, nil
+}
+
+// ByGroup partitions user results by fluctuation group.
+func (r *CohortResult) ByGroup() map[workload.Group][]UserResult {
+	out := make(map[workload.Group][]UserResult, 3)
+	for _, u := range r.Users {
+		out[u.Group] = append(out[u.Group], u)
+	}
+	return out
+}
+
+// NormalizedCosts extracts the normalized cost of one policy across a
+// user slice.
+func NormalizedCosts(users []UserResult, policy string) []float64 {
+	out := make([]float64, 0, len(users))
+	for _, u := range users {
+		out = append(out, u.Normalized[policy])
+	}
+	return out
+}
+
+// MostVolatileUser returns the user with the highest sigma/mu — the
+// paper's Table II subject.
+func (r *CohortResult) MostVolatileUser() (UserResult, error) {
+	if len(r.Users) == 0 {
+		return UserResult{}, fmt.Errorf("experiments: empty cohort")
+	}
+	// Among users who actually reserved something (a user with no
+	// reservations has identical costs under every selling policy).
+	candidates := make([]UserResult, 0, len(r.Users))
+	for _, u := range r.Users {
+		if u.Reserved > 0 {
+			candidates = append(candidates, u)
+		}
+	}
+	if len(candidates) == 0 {
+		candidates = r.Users
+	}
+	sort.Slice(candidates, func(i, j int) bool {
+		return candidates[i].Fluctuation > candidates[j].Fluctuation
+	})
+	return candidates[0], nil
+}
+
+// ExtremeVolatileUser returns the paper's Table II subject: the
+// volatile user for whom early selling backfires the most (largest
+// A_{T/4} cost relative to A_{3T/4}). When no such inversion exists in
+// the cohort — it requires a small selling discount, see EXPERIMENTS.md
+// — it falls back to the most volatile user.
+func (r *CohortResult) ExtremeVolatileUser() (UserResult, error) {
+	best := -1
+	var bestGap float64
+	for i, u := range r.Users {
+		if u.Group != workload.GroupVolatile || u.Reserved == 0 {
+			continue
+		}
+		gap := u.Normalized[PolicyAT4] - u.Normalized[PolicyA3T4]
+		if gap > bestGap {
+			bestGap = gap
+			best = i
+		}
+	}
+	if best >= 0 {
+		return r.Users[best], nil
+	}
+	return r.MostVolatileUser()
+}

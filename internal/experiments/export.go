@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// exportPolicies is the column order for per-user exports: every
+// policy the cohort runs, benchmarks included.
+var exportPolicies = []string{
+	PolicyKeep, PolicyA3T4, PolicyAT2, PolicyAT4,
+	PolicySell3T4, PolicySellT2, PolicySellT4,
+}
+
+// WriteUsersCSV exports one row per user with absolute and normalized
+// costs for every policy — the raw data behind Figs. 3-4 and
+// Tables II-III, ready for external plotting.
+func WriteUsersCSV(w io.Writer, r *CohortResult) error {
+	if r == nil || len(r.Users) == 0 {
+		return fmt.Errorf("experiments: nothing to export")
+	}
+	cw := csv.NewWriter(w)
+	header := []string{"user", "group", "fluctuation", "behavior", "reserved"}
+	for _, p := range exportPolicies {
+		header = append(header, "cost:"+p, "norm:"+p, "sold:"+p)
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("experiments: csv: %w", err)
+	}
+	for _, u := range r.Users {
+		rec := []string{
+			u.User,
+			strconv.Itoa(int(u.Group)),
+			strconv.FormatFloat(u.Fluctuation, 'g', 6, 64),
+			u.Behavior,
+			strconv.Itoa(u.Reserved),
+		}
+		for _, p := range exportPolicies {
+			rec = append(rec,
+				strconv.FormatFloat(u.Costs[p], 'g', 10, 64),
+				strconv.FormatFloat(u.Normalized[p], 'g', 10, 64),
+				strconv.Itoa(u.Sold[p]))
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("experiments: csv: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("experiments: csv: %w", err)
+	}
+	return nil
+}
+
+// jsonExport is the stable JSON shape of a cohort result.
+type jsonExport struct {
+	Config jsonConfig   `json:"config"`
+	Users  []UserResult `json:"users"`
+	Table3 []Table3Row  `json:"table3"`
+}
+
+// jsonConfig avoids serializing the full price card struct layout as
+// API; only the experiment-relevant parameters are exported.
+type jsonConfig struct {
+	Instance        string  `json:"instance"`
+	PeriodHours     int     `json:"period_hours"`
+	Upfront         float64 `json:"upfront"`
+	OnDemandHourly  float64 `json:"on_demand_hourly"`
+	ReservedHourly  float64 `json:"reserved_hourly"`
+	SellingDiscount float64 `json:"selling_discount"`
+	MarketFee       float64 `json:"market_fee"`
+	PerGroup        int     `json:"per_group"`
+	Hours           int     `json:"hours"`
+	Seed            int64   `json:"seed"`
+}
+
+// WriteJSON exports the cohort result (config, per-user outcomes and
+// the Table III aggregation) as indented JSON.
+func WriteJSON(w io.Writer, r *CohortResult) error {
+	if r == nil || len(r.Users) == 0 {
+		return fmt.Errorf("experiments: nothing to export")
+	}
+	out := jsonExport{
+		Config: jsonConfig{
+			Instance:        r.Config.Instance.Name,
+			PeriodHours:     r.Config.Instance.PeriodHours,
+			Upfront:         r.Config.Instance.Upfront,
+			OnDemandHourly:  r.Config.Instance.OnDemandHourly,
+			ReservedHourly:  r.Config.Instance.ReservedHourly,
+			SellingDiscount: r.Config.SellingDiscount,
+			MarketFee:       r.Config.MarketFee,
+			PerGroup:        r.Config.PerGroup,
+			Hours:           r.Config.Hours,
+			Seed:            r.Config.Seed,
+		},
+		Users:  r.Users,
+		Table3: Table3(r),
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("experiments: json: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"testing"
+)
+
+func TestWriteUsersCSV(t *testing.T) {
+	res, err := RunCohort(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteUsersCSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != len(res.Users)+1 {
+		t.Fatalf("rows = %d, want %d", len(records), len(res.Users)+1)
+	}
+	header := records[0]
+	if header[0] != "user" || len(header) != 5+3*7 {
+		t.Errorf("header = %v", header)
+	}
+	// Keep-Reserved normalized column must be 1 for users with cost.
+	normKeepCol := -1
+	for i, h := range header {
+		if h == "norm:"+PolicyKeep {
+			normKeepCol = i
+		}
+	}
+	if normKeepCol < 0 {
+		t.Fatal("norm:Keep-Reserved column missing")
+	}
+	for _, rec := range records[1:] {
+		if rec[normKeepCol] != "1" {
+			t.Errorf("norm keep = %q, want 1", rec[normKeepCol])
+			break
+		}
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	res, err := RunCohort(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Config struct {
+			Instance string `json:"instance"`
+			PerGroup int    `json:"per_group"`
+		} `json:"config"`
+		Users  []map[string]any `json:"users"`
+		Table3 []Table3Row      `json:"table3"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Config.Instance != "d2.xlarge" {
+		t.Errorf("instance = %q", decoded.Config.Instance)
+	}
+	if len(decoded.Users) != len(res.Users) {
+		t.Errorf("users = %d, want %d", len(decoded.Users), len(res.Users))
+	}
+	if len(decoded.Table3) != 3 {
+		t.Errorf("table3 rows = %d", len(decoded.Table3))
+	}
+}
+
+func TestExportsRejectEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteUsersCSV(&buf, nil); err == nil {
+		t.Error("nil result accepted")
+	}
+	if err := WriteUsersCSV(&buf, &CohortResult{}); err == nil {
+		t.Error("empty result accepted")
+	}
+	if err := WriteJSON(&buf, &CohortResult{}); err == nil {
+		t.Error("empty result accepted")
+	}
+}
+
+// failWriter errors on every write to exercise the error paths.
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) {
+	return 0, errors.New("sink closed")
+}
+
+func TestExportsSurfaceWriteErrors(t *testing.T) {
+	res, err := RunCohort(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteUsersCSV(failWriter{}, res); err == nil {
+		t.Error("csv write error swallowed")
+	}
+	if err := WriteJSON(failWriter{}, res); err == nil {
+		t.Error("json write error swallowed")
+	}
+}

@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"rimarket/internal/core"
+	"rimarket/internal/purchasing"
+	"rimarket/internal/simulate"
+	"rimarket/internal/stats"
+	"rimarket/internal/workload"
+)
+
+// ExtensionRow summarizes one selling policy in the future-work
+// comparison.
+type ExtensionRow struct {
+	// Policy names the algorithm.
+	Policy string
+	// MeanNormalized is the cohort-mean cost normalized to Keep-Reserved.
+	MeanNormalized float64
+	// FracSaved is the fraction of users saving.
+	FracSaved float64
+	// WorstIncrease is the largest normalized-cost excess over 1.
+	WorstIncrease float64
+}
+
+// Extensions evaluates the paper's future-work directions against its
+// best fixed-checkpoint algorithm on the same cohort: the randomized
+// algorithm A_{rand} under three fraction distributions, and the
+// multi-checkpoint policy that revisits the decision at T/4, T/2 and
+// 3T/4.
+func Extensions(cfg Config) ([]ExtensionRow, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	a3, err := core.NewA3T4(cfg.Instance, cfg.SellingDiscount)
+	if err != nil {
+		return nil, err
+	}
+	a4, err := core.NewAT4(cfg.Instance, cfg.SellingDiscount)
+	if err != nil {
+		return nil, err
+	}
+	multi, err := core.NewPaperMultiThreshold(cfg.Instance, cfg.SellingDiscount)
+	if err != nil {
+		return nil, err
+	}
+	randExp, err := core.NewRandomized(cfg.Instance, cfg.SellingDiscount, core.ExponentialFractions{}, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	randUni, err := core.NewRandomized(cfg.Instance, cfg.SellingDiscount,
+		core.UniformFractions{Lo: 0.2, Hi: 0.8}, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	randPaper, err := core.NewRandomized(cfg.Instance, cfg.SellingDiscount, core.PaperFractions(), cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	policies := []namedPolicy{
+		{name: PolicyA3T4, policy: a3},
+		{name: PolicyAT4, policy: a4},
+		{name: "Multi{T/4,T/2,3T/4}", policy: multi},
+		{name: "A_rand " + randExp.Dist().String(), policy: randExp},
+		{name: "A_rand " + randUni.Dist().String(), policy: randUni},
+		{name: "A_rand " + randPaper.Dist().String(), policy: randPaper},
+	}
+
+	traces, err := workload.NewCohort(workload.CohortConfig{
+		PerGroup: cfg.PerGroup,
+		Hours:    cfg.Hours,
+		Seed:     cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	engCfg := simulate.Config{
+		Instance:        cfg.Instance,
+		SellingDiscount: cfg.SellingDiscount,
+		MarketFee:       cfg.MarketFee,
+	}
+
+	normalized := make(map[string][]float64, len(policies))
+	for i, tr := range traces {
+		planner, err := behaviorPolicy(cfg, Behaviors[i%len(Behaviors)], int64(i))
+		if err != nil {
+			return nil, err
+		}
+		newRes, err := purchasing.PlanReservations(tr.Demand, cfg.Instance.PeriodHours, planner)
+		if err != nil {
+			return nil, err
+		}
+		keepRun, err := simulate.Run(tr.Demand, newRes, engCfg, core.KeepReserved{})
+		if err != nil {
+			return nil, err
+		}
+		keep := keepRun.Cost.Total()
+		for _, np := range policies {
+			run, err := simulate.Run(tr.Demand, newRes, engCfg, np.policy)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s: %w", np.name, err)
+			}
+			v := 1.0
+			if keep != 0 {
+				v = run.Cost.Total() / keep
+			}
+			normalized[np.name] = append(normalized[np.name], v)
+		}
+	}
+
+	rows := make([]ExtensionRow, 0, len(policies))
+	for _, np := range policies {
+		vals := normalized[np.name]
+		row := ExtensionRow{
+			Policy:         np.name,
+			MeanNormalized: stats.Mean(vals),
+			FracSaved:      stats.FractionBelow(vals, 1),
+		}
+		for _, v := range vals {
+			if v-1 > row.WorstIncrease {
+				row.WorstIncrease = v - 1
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderExtensions renders the future-work comparison.
+func RenderExtensions(rows []ExtensionRow) string {
+	var b strings.Builder
+	b.WriteString("Future-work extensions vs the paper's fixed checkpoints\n")
+	fmt.Fprintf(&b, "%-26s %16s %12s %14s\n", "policy", "mean cost (norm)", "users saving", "worst increase")
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%-26s %16.4f %11.0f%% %+13.1f%%\n",
+			row.Policy, row.MeanNormalized, row.FracSaved*100, row.WorstIncrease*100)
+	}
+	return b.String()
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExtensions(t *testing.T) {
+	cfg := smallConfig()
+	rows, err := Extensions(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	byName := make(map[string]ExtensionRow, len(rows))
+	for _, r := range rows {
+		if r.MeanNormalized <= 0 || r.MeanNormalized > 1.2 {
+			t.Errorf("%s: mean %v implausible", r.Policy, r.MeanNormalized)
+		}
+		byName[r.Policy] = r
+	}
+	// The multi-checkpoint policy dominates single A_{T/4} on average:
+	// it makes the same first decision and gets extra chances to shed
+	// the instance later.
+	multi, single := byName["Multi{T/4,T/2,3T/4}"], byName[PolicyAT4]
+	if multi.MeanNormalized > single.MeanNormalized+1e-9 {
+		t.Errorf("multi mean %v worse than single A_{T/4} %v", multi.MeanNormalized, single.MeanNormalized)
+	}
+	out := RenderExtensions(rows)
+	for _, want := range []string{"A_rand", "Multi", "worst increase"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExtensionsRejectsBadConfig(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Hours = 0
+	if _, err := Extensions(cfg); err == nil {
+		t.Error("bad config accepted")
+	}
+}
+
+func TestExtensionsDeterministic(t *testing.T) {
+	cfg := smallConfig()
+	a, err := Extensions(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Extensions(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("row %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestExtensionsRandomizedTamesTail asserts the reproduction's
+// observation on the paper's future-work speculation: the exponential
+// randomized algorithm's worst case is far below fixed A_{T/4}'s while
+// keeping most of its average savings.
+func TestExtensionsRandomizedTamesTail(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cohort experiment skipped in -short mode")
+	}
+	cfg := TestScaleConfig()
+	cfg.PerGroup = 40
+	rows, err := Extensions(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := make(map[string]ExtensionRow, len(rows))
+	for _, r := range rows {
+		byName[r.Policy] = r
+	}
+	randExp := byName["A_rand exp(e^x/(e-1))"]
+	fixed := byName[PolicyAT4]
+	if randExp.Policy == "" || fixed.Policy == "" {
+		t.Fatalf("rows missing: %+v", rows)
+	}
+	if randExp.WorstIncrease > fixed.WorstIncrease {
+		t.Errorf("randomized worst %+.3f not below fixed A_{T/4} worst %+.3f",
+			randExp.WorstIncrease, fixed.WorstIncrease)
+	}
+	if randExp.MeanNormalized >= 1 {
+		t.Errorf("randomized mean %v does not save", randExp.MeanNormalized)
+	}
+}

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"rimarket/internal/core"
+	"rimarket/internal/purchasing"
+	"rimarket/internal/simulate"
+	"rimarket/internal/trade"
+	"rimarket/internal/workload"
+)
+
+// MarketPoint is one buyer-arrival-rate setting of the market-dynamics
+// experiment.
+type MarketPoint struct {
+	// BuyerRate is the mean buyer arrivals per hour.
+	BuyerRate float64
+	// Stats is the session outcome.
+	Stats trade.Stats
+}
+
+// MarketSession collects every sell event the cohort's A_{3T/4} runs
+// produce and replays them through live marketplace sessions at the
+// given buyer arrival rates. It quantifies the paper's instant-sale
+// assumption: Eq. (1) books income the moment the algorithm decides,
+// while a real marketplace needs a buyer.
+func MarketSession(cfg Config, buyerRates []float64) ([]MarketPoint, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	policy, err := core.NewA3T4(cfg.Instance, cfg.SellingDiscount)
+	if err != nil {
+		return nil, err
+	}
+	traces, err := workload.NewCohort(workload.CohortConfig{
+		PerGroup: cfg.PerGroup,
+		Hours:    cfg.Hours,
+		Seed:     cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	engCfg := simulate.Config{Instance: cfg.Instance, SellingDiscount: cfg.SellingDiscount}
+
+	var events []trade.SellEvent
+	for i, tr := range traces {
+		planner, err := behaviorPolicy(cfg, Behaviors[i%len(Behaviors)], int64(i))
+		if err != nil {
+			return nil, err
+		}
+		newRes, err := purchasing.PlanReservations(tr.Demand, cfg.Instance.PeriodHours, planner)
+		if err != nil {
+			return nil, err
+		}
+		run, err := simulate.Run(tr.Demand, newRes, engCfg, policy)
+		if err != nil {
+			return nil, err
+		}
+		for _, inst := range run.Instances {
+			if inst.SoldAt < 0 {
+				continue
+			}
+			events = append(events, trade.SellEvent{
+				Hour:           inst.SoldAt,
+				Seller:         tr.User,
+				Instance:       cfg.Instance,
+				RemainingHours: inst.Start + cfg.Instance.PeriodHours - inst.SoldAt,
+			})
+		}
+	}
+	if len(events) == 0 {
+		return nil, fmt.Errorf("experiments: the cohort produced no sell events")
+	}
+
+	points := make([]MarketPoint, 0, len(buyerRates))
+	for _, rate := range buyerRates {
+		stats, err := trade.Run(events, trade.Config{
+			ListingDiscount: cfg.SellingDiscount,
+			MarketFee:       0.12,
+			BuyerRate:       rate,
+			Seed:            cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, MarketPoint{BuyerRate: rate, Stats: stats})
+	}
+	return points, nil
+}
+
+// RenderMarket renders the market-dynamics experiment.
+func RenderMarket(points []MarketPoint) string {
+	var b strings.Builder
+	b.WriteString("Market dynamics — does Eq. (1)'s instant-sale income materialize?\n")
+	fmt.Fprintf(&b, "%-12s %8s %8s %8s %14s %16s\n",
+		"buyers/hour", "listed", "sold", "expired", "mean wait (h)", "realized income")
+	for _, pt := range points {
+		s := pt.Stats
+		fmt.Fprintf(&b, "%-12.2f %8d %8d %8d %14.1f %15.1f%%\n",
+			pt.BuyerRate, s.Listed, s.Sold, s.Expired, s.MeanHoursToSale, s.RealizedFraction*100)
+	}
+	return b.String()
+}

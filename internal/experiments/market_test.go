@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMarketSession(t *testing.T) {
+	cfg := smallConfig()
+	points, err := MarketSession(cfg, []float64{0.1, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	thin, thick := points[0].Stats, points[1].Stats
+	if thin.Listed == 0 || thin.Listed != thick.Listed {
+		t.Fatalf("listings inconsistent: %d vs %d", thin.Listed, thick.Listed)
+	}
+	// More buyers clear more listings and realize more income.
+	if thick.Sold < thin.Sold {
+		t.Errorf("thick market sold %d < thin market %d", thick.Sold, thin.Sold)
+	}
+	if thick.RealizedFraction < thin.RealizedFraction {
+		t.Errorf("thick realized %v < thin %v", thick.RealizedFraction, thin.RealizedFraction)
+	}
+	// A flooded market realizes nearly all of Eq. (1)'s assumed income.
+	if thick.RealizedFraction < 0.9 {
+		t.Errorf("flooded market realized only %v", thick.RealizedFraction)
+	}
+	out := RenderMarket(points)
+	if !strings.Contains(out, "realized income") || !strings.Contains(out, "buyers/hour") {
+		t.Errorf("render:\n%s", out)
+	}
+}
+
+func TestMarketSessionRejectsBadConfig(t *testing.T) {
+	cfg := smallConfig()
+	cfg.PerGroup = 0
+	if _, err := MarketSession(cfg, []float64{1}); err == nil {
+		t.Error("bad config accepted")
+	}
+}
+
+func TestMarketSessionDeterministic(t *testing.T) {
+	cfg := smallConfig()
+	a, err := MarketSession(cfg, []float64{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MarketSession(cfg, []float64{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0] != b[0] {
+		t.Errorf("sessions differ: %+v vs %+v", a[0], b[0])
+	}
+}

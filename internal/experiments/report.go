@@ -1,0 +1,281 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rimarket/internal/pricing"
+	"rimarket/internal/stats"
+	"rimarket/internal/workload"
+)
+
+// Table1 renders the paper's Table I: the four payment options of an
+// instance type (default d2.xlarge, US East, Linux).
+func Table1(it pricing.InstanceType) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table I — pricing of %s (1-year term)\n", it.Name)
+	fmt.Fprintf(&b, "%-16s %10s %10s %18s\n", "Payment Option", "Upfront", "Monthly", "Effective Hourly")
+	for _, plan := range it.Plans() {
+		if plan.Option == pricing.OnDemand {
+			fmt.Fprintf(&b, "%-16s %10s %10s %18s\n", plan.Option,
+				"-", "-", fmt.Sprintf("$%.3f per Hour", plan.Hourly))
+			continue
+		}
+		fmt.Fprintf(&b, "%-16s %10s %10s %18s\n", plan.Option,
+			fmt.Sprintf("$%.0f", plan.Upfront),
+			fmt.Sprintf("$%.2f", plan.Monthly),
+			fmt.Sprintf("$%.3f", plan.Hourly))
+	}
+	fmt.Fprintf(&b, "alpha = %.3f, theta = %.2f\n", it.Alpha(), it.Theta())
+	return b.String()
+}
+
+// Fig2Stats summarizes demand fluctuation per group (the paper's
+// Fig. 2).
+type Fig2Stats struct {
+	// Group is the fluctuation band.
+	Group workload.Group
+	// Count is the number of users in the band.
+	Count int
+	// MinRatio, MeanRatio, MaxRatio summarize sigma/mu inside the band.
+	MinRatio, MeanRatio, MaxRatio float64
+	// Ratios are the individual sigma/mu values, sorted.
+	Ratios []float64
+}
+
+// Fig2 computes the per-group fluctuation statistics of a cohort.
+func Fig2(r *CohortResult) []Fig2Stats {
+	grouped := r.ByGroup()
+	out := make([]Fig2Stats, 0, 3)
+	for _, g := range []workload.Group{workload.GroupStable, workload.GroupModerate, workload.GroupVolatile} {
+		users := grouped[g]
+		st := Fig2Stats{Group: g, Count: len(users)}
+		for _, u := range users {
+			st.Ratios = append(st.Ratios, u.Fluctuation)
+		}
+		sort.Float64s(st.Ratios)
+		if len(st.Ratios) > 0 {
+			st.MinRatio = st.Ratios[0]
+			st.MaxRatio = st.Ratios[len(st.Ratios)-1]
+			st.MeanRatio = stats.Mean(st.Ratios)
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// RenderFig2 renders Fig. 2 as per-group histograms of sigma/mu.
+func RenderFig2(groups []Fig2Stats) string {
+	var b strings.Builder
+	b.WriteString("Fig. 2 — demand fluctuation (sigma/mu) per user group\n")
+	for _, g := range groups {
+		fmt.Fprintf(&b, "\n%s: %d users, sigma/mu in [%.2f, %.2f], mean %.2f\n",
+			g.Group, g.Count, g.MinRatio, g.MaxRatio, g.MeanRatio)
+		if len(g.Ratios) == 0 {
+			continue
+		}
+		edges, counts, err := stats.Histogram(g.Ratios, 6)
+		if err == nil {
+			b.WriteString(stats.RenderHistogram(edges, counts, 40))
+		}
+	}
+	return b.String()
+}
+
+// Fig3Summary is the paper's Fig. 3 for one online algorithm: the CDF
+// of normalized cost against the All-Selling and Keep-Reserved
+// benchmarks over all users, plus the headline fractions the paper
+// quotes ("more than 60% of users reduce their costs", ...).
+type Fig3Summary struct {
+	// Policy is the online algorithm under test.
+	Policy string
+	// AllSellingPolicy is the matching All-Selling benchmark.
+	AllSellingPolicy string
+	// OnlineCDF and AllSellingCDF are the normalized-cost CDFs
+	// (Keep-Reserved is the constant 1.0 by construction).
+	OnlineCDF, AllSellingCDF *stats.CDF
+	// FracSaved is the fraction of users with normalized cost < 1.
+	FracSaved float64
+	// FracSaved20 and FracSaved30 are fractions saving more than
+	// 20% and 30%.
+	FracSaved20, FracSaved30 float64
+	// FracWorse is the fraction of users paying more than before.
+	FracWorse float64
+	// WorstIncrease is the largest normalized-cost excess over 1.
+	WorstIncrease float64
+	// MeanNormalized is the average normalized cost.
+	MeanNormalized float64
+	// Summary is the full distribution summary of the online policy's
+	// normalized costs.
+	Summary stats.Summary
+}
+
+// allSellingFor maps an online policy to its matching benchmark.
+func allSellingFor(policy string) string {
+	switch policy {
+	case PolicyA3T4:
+		return PolicySell3T4
+	case PolicyAT2:
+		return PolicySellT2
+	case PolicyAT4:
+		return PolicySellT4
+	default:
+		return ""
+	}
+}
+
+// Fig3 computes the Fig. 3 summary for one online policy over a user
+// slice (all users for the paper's Fig. 3; a single group for Fig. 4's
+// per-group reading).
+func Fig3(users []UserResult, policy string) (Fig3Summary, error) {
+	bench := allSellingFor(policy)
+	if bench == "" {
+		return Fig3Summary{}, fmt.Errorf("experiments: %q is not an online selling policy", policy)
+	}
+	online := NormalizedCosts(users, policy)
+	selling := NormalizedCosts(users, bench)
+	summary, err := stats.Summarize(online)
+	if err != nil {
+		return Fig3Summary{}, fmt.Errorf("experiments: %w", err)
+	}
+	sum := Fig3Summary{
+		Policy:           policy,
+		AllSellingPolicy: bench,
+		OnlineCDF:        stats.NewCDF(online),
+		AllSellingCDF:    stats.NewCDF(selling),
+		FracSaved:        stats.FractionBelow(online, 1.0),
+		FracSaved20:      stats.FractionBelow(online, 0.8),
+		FracSaved30:      stats.FractionBelow(online, 0.7),
+		FracWorse:        stats.FractionAbove(online, 1.0),
+		MeanNormalized:   stats.Mean(online),
+		Summary:          summary,
+	}
+	for _, v := range online {
+		if v-1 > sum.WorstIncrease {
+			sum.WorstIncrease = v - 1
+		}
+	}
+	return sum, nil
+}
+
+// RenderFig3 renders one Fig. 3 panel as an ASCII CDF chart plus the
+// headline fractions.
+func RenderFig3(sum Fig3Summary) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 3 — normalized cost CDF, %s vs %s vs %s\n",
+		sum.Policy, sum.AllSellingPolicy, PolicyKeep)
+	series := []stats.Series{
+		{Name: sum.Policy, Points: sum.OnlineCDF.Points(60)},
+		{Name: sum.AllSellingPolicy, Points: sum.AllSellingCDF.Points(60)},
+	}
+	b.WriteString(stats.RenderCDFs(series, 60, 14))
+	fmt.Fprintf(&b, "users saving: %.0f%%   saving >20%%: %.0f%%   saving >30%%: %.0f%%   paying more: %.0f%% (worst +%.1f%%)\n",
+		sum.FracSaved*100, sum.FracSaved20*100, sum.FracSaved30*100,
+		sum.FracWorse*100, sum.WorstIncrease*100)
+	fmt.Fprintf(&b, "mean normalized cost: %.4f (Keep-Reserved = 1)\n", sum.MeanNormalized)
+	fmt.Fprintf(&b, "distribution: %s\n", sum.Summary)
+	return b.String()
+}
+
+// Fig4Group is one panel of the paper's Fig. 4: the three online
+// algorithms compared within one fluctuation group.
+type Fig4Group struct {
+	// Group is the fluctuation band.
+	Group workload.Group
+	// CDFs maps each online policy to its normalized-cost CDF.
+	CDFs map[string]*stats.CDF
+	// Means maps each online policy to its mean normalized cost.
+	Means map[string]float64
+}
+
+// Fig4 computes the per-group comparison of the three online
+// algorithms.
+func Fig4(r *CohortResult) []Fig4Group {
+	grouped := r.ByGroup()
+	out := make([]Fig4Group, 0, 3)
+	for _, g := range []workload.Group{workload.GroupStable, workload.GroupModerate, workload.GroupVolatile} {
+		users := grouped[g]
+		fg := Fig4Group{
+			Group: g,
+			CDFs:  make(map[string]*stats.CDF, len(SellingPolicies)),
+			Means: make(map[string]float64, len(SellingPolicies)),
+		}
+		for _, p := range SellingPolicies {
+			costs := NormalizedCosts(users, p)
+			fg.CDFs[p] = stats.NewCDF(costs)
+			fg.Means[p] = stats.Mean(costs)
+		}
+		out = append(out, fg)
+	}
+	return out
+}
+
+// RenderFig4 renders one Fig. 4 panel.
+func RenderFig4(fg Fig4Group) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 4 — normalized cost CDFs in %s\n", fg.Group)
+	series := make([]stats.Series, 0, len(SellingPolicies))
+	for _, p := range SellingPolicies {
+		series = append(series, stats.Series{Name: p, Points: fg.CDFs[p].Points(60)})
+	}
+	b.WriteString(stats.RenderCDFs(series, 60, 14))
+	for _, p := range SellingPolicies {
+		fmt.Fprintf(&b, "mean normalized cost %-10s %.4f\n", p, fg.Means[p])
+	}
+	return b.String()
+}
+
+// Table2 renders the paper's Table II: the actual cost of each online
+// algorithm and Keep-Reserved for the cohort's most volatile user.
+func Table2(r *CohortResult) (string, error) {
+	u, err := r.ExtremeVolatileUser()
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table II — actual cost for the most fluctuating user (%s, sigma/mu = %.2f, behavior %s)\n",
+		u.User, u.Fluctuation, u.Behavior)
+	fmt.Fprintf(&b, "%-14s %-14s %-14s %-14s\n", PolicyA3T4, PolicyAT2, PolicyAT4, PolicyKeep)
+	fmt.Fprintf(&b, "%-14.4g %-14.4g %-14.4g %-14.4g\n",
+		u.Costs[PolicyA3T4], u.Costs[PolicyAT2], u.Costs[PolicyAT4], u.Costs[PolicyKeep])
+	return b.String(), nil
+}
+
+// Table3Row is one row of the paper's Table III.
+type Table3Row struct {
+	// Policy is the online algorithm.
+	Policy string
+	// Group1, Group2, Group3 and All are mean normalized costs.
+	Group1, Group2, Group3, All float64
+}
+
+// Table3 computes the paper's Table III: average normalized cost per
+// group and over all users, per online algorithm.
+func Table3(r *CohortResult) []Table3Row {
+	grouped := r.ByGroup()
+	rows := make([]Table3Row, 0, len(SellingPolicies))
+	for _, p := range SellingPolicies {
+		row := Table3Row{
+			Policy: p,
+			Group1: stats.Mean(NormalizedCosts(grouped[workload.GroupStable], p)),
+			Group2: stats.Mean(NormalizedCosts(grouped[workload.GroupModerate], p)),
+			Group3: stats.Mean(NormalizedCosts(grouped[workload.GroupVolatile], p)),
+			All:    stats.Mean(NormalizedCosts(r.Users, p)),
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// RenderTable3 renders Table III.
+func RenderTable3(rows []Table3Row) string {
+	var b strings.Builder
+	b.WriteString("Table III — average cost performance (normalized to Keep-Reserved)\n")
+	fmt.Fprintf(&b, "%-10s %8s %8s %8s %10s\n", "", "Group 1", "Group 2", "Group 3", "All users")
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%-10s %8.4f %8.4f %8.4f %10.4f\n",
+			row.Policy, row.Group1, row.Group2, row.Group3, row.All)
+	}
+	return b.String()
+}

@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"rimarket/internal/core"
+	"rimarket/internal/purchasing"
+	"rimarket/internal/simulate"
+	"rimarket/internal/stats"
+	"rimarket/internal/workload"
+)
+
+// The paper's related work (Section II) discusses an alternative to
+// selling whole remaining periods: reselling a reserved instance's
+// *idle hours* pay-as-you-go (Zhang et al., ICWS 2017; Wang et al.,
+// TPDS 2015). The paper dismisses it as "not supported by public IaaS
+// cloud providers" but never compares costs. This file implements that
+// baseline so the comparison the paper only argues qualitatively can
+// be measured: the user keeps every reservation and earns gamma * p
+// for each idle reserved hour it manages to resell.
+
+// HourResellRow compares one policy against the hour-reselling
+// baseline at one resale-efficiency setting.
+type HourResellRow struct {
+	// Gamma is the fraction of the on-demand rate an idle hour earns
+	// (market efficiency of the hypothetical hour-resale broker).
+	Gamma float64
+	// ResellMean is the hour-reselling baseline's mean normalized cost.
+	ResellMean float64
+	// A3T4Mean, AT4Mean are the paper's algorithms on the same cohort.
+	A3T4Mean, AT4Mean float64
+	// CrossoverBeaten reports whether hour-reselling beats the paper's
+	// best algorithm at this gamma.
+	CrossoverBeaten bool
+}
+
+// HourResellComparison evaluates the idle-hour-reselling baseline
+// against A_{3T/4} and A_{T/4} across resale efficiencies. The
+// baseline's cost is derived from the Keep-Reserved run: it keeps
+// every reservation and recoups gamma * p per idle reserved hour.
+func HourResellComparison(cfg Config, gammas []float64) ([]HourResellRow, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(gammas) == 0 {
+		return nil, fmt.Errorf("experiments: no gamma values")
+	}
+	for _, g := range gammas {
+		if g < 0 || g > 1 {
+			return nil, fmt.Errorf("experiments: gamma %v outside [0, 1]", g)
+		}
+	}
+	a3, err := core.NewA3T4(cfg.Instance, cfg.SellingDiscount)
+	if err != nil {
+		return nil, err
+	}
+	a4, err := core.NewAT4(cfg.Instance, cfg.SellingDiscount)
+	if err != nil {
+		return nil, err
+	}
+	traces, err := workload.NewCohort(workload.CohortConfig{
+		PerGroup: cfg.PerGroup,
+		Hours:    cfg.Hours,
+		Seed:     cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	engCfg := simulate.Config{Instance: cfg.Instance, SellingDiscount: cfg.SellingDiscount}
+
+	type userRun struct {
+		keep      float64
+		idleHours int
+		a3, a4    float64
+	}
+	runs := make([]userRun, 0, len(traces))
+	for i, tr := range traces {
+		planner, err := behaviorPolicy(cfg, Behaviors[i%len(Behaviors)], int64(i))
+		if err != nil {
+			return nil, err
+		}
+		newRes, err := purchasing.PlanReservations(tr.Demand, cfg.Instance.PeriodHours, planner)
+		if err != nil {
+			return nil, err
+		}
+		keepRun, err := simulate.Run(tr.Demand, newRes, engCfg, core.KeepReserved{})
+		if err != nil {
+			return nil, err
+		}
+		a3Run, err := simulate.Run(tr.Demand, newRes, engCfg, a3)
+		if err != nil {
+			return nil, err
+		}
+		a4Run, err := simulate.Run(tr.Demand, newRes, engCfg, a4)
+		if err != nil {
+			return nil, err
+		}
+		idle := 0
+		for _, h := range keepRun.Hours {
+			served := h.Demand - h.OnDemand
+			idle += h.ActiveRes - served
+		}
+		runs = append(runs, userRun{
+			keep:      keepRun.Cost.Total(),
+			idleHours: idle,
+			a3:        a3Run.Cost.Total(),
+			a4:        a4Run.Cost.Total(),
+		})
+	}
+
+	p := cfg.Instance.OnDemandHourly
+	rows := make([]HourResellRow, 0, len(gammas))
+	for _, gamma := range gammas {
+		var resell, a3n, a4n []float64
+		for _, r := range runs {
+			if r.keep == 0 {
+				continue
+			}
+			resellCost := r.keep - gamma*p*float64(r.idleHours)
+			resell = append(resell, resellCost/r.keep)
+			a3n = append(a3n, r.a3/r.keep)
+			a4n = append(a4n, r.a4/r.keep)
+		}
+		row := HourResellRow{
+			Gamma:      gamma,
+			ResellMean: stats.Mean(resell),
+			A3T4Mean:   stats.Mean(a3n),
+			AT4Mean:    stats.Mean(a4n),
+		}
+		row.CrossoverBeaten = row.ResellMean < row.AT4Mean
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderHourResell renders the related-work comparison.
+func RenderHourResell(rows []HourResellRow) string {
+	var b strings.Builder
+	b.WriteString("Related-work baseline — reselling idle hours pay-as-you-go vs selling the period\n")
+	fmt.Fprintf(&b, "%-8s %14s %12s %12s %10s\n",
+		"gamma", "hour-resell", "A_{3T/4}", "A_{T/4}", "winner")
+	for _, r := range rows {
+		winner := "period sale"
+		if r.CrossoverBeaten {
+			winner = "hour resell"
+		}
+		fmt.Fprintf(&b, "%-8.2f %14.4f %12.4f %12.4f %10s\n",
+			r.Gamma, r.ResellMean, r.A3T4Mean, r.AT4Mean, winner)
+	}
+	return b.String()
+}

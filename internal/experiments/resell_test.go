@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHourResellComparison(t *testing.T) {
+	cfg := smallConfig()
+	rows, err := HourResellComparison(cfg, []float64{0, 0.5, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// gamma = 0 earns nothing: the baseline equals Keep-Reserved.
+	if rows[0].ResellMean != 1 {
+		t.Errorf("gamma 0 mean = %v, want 1", rows[0].ResellMean)
+	}
+	// The baseline's cost is linear and decreasing in gamma.
+	if !(rows[2].ResellMean < rows[1].ResellMean && rows[1].ResellMean < rows[0].ResellMean) {
+		t.Errorf("not monotone: %v %v %v", rows[0].ResellMean, rows[1].ResellMean, rows[2].ResellMean)
+	}
+	// The paper's algorithms are unaffected by gamma.
+	if rows[0].A3T4Mean != rows[2].A3T4Mean || rows[0].AT4Mean != rows[2].AT4Mean {
+		t.Error("period-sale means vary with gamma")
+	}
+	out := RenderHourResell(rows)
+	if !strings.Contains(out, "hour-resell") || !strings.Contains(out, "winner") {
+		t.Errorf("render:\n%s", out)
+	}
+}
+
+func TestHourResellValidation(t *testing.T) {
+	cfg := smallConfig()
+	if _, err := HourResellComparison(cfg, nil); err == nil {
+		t.Error("empty gammas accepted")
+	}
+	if _, err := HourResellComparison(cfg, []float64{2}); err == nil {
+		t.Error("gamma above 1 accepted")
+	}
+	bad := cfg
+	bad.Hours = 0
+	if _, err := HourResellComparison(bad, []float64{0.5}); err == nil {
+		t.Error("bad config accepted")
+	}
+}

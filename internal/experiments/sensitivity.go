@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"rimarket/internal/core"
+	"rimarket/internal/purchasing"
+	"rimarket/internal/simulate"
+	"rimarket/internal/stats"
+	"rimarket/internal/workload"
+)
+
+// SensitivityGrid is the 2D ablation over selling discount a (rows)
+// and checkpoint fraction k (columns): each cell is the cohort-mean
+// normalized cost of A_{kT} when sellers list at discount a.
+type SensitivityGrid struct {
+	// Discounts are the row values (a).
+	Discounts []float64
+	// Fractions are the column values (k).
+	Fractions []float64
+	// Mean[i][j] is the mean normalized cost at (Discounts[i],
+	// Fractions[j]).
+	Mean [][]float64
+}
+
+// Sensitivity runs the full a-by-k grid on one cohort. Reservation
+// plans are computed once (they do not depend on a or k); each cell
+// replays the cohort's selling runs.
+func Sensitivity(cfg Config, discounts, fractions []float64) (SensitivityGrid, error) {
+	if err := cfg.Validate(); err != nil {
+		return SensitivityGrid{}, err
+	}
+	if len(discounts) == 0 || len(fractions) == 0 {
+		return SensitivityGrid{}, fmt.Errorf("experiments: empty sensitivity axes")
+	}
+	traces, err := workload.NewCohort(workload.CohortConfig{
+		PerGroup: cfg.PerGroup,
+		Hours:    cfg.Hours,
+		Seed:     cfg.Seed,
+	})
+	if err != nil {
+		return SensitivityGrid{}, err
+	}
+
+	type planned struct{ demand, newRes []int }
+	plans := make([]planned, 0, len(traces))
+	for i, tr := range traces {
+		planner, err := behaviorPolicy(cfg, Behaviors[i%len(Behaviors)], int64(i))
+		if err != nil {
+			return SensitivityGrid{}, err
+		}
+		newRes, err := purchasing.PlanReservations(tr.Demand, cfg.Instance.PeriodHours, planner)
+		if err != nil {
+			return SensitivityGrid{}, err
+		}
+		plans = append(plans, planned{demand: tr.Demand, newRes: newRes})
+	}
+
+	grid := SensitivityGrid{
+		Discounts: append([]float64(nil), discounts...),
+		Fractions: append([]float64(nil), fractions...),
+		Mean:      make([][]float64, len(discounts)),
+	}
+	for i, a := range discounts {
+		grid.Mean[i] = make([]float64, len(fractions))
+		engCfg := simulate.Config{
+			Instance:        cfg.Instance,
+			SellingDiscount: a,
+			MarketFee:       cfg.MarketFee,
+		}
+		// Keep-Reserved baselines are independent of k but not of the
+		// engine config; compute once per row.
+		keeps := make([]float64, len(plans))
+		for p, pl := range plans {
+			keepRun, err := simulate.Run(pl.demand, pl.newRes, engCfg, core.KeepReserved{})
+			if err != nil {
+				return SensitivityGrid{}, err
+			}
+			keeps[p] = keepRun.Cost.Total()
+		}
+		for j, k := range fractions {
+			policy, err := core.NewThreshold(cfg.Instance, a, k)
+			if err != nil {
+				return SensitivityGrid{}, fmt.Errorf("experiments: cell (a=%v, k=%v): %w", a, k, err)
+			}
+			normalized := make([]float64, 0, len(plans))
+			for p, pl := range plans {
+				run, err := simulate.Run(pl.demand, pl.newRes, engCfg, policy)
+				if err != nil {
+					return SensitivityGrid{}, err
+				}
+				if keeps[p] == 0 {
+					normalized = append(normalized, 1)
+					continue
+				}
+				normalized = append(normalized, run.Cost.Total()/keeps[p])
+			}
+			grid.Mean[i][j] = stats.Mean(normalized)
+		}
+	}
+	return grid, nil
+}
+
+// RenderSensitivity renders the grid as a table (rows a, columns k).
+func RenderSensitivity(grid SensitivityGrid) string {
+	var b strings.Builder
+	b.WriteString("Sensitivity — mean normalized cost of A_{kT} by selling discount a and fraction k\n")
+	fmt.Fprintf(&b, "%8s", "a \\ k")
+	for _, k := range grid.Fractions {
+		fmt.Fprintf(&b, " %8.3g", k)
+	}
+	b.WriteString("\n")
+	for i, a := range grid.Discounts {
+		fmt.Fprintf(&b, "%8.2f", a)
+		for j := range grid.Fractions {
+			fmt.Fprintf(&b, " %8.4f", grid.Mean[i][j])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSensitivity(t *testing.T) {
+	cfg := smallConfig()
+	discounts := []float64{0.2, 0.8}
+	fractions := []float64{0.25, 0.75}
+	grid, err := Sensitivity(cfg, discounts, fractions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grid.Mean) != 2 || len(grid.Mean[0]) != 2 {
+		t.Fatalf("grid shape = %dx%d", len(grid.Mean), len(grid.Mean[0]))
+	}
+	for i := range grid.Mean {
+		for j, v := range grid.Mean[i] {
+			if v <= 0 || v > 1.2 {
+				t.Errorf("cell (%d,%d) = %v implausible", i, j, v)
+			}
+		}
+	}
+	// Higher a saves at least as much at every k (income grows and the
+	// sell region widens).
+	for j := range fractions {
+		if grid.Mean[1][j] > grid.Mean[0][j]+1e-9 {
+			t.Errorf("k=%v: a=0.8 mean %v above a=0.2 mean %v",
+				fractions[j], grid.Mean[1][j], grid.Mean[0][j])
+		}
+	}
+	out := RenderSensitivity(grid)
+	if !strings.Contains(out, "a \\ k") {
+		t.Errorf("render:\n%s", out)
+	}
+}
+
+func TestSensitivityValidation(t *testing.T) {
+	cfg := smallConfig()
+	if _, err := Sensitivity(cfg, nil, []float64{0.5}); err == nil {
+		t.Error("empty discounts accepted")
+	}
+	if _, err := Sensitivity(cfg, []float64{0.5}, nil); err == nil {
+		t.Error("empty fractions accepted")
+	}
+	if _, err := Sensitivity(cfg, []float64{0.5}, []float64{2}); err == nil {
+		t.Error("invalid fraction accepted")
+	}
+	bad := cfg
+	bad.Hours = 0
+	if _, err := Sensitivity(bad, []float64{0.5}, []float64{0.5}); err == nil {
+		t.Error("bad config accepted")
+	}
+}

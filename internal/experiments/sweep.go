@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"rimarket/internal/core"
+	"rimarket/internal/purchasing"
+	"rimarket/internal/simulate"
+	"rimarket/internal/stats"
+	"rimarket/internal/workload"
+)
+
+// SweepPoint is one setting of an ablation sweep.
+type SweepPoint struct {
+	// Value is the swept parameter (checkpoint fraction, selling
+	// discount, or market fee).
+	Value float64
+	// MeanNormalized is the cohort-mean normalized cost of A_{kT} at
+	// this setting.
+	MeanNormalized float64
+	// FracSaved is the fraction of users saving versus Keep-Reserved.
+	FracSaved float64
+}
+
+// sweepOver runs the cohort once per parameter value, building the
+// selling policy with mk. When valueIsDiscount is set, the swept value
+// also replaces the engine's selling discount (income side).
+func sweepOver(cfg Config, values []float64, valueIsDiscount bool, mk func(Config, float64) (simulate.SellingPolicy, error)) ([]SweepPoint, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	traces, err := workload.NewCohort(workload.CohortConfig{
+		PerGroup: cfg.PerGroup,
+		Hours:    cfg.Hours,
+		Seed:     cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Plan reservations once per user; the plan does not depend on the
+	// swept selling parameter.
+	type planned struct {
+		demand []int
+		newRes []int
+	}
+	plans := make([]planned, 0, len(traces))
+	for i, tr := range traces {
+		planner, err := behaviorPolicy(cfg, Behaviors[i%len(Behaviors)], int64(i))
+		if err != nil {
+			return nil, err
+		}
+		newRes, err := purchasing.PlanReservations(tr.Demand, cfg.Instance.PeriodHours, planner)
+		if err != nil {
+			return nil, err
+		}
+		plans = append(plans, planned{demand: tr.Demand, newRes: newRes})
+	}
+
+	out := make([]SweepPoint, 0, len(values))
+	for _, v := range values {
+		policy, err := mk(cfg, v)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: sweep value %v: %w", v, err)
+		}
+		engCfg := simulate.Config{
+			Instance:        cfg.Instance,
+			SellingDiscount: cfg.SellingDiscount,
+			MarketFee:       cfg.MarketFee,
+		}
+		if valueIsDiscount {
+			engCfg.SellingDiscount = v
+		}
+		normalized := make([]float64, 0, len(plans))
+		for _, pl := range plans {
+			keepRun, err := simulate.Run(pl.demand, pl.newRes, engCfg, core.KeepReserved{})
+			if err != nil {
+				return nil, err
+			}
+			run, err := simulate.Run(pl.demand, pl.newRes, engCfg, policy)
+			if err != nil {
+				return nil, err
+			}
+			keep := keepRun.Cost.Total()
+			if keep == 0 {
+				normalized = append(normalized, 1)
+				continue
+			}
+			normalized = append(normalized, run.Cost.Total()/keep)
+		}
+		out = append(out, SweepPoint{
+			Value:          v,
+			MeanNormalized: stats.Mean(normalized),
+			FracSaved:      stats.FractionBelow(normalized, 1),
+		})
+	}
+	return out, nil
+}
+
+// SweepFraction evaluates the generalized A_{kT} across checkpoint
+// fractions — the paper's future-work direction of selling at an
+// arbitrary time spot.
+func SweepFraction(cfg Config, fractions []float64) ([]SweepPoint, error) {
+	return sweepOver(cfg, fractions, false, func(c Config, k float64) (simulate.SellingPolicy, error) {
+		return core.NewThreshold(c.Instance, c.SellingDiscount, k)
+	})
+}
+
+// SweepDiscount evaluates A_{3T/4} across selling discounts a.
+func SweepDiscount(cfg Config, discounts []float64) ([]SweepPoint, error) {
+	return sweepOver(cfg, discounts, true, func(c Config, a float64) (simulate.SellingPolicy, error) {
+		return core.NewA3T4(c.Instance, a)
+	})
+}
+
+// SweepMarketFee evaluates A_{3T/4} across marketplace fees.
+func SweepMarketFee(cfg Config, fees []float64) ([]SweepPoint, error) {
+	points := make([]SweepPoint, 0, len(fees))
+	for _, fee := range fees {
+		c := cfg
+		c.MarketFee = fee
+		got, err := sweepOver(c, []float64{fee}, false, func(cc Config, _ float64) (simulate.SellingPolicy, error) {
+			return core.NewA3T4(cc.Instance, cc.SellingDiscount)
+		})
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, got[0])
+	}
+	return points, nil
+}
+
+// RenderSweep renders sweep points as a small table.
+func RenderSweep(title, param string, points []SweepPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n%-12s %16s %12s\n", title, param, "mean cost (norm)", "users saving")
+	for _, pt := range points {
+		fmt.Fprintf(&b, "%-12.3f %16.4f %11.0f%%\n", pt.Value, pt.MeanNormalized, pt.FracSaved*100)
+	}
+	return b.String()
+}

@@ -1,0 +1,130 @@
+package gtrace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Column indices of the clusterdata-2011 task_events CSV schema.
+const (
+	colTimestamp = 0
+	colJobID     = 2
+	colTaskIndex = 3
+	colEventType = 5
+	colUser      = 6
+	colCPU       = 9
+	colMemory    = 10
+	colDisk      = 11
+	numColumns   = 13
+)
+
+// ReadTaskEvents parses a Google cluster-usage task_events CSV stream.
+// Rows with blank resource fields (the schema allows missing data)
+// parse as zero requests; malformed rows fail with a row-numbered
+// error.
+func ReadTaskEvents(r io.Reader) ([]TaskEvent, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // validated manually for a better message
+	var events []TaskEvent
+	for row := 1; ; row++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("gtrace: row %d: %w", row, err)
+		}
+		if len(rec) != numColumns {
+			return nil, fmt.Errorf("gtrace: row %d: %d columns, want %d", row, len(rec), numColumns)
+		}
+		ev, err := parseTaskEvent(rec)
+		if err != nil {
+			return nil, fmt.Errorf("gtrace: row %d: %w", row, err)
+		}
+		events = append(events, ev)
+	}
+	if len(events) == 0 {
+		return nil, ErrNoEvents
+	}
+	return events, nil
+}
+
+func parseTaskEvent(rec []string) (TaskEvent, error) {
+	ts, err := strconv.ParseInt(rec[colTimestamp], 10, 64)
+	if err != nil {
+		return TaskEvent{}, fmt.Errorf("timestamp: %w", err)
+	}
+	jobID, err := strconv.ParseInt(rec[colJobID], 10, 64)
+	if err != nil {
+		return TaskEvent{}, fmt.Errorf("job id: %w", err)
+	}
+	taskIdx, err := strconv.ParseInt(rec[colTaskIndex], 10, 64)
+	if err != nil {
+		return TaskEvent{}, fmt.Errorf("task index: %w", err)
+	}
+	evType, err := strconv.Atoi(rec[colEventType])
+	if err != nil {
+		return TaskEvent{}, fmt.Errorf("event type: %w", err)
+	}
+	cpu, err := parseOptionalFloat(rec[colCPU])
+	if err != nil {
+		return TaskEvent{}, fmt.Errorf("cpu request: %w", err)
+	}
+	mem, err := parseOptionalFloat(rec[colMemory])
+	if err != nil {
+		return TaskEvent{}, fmt.Errorf("memory request: %w", err)
+	}
+	disk, err := parseOptionalFloat(rec[colDisk])
+	if err != nil {
+		return TaskEvent{}, fmt.Errorf("disk request: %w", err)
+	}
+	return TaskEvent{
+		Timestamp:     ts,
+		JobID:         jobID,
+		TaskIndex:     taskIdx,
+		EventType:     evType,
+		User:          rec[colUser],
+		CPURequest:    cpu,
+		MemoryRequest: mem,
+		DiskRequest:   disk,
+	}, nil
+}
+
+// parseOptionalFloat treats the schema's blank fields as zero.
+func parseOptionalFloat(s string) (float64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// WriteTaskEvents writes events in the task_events CSV schema, filling
+// the columns this package does not model with blanks. Round-tripping
+// through ReadTaskEvents preserves every modeled field.
+func WriteTaskEvents(w io.Writer, events []TaskEvent) error {
+	cw := csv.NewWriter(w)
+	rec := make([]string, numColumns)
+	for _, ev := range events {
+		for i := range rec {
+			rec[i] = ""
+		}
+		rec[colTimestamp] = strconv.FormatInt(ev.Timestamp, 10)
+		rec[colJobID] = strconv.FormatInt(ev.JobID, 10)
+		rec[colTaskIndex] = strconv.FormatInt(ev.TaskIndex, 10)
+		rec[colEventType] = strconv.Itoa(ev.EventType)
+		rec[colUser] = ev.User
+		rec[colCPU] = strconv.FormatFloat(ev.CPURequest, 'g', -1, 64)
+		rec[colMemory] = strconv.FormatFloat(ev.MemoryRequest, 'g', -1, 64)
+		rec[colDisk] = strconv.FormatFloat(ev.DiskRequest, 'g', -1, 64)
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("gtrace: write: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("gtrace: flush: %w", err)
+	}
+	return nil
+}

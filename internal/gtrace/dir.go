@@ -1,0 +1,59 @@
+package gtrace
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"rimarket/internal/workload"
+)
+
+// LoadEC2LogDir reads every EC2-usage-log file (.csv or .csv.gz) in a
+// directory into demand traces, sorted by file name. Users can point
+// the experiment harness at a directory of real usage logs — like the
+// 36 EC2 log files the paper cites — instead of the synthetic cohort.
+func LoadEC2LogDir(dir string) ([]workload.Trace, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("gtrace: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		if strings.HasSuffix(name, ".csv") || strings.HasSuffix(name, ".csv.gz") {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("gtrace: no .csv or .csv.gz trace files in %s", dir)
+	}
+	sort.Strings(names)
+
+	traces := make([]workload.Trace, 0, len(names))
+	for _, name := range names {
+		path := filepath.Join(dir, name)
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("gtrace: %w", err)
+		}
+		tr, err := ReadEC2LogAuto(f)
+		closeErr := f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("gtrace: %s: %w", name, err)
+		}
+		if closeErr != nil {
+			return nil, fmt.Errorf("gtrace: %s: %w", name, closeErr)
+		}
+		if tr.User == "ec2-log" {
+			// Files without a "# user:" header get named after the file.
+			tr.User = strings.TrimSuffix(strings.TrimSuffix(name, ".gz"), ".csv")
+		}
+		traces = append(traces, tr)
+	}
+	return traces, nil
+}

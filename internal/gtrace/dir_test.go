@@ -1,0 +1,89 @@
+package gtrace
+
+import (
+	"bytes"
+	"compress/gzip"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rimarket/internal/workload"
+)
+
+func writeTraceFile(t *testing.T, path string, tr workload.Trace, compress bool) {
+	t.Helper()
+	var buf bytes.Buffer
+	if compress {
+		zw := gzip.NewWriter(&buf)
+		if err := WriteEC2Log(zw, tr); err != nil {
+			t.Fatal(err)
+		}
+		if err := zw.Close(); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		if err := WriteEC2Log(&buf, tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadEC2LogDir(t *testing.T) {
+	dir := t.TempDir()
+	writeTraceFile(t, filepath.Join(dir, "b.csv"), workload.Trace{User: "bob", Demand: []int{1, 2}}, false)
+	writeTraceFile(t, filepath.Join(dir, "a.csv.gz"), workload.Trace{User: "alice", Demand: []int{3}}, true)
+	// Non-trace files and subdirectories are ignored.
+	if err := os.WriteFile(filepath.Join(dir, "README.md"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(filepath.Join(dir, "sub"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	traces, err := LoadEC2LogDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 2 {
+		t.Fatalf("traces = %d, want 2", len(traces))
+	}
+	// Sorted by file name: a.csv.gz first.
+	if traces[0].User != "alice" || traces[1].User != "bob" {
+		t.Errorf("order = %s, %s", traces[0].User, traces[1].User)
+	}
+}
+
+func TestLoadEC2LogDirNamesAnonymousTraces(t *testing.T) {
+	dir := t.TempDir()
+	// A header-less file: the user defaults to the file name.
+	if err := os.WriteFile(filepath.Join(dir, "webapp.csv"), []byte("0,3\n1,4\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	traces, err := LoadEC2LogDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traces[0].User != "webapp" {
+		t.Errorf("user = %q, want webapp", traces[0].User)
+	}
+}
+
+func TestLoadEC2LogDirErrors(t *testing.T) {
+	if _, err := LoadEC2LogDir("/nonexistent-dir"); err == nil {
+		t.Error("missing dir accepted")
+	}
+	empty := t.TempDir()
+	if _, err := LoadEC2LogDir(empty); err == nil {
+		t.Error("empty dir accepted")
+	}
+	bad := t.TempDir()
+	if err := os.WriteFile(filepath.Join(bad, "x.csv"), []byte("not,a,trace\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadEC2LogDir(bad); err == nil {
+		t.Error("malformed trace accepted")
+	}
+}

@@ -1,0 +1,114 @@
+package gtrace
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"rimarket/internal/workload"
+)
+
+// The EC2 usage-log format stands in for the 36 per-application EC2
+// usage files the paper cites (the UW cloudmeasure datasets): one CSV
+// row per hour with the hour index and the number of instances in use.
+//
+//	# user: <name>
+//	hour,instances
+//	0,12
+//	1,14
+//	...
+//
+// Comment lines start with '#'; a "# user:" comment names the trace.
+
+// ReadEC2Log parses one EC2 usage-log stream into a demand trace.
+// Hours may be sparse and out of order; missing hours have zero demand.
+func ReadEC2Log(r io.Reader) (workload.Trace, error) {
+	sc := bufio.NewScanner(r)
+	user := "ec2-log"
+	demand := make(map[int]int)
+	maxHour := -1
+	line := 0
+	sawHeader := false
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		switch {
+		case text == "":
+			continue
+		case strings.HasPrefix(text, "#"):
+			if rest, ok := strings.CutPrefix(text, "# user:"); ok {
+				if name := strings.TrimSpace(rest); name != "" {
+					user = name
+				}
+			}
+			continue
+		case text == "hour,instances":
+			sawHeader = true
+			continue
+		}
+		parts := strings.Split(text, ",")
+		if len(parts) != 2 {
+			return workload.Trace{}, fmt.Errorf("gtrace: ec2 log line %d: %q is not hour,instances", line, text)
+		}
+		hour, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+		if err != nil {
+			return workload.Trace{}, fmt.Errorf("gtrace: ec2 log line %d: hour: %w", line, err)
+		}
+		count, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+		if err != nil {
+			return workload.Trace{}, fmt.Errorf("gtrace: ec2 log line %d: instances: %w", line, err)
+		}
+		if hour < 0 || count < 0 {
+			return workload.Trace{}, fmt.Errorf("gtrace: ec2 log line %d: negative value", line)
+		}
+		demand[hour] = count
+		if hour > maxHour {
+			maxHour = hour
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return workload.Trace{}, fmt.Errorf("gtrace: ec2 log: %w", err)
+	}
+	if maxHour < 0 {
+		if sawHeader {
+			return workload.Trace{User: user, Demand: nil}, nil
+		}
+		return workload.Trace{}, ErrNoEvents
+	}
+	series := make([]int, maxHour+1)
+	for hour, count := range demand {
+		series[hour] = count
+	}
+	return workload.Trace{User: user, Demand: series}, nil
+}
+
+// WriteEC2Log writes a demand trace in the EC2 usage-log format.
+func WriteEC2Log(w io.Writer, tr workload.Trace) error {
+	if err := tr.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# user: %s\n", tr.User)
+	fmt.Fprintln(bw, "hour,instances")
+	cw := csv.NewWriter(bw)
+	for hour, count := range tr.Demand {
+		if count == 0 {
+			continue // sparse encoding
+		}
+		rec := []string{strconv.Itoa(hour), strconv.Itoa(count)}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("gtrace: ec2 log write: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("gtrace: ec2 log flush: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("gtrace: ec2 log flush: %w", err)
+	}
+	return nil
+}

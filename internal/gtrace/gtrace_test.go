@@ -1,0 +1,295 @@
+package gtrace
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"rimarket/internal/workload"
+)
+
+func TestInstanceCapacityValidate(t *testing.T) {
+	tests := []struct {
+		name   string
+		cap    InstanceCapacity
+		wantOK bool
+	}{
+		{name: "default", cap: DefaultCapacity, wantOK: true},
+		{name: "zero cpu", cap: InstanceCapacity{CPU: 0, Memory: 1, Disk: 1}},
+		{name: "negative memory", cap: InstanceCapacity{CPU: 1, Memory: -1, Disk: 1}},
+		{name: "zero disk", cap: InstanceCapacity{CPU: 1, Memory: 1, Disk: 0}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.cap.Validate()
+			if tt.wantOK != (err == nil) {
+				t.Errorf("Validate = %v, wantOK %v", err, tt.wantOK)
+			}
+		})
+	}
+}
+
+func TestInstancesForTakesMaxDimension(t *testing.T) {
+	cap := InstanceCapacity{CPU: 0.5, Memory: 0.25, Disk: 1}
+	tests := []struct {
+		cpu, mem, disk float64
+		want           int
+	}{
+		{cpu: 1.0, mem: 0.1, disk: 0, want: 2},   // CPU-bound: ceil(1/0.5)
+		{cpu: 0.1, mem: 1.0, disk: 0, want: 4},   // memory-bound: ceil(1/0.25)
+		{cpu: 0, mem: 0, disk: 2.5, want: 3},     // disk-bound
+		{cpu: 0, mem: 0, disk: 0, want: 0},       // no request
+		{cpu: 0.01, mem: 0.01, disk: 0, want: 1}, // tiny request rounds up
+	}
+	for _, tt := range tests {
+		if got := cap.instancesFor(tt.cpu, tt.mem, tt.disk); got != tt.want {
+			t.Errorf("instancesFor(%v,%v,%v) = %d, want %d", tt.cpu, tt.mem, tt.disk, got, tt.want)
+		}
+	}
+}
+
+func TestAggregateByUser(t *testing.T) {
+	events := []TaskEvent{
+		{Timestamp: 0, EventType: EventSubmit, User: "alice", CPURequest: 0.5},
+		{Timestamp: 10, EventType: EventSubmit, User: "alice", CPURequest: 0.5},
+		{Timestamp: MicrosecondsPerHour, EventType: EventSchedule, User: "alice", CPURequest: 0.25},
+		{Timestamp: 0, EventType: EventSubmit, User: "bob", MemoryRequest: 0.6},
+		{Timestamp: 2 * MicrosecondsPerHour, EventType: EventFinish, User: "bob", CPURequest: 9}, // ignored
+	}
+	traces, err := AggregateByUser(events, InstanceCapacity{CPU: 0.25, Memory: 0.25, Disk: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 2 {
+		t.Fatalf("len = %d, want 2", len(traces))
+	}
+	// Sorted by user: alice then bob.
+	alice, bob := traces[0], traces[1]
+	if alice.User != "alice" || bob.User != "bob" {
+		t.Fatalf("order = %s, %s", alice.User, bob.User)
+	}
+	// alice hour 0: cpu 1.0 -> 4 instances; hour 1: cpu 0.25 -> 1; hour 2: 0.
+	if want := []int{4, 1, 0}; !reflect.DeepEqual(alice.Demand, want) {
+		t.Errorf("alice demand = %v, want %v", alice.Demand, want)
+	}
+	// bob hour 0: mem 0.6 -> ceil(0.6/0.25) = 3; FINISH event ignored.
+	if want := []int{3, 0, 0}; !reflect.DeepEqual(bob.Demand, want) {
+		t.Errorf("bob demand = %v, want %v", bob.Demand, want)
+	}
+}
+
+func TestAggregateByUserErrors(t *testing.T) {
+	if _, err := AggregateByUser(nil, InstanceCapacity{}); err == nil {
+		t.Error("invalid capacity accepted")
+	}
+	bad := []TaskEvent{{Timestamp: -1, EventType: EventSubmit, User: "u"}}
+	if _, err := AggregateByUser(bad, DefaultCapacity); err == nil {
+		t.Error("negative timestamp accepted")
+	}
+	anon := []TaskEvent{{Timestamp: 0, EventType: EventSubmit}}
+	if _, err := AggregateByUser(anon, DefaultCapacity); err == nil {
+		t.Error("empty user accepted")
+	}
+}
+
+func TestTaskEventsCSVRoundTrip(t *testing.T) {
+	in := []TaskEvent{
+		{Timestamp: 0, JobID: 1, TaskIndex: 0, EventType: EventSubmit, User: "alice", CPURequest: 0.5, MemoryRequest: 0.1, DiskRequest: 0.01},
+		{Timestamp: 3600 * 1e6, JobID: 2, TaskIndex: 3, EventType: EventSchedule, User: "bob", CPURequest: 0.125},
+	}
+	var buf bytes.Buffer
+	if err := WriteTaskEvents(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadTaskEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip mismatch:\n in: %+v\nout: %+v", in, out)
+	}
+}
+
+func TestReadTaskEventsBlankResourceFields(t *testing.T) {
+	// The real schema allows blank resource columns.
+	row := "0,,1,0,,0,alice,,,,,,\n"
+	events, err := ReadTaskEvents(strings.NewReader(row))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].CPURequest != 0 {
+		t.Errorf("events = %+v", events)
+	}
+}
+
+func TestReadTaskEventsErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+	}{
+		{name: "wrong column count", in: "1,2,3\n"},
+		{name: "bad timestamp", in: "abc,,1,0,,0,alice,,,0.1,0.1,0.1,\n"},
+		{name: "bad event type", in: "0,,1,0,,xx,alice,,,0.1,0.1,0.1,\n"},
+		{name: "bad cpu", in: "0,,1,0,,0,alice,,,zz,0.1,0.1,\n"},
+		{name: "bad job id", in: "0,,zz,0,,0,alice,,,0.1,0.1,0.1,\n"},
+		{name: "bad task index", in: "0,,1,zz,,0,alice,,,0.1,0.1,0.1,\n"},
+		{name: "bad memory", in: "0,,1,0,,0,alice,,,0.1,zz,0.1,\n"},
+		{name: "bad disk", in: "0,,1,0,,0,alice,,,0.1,0.1,zz,\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ReadTaskEvents(strings.NewReader(tt.in)); err == nil {
+				t.Error("parse succeeded, want error")
+			}
+		})
+	}
+	if _, err := ReadTaskEvents(strings.NewReader("")); !errors.Is(err, ErrNoEvents) {
+		t.Errorf("empty input err = %v, want ErrNoEvents", err)
+	}
+}
+
+func TestEC2LogRoundTrip(t *testing.T) {
+	in := workload.Trace{User: "web-frontend", Demand: []int{3, 0, 0, 7, 1}}
+	var buf bytes.Buffer
+	if err := WriteEC2Log(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadEC2Log(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.User != in.User {
+		t.Errorf("user = %q, want %q", out.User, in.User)
+	}
+	if !reflect.DeepEqual(out.Demand, in.Demand) {
+		t.Errorf("demand = %v, want %v", out.Demand, in.Demand)
+	}
+}
+
+func TestReadEC2LogSparseAndUnordered(t *testing.T) {
+	input := "# user: batch\nhour,instances\n5,2\n1,9\n"
+	tr, err := ReadEC2Log(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 9, 0, 0, 0, 2}
+	if tr.User != "batch" || !reflect.DeepEqual(tr.Demand, want) {
+		t.Errorf("trace = %+v, want user=batch demand=%v", tr, want)
+	}
+}
+
+func TestReadEC2LogErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+	}{
+		{name: "not a pair", in: "1,2,3\n"},
+		{name: "bad hour", in: "x,2\n"},
+		{name: "bad count", in: "1,y\n"},
+		{name: "negative hour", in: "-1,2\n"},
+		{name: "negative count", in: "1,-2\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ReadEC2Log(strings.NewReader(tt.in)); err == nil {
+				t.Error("parse succeeded, want error")
+			}
+		})
+	}
+	if _, err := ReadEC2Log(strings.NewReader("")); !errors.Is(err, ErrNoEvents) {
+		t.Errorf("empty err = %v, want ErrNoEvents", err)
+	}
+	// Header-only file is an empty but valid trace.
+	tr, err := ReadEC2Log(strings.NewReader("hour,instances\n"))
+	if err != nil || tr.Len() != 0 {
+		t.Errorf("header-only = (%+v, %v), want empty trace", tr, err)
+	}
+}
+
+func TestWriteEC2LogRejectsInvalidTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteEC2Log(&buf, workload.Trace{Demand: []int{1}}); err == nil {
+		t.Error("invalid trace accepted")
+	}
+}
+
+func TestSynthesizeRoundTrip(t *testing.T) {
+	in := []workload.Trace{
+		{User: "alice", Demand: []int{2, 0, 3}},
+		{User: "bob", Demand: []int{1, 1, 1}},
+	}
+	events, err := SynthesizeTaskEvents(in, DefaultCapacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := AggregateByUser(events, DefaultCapacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("len = %d, want 2", len(out))
+	}
+	for i := range in {
+		if out[i].User != in[i].User {
+			t.Errorf("user[%d] = %q, want %q", i, out[i].User, in[i].User)
+		}
+		if !reflect.DeepEqual(out[i].Demand, in[i].Demand) {
+			t.Errorf("%s demand = %v, want %v", in[i].User, out[i].Demand, in[i].Demand)
+		}
+	}
+}
+
+func TestSynthesizeErrors(t *testing.T) {
+	if _, err := SynthesizeTaskEvents(nil, InstanceCapacity{}); err == nil {
+		t.Error("invalid capacity accepted")
+	}
+	if _, err := SynthesizeTaskEvents(nil, DefaultCapacity); !errors.Is(err, ErrNoEvents) {
+		t.Errorf("no traces err = %v, want ErrNoEvents", err)
+	}
+	bad := []workload.Trace{{User: "", Demand: []int{1}}}
+	if _, err := SynthesizeTaskEvents(bad, DefaultCapacity); err == nil {
+		t.Error("invalid trace accepted")
+	}
+}
+
+func TestPropertySynthesizeAggregatesBack(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 48 {
+			raw = raw[:48]
+		}
+		demand := make([]int, len(raw))
+		total := 0
+		for i, b := range raw {
+			demand[i] = int(b % 7)
+			total += demand[i]
+		}
+		if total == 0 {
+			return true // no events representable
+		}
+		// Trailing zero hours are not representable in the event stream;
+		// trim them from the expectation.
+		end := len(demand)
+		for end > 0 && demand[end-1] == 0 {
+			end--
+		}
+		in := []workload.Trace{{User: "u", Demand: demand}}
+		events, err := SynthesizeTaskEvents(in, DefaultCapacity)
+		if err != nil {
+			return false
+		}
+		out, err := AggregateByUser(events, DefaultCapacity)
+		if err != nil || len(out) != 1 {
+			return false
+		}
+		return reflect.DeepEqual(out[0].Demand, demand[:end])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

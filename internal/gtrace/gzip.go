@@ -1,0 +1,68 @@
+package gtrace
+
+import (
+	"bufio"
+	"compress/gzip"
+	"fmt"
+	"io"
+
+	"rimarket/internal/workload"
+)
+
+// gzipMagic is the two-byte gzip stream header.
+var gzipMagic = [2]byte{0x1f, 0x8b}
+
+// maybeGunzip wraps r with a gzip reader when the stream starts with
+// the gzip magic bytes, passing plain streams through untouched. The
+// real Google cluster-usage trace ships as part-?????-of-?????.csv.gz,
+// so parsers auto-detect rather than trusting file extensions.
+func maybeGunzip(r io.Reader) (io.Reader, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(2)
+	if err != nil {
+		// Short or empty streams cannot be gzip; hand them to the parser
+		// unchanged so it reports its own (better) error.
+		return br, nil //nolint:nilerr // deliberate: defer error to parser
+	}
+	if head[0] != gzipMagic[0] || head[1] != gzipMagic[1] {
+		return br, nil
+	}
+	zr, err := gzip.NewReader(br)
+	if err != nil {
+		return nil, fmt.Errorf("gtrace: gzip: %w", err)
+	}
+	return zr, nil
+}
+
+// ReadTaskEventsAuto parses a task-events stream that may be gzip
+// compressed (auto-detected by magic bytes).
+func ReadTaskEventsAuto(r io.Reader) ([]TaskEvent, error) {
+	rr, err := maybeGunzip(r)
+	if err != nil {
+		return nil, err
+	}
+	return ReadTaskEvents(rr)
+}
+
+// ReadEC2LogAuto parses an EC2 usage log that may be gzip compressed
+// (auto-detected by magic bytes).
+func ReadEC2LogAuto(r io.Reader) (workload.Trace, error) {
+	rr, err := maybeGunzip(r)
+	if err != nil {
+		return workload.Trace{}, err
+	}
+	return ReadEC2Log(rr)
+}
+
+// WriteTaskEventsGZ writes events as a gzip-compressed task-events CSV.
+func WriteTaskEventsGZ(w io.Writer, events []TaskEvent) error {
+	zw := gzip.NewWriter(w)
+	if err := WriteTaskEvents(zw, events); err != nil {
+		zw.Close()
+		return err
+	}
+	if err := zw.Close(); err != nil {
+		return fmt.Errorf("gtrace: gzip close: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package gtrace
+
+import (
+	"bytes"
+	"compress/gzip"
+	"errors"
+	"reflect"
+	"testing"
+
+	"rimarket/internal/workload"
+)
+
+func sampleEvents() []TaskEvent {
+	return []TaskEvent{
+		{Timestamp: 0, JobID: 1, EventType: EventSubmit, User: "alice", CPURequest: 0.5},
+		{Timestamp: MicrosecondsPerHour, JobID: 2, EventType: EventSubmit, User: "bob", MemoryRequest: 0.25},
+	}
+}
+
+func TestTaskEventsGZRoundTrip(t *testing.T) {
+	in := sampleEvents()
+	var buf bytes.Buffer
+	if err := WriteTaskEventsGZ(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	// Must actually be gzip.
+	if buf.Bytes()[0] != 0x1f || buf.Bytes()[1] != 0x8b {
+		t.Fatal("output is not gzip")
+	}
+	out, err := ReadTaskEventsAuto(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip mismatch:\n in: %+v\nout: %+v", in, out)
+	}
+}
+
+func TestReadTaskEventsAutoPlain(t *testing.T) {
+	in := sampleEvents()
+	var buf bytes.Buffer
+	if err := WriteTaskEvents(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadTaskEventsAuto(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Error("plain round trip mismatch")
+	}
+}
+
+func TestReadEC2LogAutoBothFormats(t *testing.T) {
+	tr := workload.Trace{User: "gz-user", Demand: []int{1, 0, 2}}
+
+	var plain bytes.Buffer
+	if err := WriteEC2Log(&plain, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadEC2LogAuto(&plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.User != tr.User {
+		t.Errorf("plain user = %q", got.User)
+	}
+
+	var zipped bytes.Buffer
+	zw := gzip.NewWriter(&zipped)
+	if err := WriteEC2Log(zw, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err = ReadEC2LogAuto(&zipped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.User != tr.User || !reflect.DeepEqual(got.Demand, tr.Demand) {
+		t.Errorf("gz trace = %+v", got)
+	}
+}
+
+func TestReadAutoEmptyAndCorrupt(t *testing.T) {
+	if _, err := ReadTaskEventsAuto(bytes.NewReader(nil)); !errors.Is(err, ErrNoEvents) {
+		t.Errorf("empty err = %v, want ErrNoEvents", err)
+	}
+	// Valid magic, garbage body.
+	corrupt := []byte{0x1f, 0x8b, 0xff, 0x00, 0x01}
+	if _, err := ReadTaskEventsAuto(bytes.NewReader(corrupt)); err == nil {
+		t.Error("corrupt gzip accepted")
+	}
+	// One byte short of any magic.
+	if _, err := ReadEC2LogAuto(bytes.NewReader([]byte{0x1f})); err == nil {
+		t.Error("single-byte stream parsed as a trace")
+	}
+}

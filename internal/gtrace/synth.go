@@ -1,0 +1,45 @@
+package gtrace
+
+import (
+	"fmt"
+
+	"rimarket/internal/workload"
+)
+
+// SynthesizeTaskEvents converts demand traces into a task-events table
+// that aggregates back to the same traces: for each user and hour with
+// demand d, it emits d SUBMIT events each requesting exactly one
+// instance's capacity. This is the inverse of AggregateByUser up to the
+// trace length (trailing zero-demand hours are not representable) and
+// lets the full file pipeline run without the external datasets.
+func SynthesizeTaskEvents(traces []workload.Trace, cap InstanceCapacity) ([]TaskEvent, error) {
+	if err := cap.Validate(); err != nil {
+		return nil, err
+	}
+	var events []TaskEvent
+	var jobID int64
+	for _, tr := range traces {
+		if err := tr.Validate(); err != nil {
+			return nil, fmt.Errorf("gtrace: synthesize: %w", err)
+		}
+		for hour, d := range tr.Demand {
+			for i := 0; i < d; i++ {
+				jobID++
+				events = append(events, TaskEvent{
+					Timestamp:     int64(hour) * MicrosecondsPerHour,
+					JobID:         jobID,
+					TaskIndex:     0,
+					EventType:     EventSubmit,
+					User:          tr.User,
+					CPURequest:    cap.CPU,
+					MemoryRequest: cap.Memory,
+					DiskRequest:   0,
+				})
+			}
+		}
+	}
+	if len(events) == 0 {
+		return nil, ErrNoEvents
+	}
+	return events, nil
+}

@@ -1,0 +1,49 @@
+package marketplace
+
+import (
+	"fmt"
+)
+
+// Advance ages every open listing by the given number of hours: each
+// listing's remaining period shrinks, its ask is re-capped at the new
+// prorated maximum (Amazon re-validates the cap as time passes), and
+// listings whose reservation expires are delisted. It returns the
+// number of listings that expired.
+//
+// Re-capping only ever lowers an ask, so the relative order of a book
+// is preserved and no re-sort is needed.
+func (m *Market) Advance(hours int) (expired int, err error) {
+	if hours < 0 {
+		return 0, fmt.Errorf("marketplace: cannot advance by %d hours", hours)
+	}
+	if hours == 0 {
+		return 0, nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for name, book := range m.books {
+		kept := book[:0]
+		for _, l := range book {
+			l.RemainingHours -= hours
+			if l.RemainingHours <= 0 {
+				delete(m.byID, l.ID)
+				expired++
+				continue
+			}
+			if cap := ProratedCap(l.Instance, l.RemainingHours); l.AskUpfront > cap {
+				l.AskUpfront = cap
+			}
+			kept = append(kept, l)
+		}
+		m.books[name] = kept
+	}
+	return expired, nil
+}
+
+// OpenCount returns the total number of open listings across all
+// instance types.
+func (m *Market) OpenCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.byID)
+}

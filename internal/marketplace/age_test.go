@@ -1,0 +1,152 @@
+package marketplace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAdvanceValidation(t *testing.T) {
+	m := mustMarket(t)
+	if _, err := m.Advance(-1); err == nil {
+		t.Error("negative hours accepted")
+	}
+	if n, err := m.Advance(0); err != nil || n != 0 {
+		t.Errorf("Advance(0) = (%d, %v)", n, err)
+	}
+}
+
+func TestAdvanceShrinksAndRecaps(t *testing.T) {
+	it := t2nano() // R=18, T=8760
+	m := mustMarket(t)
+	half := it.PeriodHours / 2
+	// Ask exactly at the cap: after aging, the ask must follow the new
+	// lower cap.
+	if _, err := m.List("s", it, half, ProratedCap(it, half)); err != nil {
+		t.Fatal(err)
+	}
+	expired, err := m.Advance(it.PeriodHours / 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if expired != 0 {
+		t.Fatalf("expired = %d, want 0", expired)
+	}
+	open := m.OpenListings(it.Name)
+	if len(open) != 1 {
+		t.Fatalf("open = %d", len(open))
+	}
+	l := open[0]
+	wantRem := half - it.PeriodHours/4
+	if l.RemainingHours != wantRem {
+		t.Errorf("remaining = %d, want %d", l.RemainingHours, wantRem)
+	}
+	wantCap := ProratedCap(it, wantRem)
+	if !almostEqual(l.AskUpfront, wantCap, 1e-9) {
+		t.Errorf("ask = %v, want re-capped %v", l.AskUpfront, wantCap)
+	}
+}
+
+func TestAdvanceKeepsDiscountedAsk(t *testing.T) {
+	// An ask already below the new cap is untouched.
+	it := t2nano()
+	m := mustMarket(t)
+	if _, err := m.List("s", it, it.PeriodHours/2, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Advance(100); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.OpenListings(it.Name)[0].AskUpfront; got != 1.0 {
+		t.Errorf("ask = %v, want unchanged 1.0", got)
+	}
+}
+
+func TestAdvanceExpires(t *testing.T) {
+	it := t2nano()
+	m := mustMarket(t)
+	if _, err := m.List("short", it, 100, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.List("long", it, 5000, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	expired, err := m.Advance(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if expired != 1 {
+		t.Fatalf("expired = %d, want 1", expired)
+	}
+	open := m.OpenListings(it.Name)
+	if len(open) != 1 || open[0].Seller != "long" {
+		t.Errorf("open = %+v", open)
+	}
+	if m.OpenCount() != 1 {
+		t.Errorf("OpenCount = %d", m.OpenCount())
+	}
+	// The expired listing can no longer be cancelled.
+	if err := m.Cancel(1); err == nil {
+		t.Error("cancel of expired listing succeeded")
+	}
+}
+
+func TestAdvancePreservesBookOrder(t *testing.T) {
+	it := t2nano()
+	m := mustMarket(t)
+	if _, err := m.List("cheap", it, 4000, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.List("dear", it, 4000, 8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Advance(500); err != nil {
+		t.Fatal(err)
+	}
+	sales, err := m.Buy("b", it.Name, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sales[0].Listing.Seller != "cheap" || sales[1].Listing.Seller != "dear" {
+		t.Errorf("order after aging = %s, %s", sales[0].Listing.Seller, sales[1].Listing.Seller)
+	}
+}
+
+// TestPropertyAdvanceInvariants: after any sequence of advances, every
+// open listing has positive remaining hours and an ask within the
+// prorated cap, and OpenCount matches the books.
+func TestPropertyAdvanceInvariants(t *testing.T) {
+	it := t2nano()
+	f := func(remsRaw []uint16, steps []uint8) bool {
+		m, err := New()
+		if err != nil {
+			return false
+		}
+		for _, raw := range remsRaw {
+			rem := int(raw)%(it.PeriodHours-1) + 1
+			if _, err := m.List("s", it, rem, ProratedCap(it, rem)*0.9); err != nil {
+				return false
+			}
+		}
+		for _, s := range steps {
+			if _, err := m.Advance(int(s) * 10); err != nil {
+				return false
+			}
+		}
+		open := m.OpenListings(it.Name)
+		if len(open) != m.OpenCount() {
+			return false
+		}
+		for _, l := range open {
+			if l.RemainingHours <= 0 {
+				return false
+			}
+			if l.AskUpfront > ProratedCap(it, l.RemainingHours)+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,61 @@
+package pricing
+
+import (
+	"fmt"
+)
+
+// HoursPerThreeYears is the hour count of Amazon's 3-year term — the
+// other reservation length the paper mentions ("Amazon has 1-year and
+// 3-year options, meaning T is 1 or 3 years").
+const HoursPerThreeYears = 3 * HoursPerYear
+
+// threeYearUpfrontScale and threeYearHourlyScale derive a 3-year card
+// from a 1-year card using Amazon's typical spreads as of early 2018:
+// the 3-year upfront is roughly twice the 1-year upfront (not three
+// times — the longer commitment is rewarded), and the discounted
+// hourly rate drops by a further ~25%.
+const (
+	threeYearUpfrontScale = 2.0
+	threeYearHourlyScale  = 0.75
+)
+
+// ThreeYearTerm derives the 3-year price card for a 1-year card. The
+// derived card keeps the instance name (terms are distinguished by
+// PeriodHours), deepens alpha, and lowers theta — both effects push
+// the selling algorithms' break-evens and bounds in the directions the
+// formulas predict, which is what the 3-year experiments exercise.
+func ThreeYearTerm(oneYear InstanceType) (InstanceType, error) {
+	if err := oneYear.Validate(); err != nil {
+		return InstanceType{}, err
+	}
+	if oneYear.PeriodHours != HoursPerYear {
+		return InstanceType{}, fmt.Errorf("pricing: %s: period %d is not a 1-year card",
+			oneYear.Name, oneYear.PeriodHours)
+	}
+	it := InstanceType{
+		Name:           oneYear.Name,
+		OnDemandHourly: oneYear.OnDemandHourly,
+		Upfront:        oneYear.Upfront * threeYearUpfrontScale,
+		ReservedHourly: oneYear.ReservedHourly * threeYearHourlyScale,
+		PeriodHours:    HoursPerThreeYears,
+	}
+	if err := it.Validate(); err != nil {
+		return InstanceType{}, err
+	}
+	return it, nil
+}
+
+// ThreeYearStandardLinuxUSEast derives the 3-year-term catalog from
+// the built-in 1-year catalog.
+func ThreeYearStandardLinuxUSEast() (*Catalog, error) {
+	oneYear := StandardLinuxUSEast()
+	types := make([]InstanceType, 0, oneYear.Len())
+	for _, it := range oneYear.All() {
+		three, err := ThreeYearTerm(it)
+		if err != nil {
+			return nil, err
+		}
+		types = append(types, three)
+	}
+	return NewCatalog(types)
+}

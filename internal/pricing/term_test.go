@@ -1,0 +1,91 @@
+package pricing
+
+import (
+	"testing"
+)
+
+func TestThreeYearTermD2XLarge(t *testing.T) {
+	one := D2XLarge()
+	three, err := ThreeYearTerm(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if three.PeriodHours != HoursPerThreeYears {
+		t.Errorf("period = %d, want %d", three.PeriodHours, HoursPerThreeYears)
+	}
+	if three.Name != one.Name {
+		t.Errorf("name changed: %q", three.Name)
+	}
+	// Deeper hourly discount: alpha drops.
+	if three.Alpha() >= one.Alpha() {
+		t.Errorf("3-year alpha %v not below 1-year %v", three.Alpha(), one.Alpha())
+	}
+	// Longer commitment per upfront dollar: theta rises (p*3T / 2R).
+	if three.Theta() <= one.Theta() {
+		t.Errorf("3-year theta %v not above 1-year %v", three.Theta(), one.Theta())
+	}
+	// Total cost of a fully-used 3-year reservation must stay below
+	// three consecutive 1-year reservations (otherwise nobody would buy
+	// the longer term).
+	if three.FullPeriodReservedCost() >= 3*one.FullPeriodReservedCost() {
+		t.Errorf("3-year full cost %v not below 3x 1-year %v",
+			three.FullPeriodReservedCost(), 3*one.FullPeriodReservedCost())
+	}
+}
+
+func TestThreeYearTermValidation(t *testing.T) {
+	if _, err := ThreeYearTerm(InstanceType{}); err == nil {
+		t.Error("invalid card accepted")
+	}
+	already := D2XLarge()
+	already.PeriodHours = HoursPerThreeYears
+	if _, err := ThreeYearTerm(already); err == nil {
+		t.Error("non-1-year card accepted")
+	}
+}
+
+func TestThreeYearCatalog(t *testing.T) {
+	one := StandardLinuxUSEast()
+	three, err := ThreeYearStandardLinuxUSEast()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if three.Len() != one.Len() {
+		t.Fatalf("catalog sizes differ: %d vs %d", three.Len(), one.Len())
+	}
+	for _, it := range three.All() {
+		if err := it.Validate(); err != nil {
+			t.Errorf("3-year %s invalid: %v", it.Name, err)
+		}
+		if it.PeriodHours != HoursPerThreeYears {
+			t.Errorf("%s: period %d", it.Name, it.PeriodHours)
+		}
+	}
+	// The paper's alpha bound is stated for 1-year terms; the derived
+	// 3-year catalog has strictly deeper discounts.
+	s1, s3 := one.Stats(), three.Stats()
+	if s3.AlphaMax >= s1.AlphaMax {
+		t.Errorf("3-year AlphaMax %v not below 1-year %v", s3.AlphaMax, s1.AlphaMax)
+	}
+}
+
+func TestThreeYearBreakEvenScales(t *testing.T) {
+	// The selling algorithms work unchanged on 3-year cards; the
+	// break-even point grows with the bigger upfront and deeper discount.
+	one := D2XLarge()
+	three, err := ThreeYearTerm(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1 := one.BreakEvenHours(0.75, 0.8)
+	b3 := three.BreakEvenHours(0.75, 0.8)
+	if b3 <= b1 {
+		t.Errorf("3-year break-even %v not above 1-year %v", b3, b1)
+	}
+	// Relative to the window length, though, the 3-year break-even is
+	// less demanding than 3x: the window tripled while beta only roughly
+	// doubled.
+	if b3 >= 3*b1 {
+		t.Errorf("3-year break-even %v not below 3x 1-year %v", b3, 3*b1)
+	}
+}

@@ -1,0 +1,206 @@
+// Package purchasing implements the four reservation-behavior
+// algorithms the paper uses to imitate how users acquire reserved
+// instances before any selling happens (Section VI.A):
+//
+//   - AllReserved — reserve whenever demand exceeds active reservations;
+//   - Random — reserve toward a random target at each hour;
+//   - WangOnline — the deterministic online purchasing algorithm of
+//     Wang et al., ICAC 2013 ("To Reserve or Not to Reserve"): a demand
+//     level is reserved once its on-demand spend inside one reservation-
+//     period window reaches the reservation break-even point;
+//   - WangVariant — the same with a smaller break-even point.
+//
+// PlanReservations drives a policy over a demand trace and emits the
+// n_t series the selling engine consumes; per the paper's pipeline,
+// planning happens before (and independently of) selling.
+package purchasing
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rimarket/internal/pricing"
+)
+
+// Policy decides how many instances to newly reserve at each hour.
+// PlanReservations calls Reserve exactly once per hour, in order, so
+// implementations may keep internal running state.
+type Policy interface {
+	// Reserve returns the number of instances to reserve at hour t given
+	// the hour's demand and the number of reservations currently active.
+	// The returned count must be non-negative.
+	Reserve(t, demand, active int) int
+}
+
+// PlanReservations replays demand through the policy and returns the
+// per-hour new-reservation series n_t. Reservations are active for
+// periodHours hours from the hour they are made; no selling occurs at
+// this stage, matching the paper's dataset-preparation step.
+func PlanReservations(demand []int, periodHours int, p Policy) ([]int, error) {
+	if periodHours <= 0 {
+		return nil, fmt.Errorf("purchasing: period %d must be positive", periodHours)
+	}
+	if p == nil {
+		return nil, fmt.Errorf("purchasing: nil policy")
+	}
+	newRes := make([]int, len(demand))
+	active := 0
+	// expiries[i] counts reservations expiring at hour i.
+	expiries := make([]int, len(demand)+periodHours+1)
+	for t, d := range demand {
+		if d < 0 {
+			return nil, fmt.Errorf("purchasing: negative demand %d at hour %d", d, t)
+		}
+		active -= expiries[t]
+		n := p.Reserve(t, d, active)
+		if n < 0 {
+			return nil, fmt.Errorf("purchasing: policy returned negative count %d at hour %d", n, t)
+		}
+		newRes[t] = n
+		active += n
+		expiries[t+periodHours] += n
+	}
+	return newRes, nil
+}
+
+// AllReserved reserves enough instances at every hour to cover all
+// demand with reservations — the paper's stand-in for users whose
+// demands are stable enough that they reserve everything.
+type AllReserved struct{}
+
+// Reserve implements Policy.
+func (AllReserved) Reserve(_, demand, active int) int {
+	if demand > active {
+		return demand - active
+	}
+	return 0
+}
+
+// Random reserves toward a uniformly random target in [0, demand] at
+// each hour — the paper's second behavior imitator.
+// Construct with NewRandom so runs are reproducible from a seed.
+type Random struct {
+	rng *rand.Rand
+}
+
+// NewRandom returns a Random policy seeded for reproducibility.
+func NewRandom(seed int64) *Random {
+	return &Random{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Reserve implements Policy.
+func (r *Random) Reserve(_, demand, active int) int {
+	if demand <= 0 {
+		return 0
+	}
+	target := r.rng.Intn(demand + 1)
+	if target > active {
+		return target - active
+	}
+	return 0
+}
+
+// WangOnline is the deterministic online purchasing algorithm of Wang
+// et al. (ICAC 2013): demand is decomposed into unit levels (level j is
+// occupied at hour t iff d_t >= j); an uncovered level pays on-demand,
+// and once a level's on-demand hours inside a sliding window of one
+// reservation period reach the break-even point
+//
+//	beta = R / (p * (1 - alpha))
+//
+// the level is covered with a new reservation. BreakEvenScale shrinks
+// beta for the paper's fourth behavior imitator (WangVariant).
+type WangOnline struct {
+	// Instance supplies R, p and alpha.
+	Instance pricing.InstanceType
+	// BreakEvenScale multiplies the break-even point; 1 is the original
+	// algorithm, values in (0, 1) reserve more eagerly. Zero means 1.
+	BreakEvenScale float64
+
+	levels []levelState
+	resExp []pendingExpiry
+	active int
+}
+
+type levelState struct {
+	// hours holds the timestamps of on-demand hours inside the current
+	// window, oldest first.
+	hours []int
+}
+
+type pendingExpiry struct {
+	hour  int
+	count int
+}
+
+// NewWangOnline returns the ICAC'13 online purchasing policy.
+func NewWangOnline(it pricing.InstanceType) *WangOnline {
+	return &WangOnline{Instance: it, BreakEvenScale: 1}
+}
+
+// NewWangVariant returns the paper's fourth behavior imitator: the
+// ICAC'13 algorithm with a smaller break-even point (half by default).
+func NewWangVariant(it pricing.InstanceType) *WangOnline {
+	return &WangOnline{Instance: it, BreakEvenScale: 0.5}
+}
+
+// breakEvenHours returns the number of on-demand hours after which
+// reserving is cheaper, scaled by BreakEvenScale.
+func (w *WangOnline) breakEvenHours() float64 {
+	scale := w.BreakEvenScale
+	if scale == 0 {
+		scale = 1
+	}
+	it := w.Instance
+	return scale * it.Upfront / (it.OnDemandHourly * (1 - it.Alpha()))
+}
+
+// Reserve implements Policy. The active argument is ignored: the
+// algorithm tracks its own coverage because its decisions depend on
+// which demand levels its own reservations cover.
+func (w *WangOnline) Reserve(t, demand, _ int) int {
+	period := w.Instance.PeriodHours
+	beta := w.breakEvenHours()
+
+	// Expire our own reservations.
+	kept := w.resExp[:0]
+	for _, e := range w.resExp {
+		if e.hour > t {
+			kept = append(kept, e)
+		} else {
+			w.active -= e.count
+		}
+	}
+	w.resExp = kept
+
+	// Grow level state to cover this hour's demand.
+	for len(w.levels) < demand {
+		w.levels = append(w.levels, levelState{})
+	}
+
+	reserve := 0
+	covered := w.active
+	for j := 0; j < demand; j++ {
+		if j < covered {
+			continue // served by an active reservation, no on-demand spend
+		}
+		lv := &w.levels[j]
+		lv.hours = append(lv.hours, t)
+		// Prune hours that fell out of the window (t-period, t].
+		cut := 0
+		for cut < len(lv.hours) && lv.hours[cut] <= t-period {
+			cut++
+		}
+		lv.hours = lv.hours[cut:]
+		if float64(len(lv.hours)) >= beta {
+			reserve++
+			covered++
+			lv.hours = lv.hours[:0]
+		}
+	}
+	if reserve > 0 {
+		w.active += reserve
+		w.resExp = append(w.resExp, pendingExpiry{hour: t + period, count: reserve})
+	}
+	return reserve
+}

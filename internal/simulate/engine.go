@@ -1,0 +1,216 @@
+package simulate
+
+import (
+	"fmt"
+	"sort"
+)
+
+// instance is the engine's mutable per-reservation state.
+type instance struct {
+	rec    InstanceRecord
+	sold   bool
+	expiry int   // Start + T
+	ckAges []int // decision ages, strictly increasing
+	nextCk int   // index of the next pending decision age
+}
+
+// checkpointAges resolves the policy's decision ages for the period,
+// honoring the optional MultiCheckpointPolicy extension. The returned
+// slice is sorted, deduplicated and restricted to (0, period).
+func checkpointAges(policy SellingPolicy, period int) []int {
+	var raw []int
+	if mp, ok := policy.(MultiCheckpointPolicy); ok {
+		raw = mp.CheckpointAges(period)
+	} else {
+		raw = []int{policy.CheckpointAge(period)}
+	}
+	ages := make([]int, 0, len(raw))
+	for _, a := range raw {
+		if a > 0 && a < period {
+			ages = append(ages, a)
+		}
+	}
+	sort.Ints(ages)
+	out := ages[:0]
+	for i, a := range ages {
+		if i == 0 || a != ages[i-1] {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Run replays the demand series against the reservation series under
+// the given selling policy and returns the full accounting.
+//
+// Per hour t the engine, in order:
+//  1. activates the newRes[t] instances reserved at t (active from t);
+//  2. consults the selling policy for every unsold instance whose age
+//     equals one of its pending checkpoint ages (sold instances stop
+//     serving and stop incurring the reserved hourly fee from t on, and
+//     earn a * R * remaining/T, less the market fee);
+//  3. serves demand[t] with active instances in the paper's working
+//     sequence — least remaining period first, higher batch index first
+//     within a batch — and buys o_t = max(0, d_t - r_t) on-demand
+//     instances for the overflow;
+//  4. books C_t per Eq. (1).
+//
+// Policies implementing MultiCheckpointPolicy are consulted at each of
+// their ages until they sell; policies implementing PerInstancePolicy
+// assign every instance its own age at reservation time.
+func Run(demand, newRes []int, cfg Config, policy SellingPolicy) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if len(demand) != len(newRes) {
+		return Result{}, fmt.Errorf("%w: %d demand hours, %d reservation hours",
+			ErrLengthMismatch, len(demand), len(newRes))
+	}
+	for t, d := range demand {
+		if d < 0 {
+			return Result{}, fmt.Errorf("simulate: negative demand %d at hour %d", d, t)
+		}
+		if newRes[t] < 0 {
+			return Result{}, fmt.Errorf("simulate: negative reservation count %d at hour %d", newRes[t], t)
+		}
+	}
+	if policy == nil {
+		return Result{}, fmt.Errorf("simulate: nil selling policy")
+	}
+
+	it := cfg.Instance
+	period := it.PeriodHours
+	alphaHourly := it.ReservedHourly
+	saleKeep := 1 - cfg.MarketFee
+
+	sharedAges := checkpointAges(policy, period)
+	perInst, isPerInstance := policy.(PerInstancePolicy)
+
+	res := Result{Hours: make([]HourRecord, len(demand))}
+	var instances []*instance
+	// active holds the currently active (unexpired, unsold) instances
+	// in working-sequence order: earlier start first (less remaining
+	// period), higher batch index first within a batch.
+	var active []*instance
+	anyCheckpoints := len(sharedAges) > 0 || isPerInstance
+
+	for t := range demand {
+		// Drop expired instances.
+		live := active[:0]
+		for _, in := range active {
+			if t < in.expiry {
+				live = append(live, in)
+			}
+		}
+		active = live
+
+		// 1. Activate this hour's new reservations.
+		for i := 1; i <= newRes[t]; i++ {
+			in := &instance{
+				rec:    InstanceRecord{Start: t, BatchIndex: i, SoldAt: -1, WorkedAtCheckpoint: -1},
+				expiry: t + period,
+			}
+			if isPerInstance {
+				if age := perInst.InstanceCheckpointAge(t, i, period); age > 0 && age < period {
+					in.ckAges = []int{age}
+				}
+			} else {
+				in.ckAges = sharedAges
+			}
+			if cfg.RecordSchedules {
+				in.rec.Schedule = make([]bool, period)
+			}
+			instances = append(instances, in)
+			active = append(active, in)
+		}
+		// Restore working-sequence order: new instances have the most
+		// remaining period so they sort last; within the new batch the
+		// higher index must come first.
+		sort.SliceStable(active, func(a, b int) bool {
+			ia, ib := active[a], active[b]
+			if ia.rec.Start != ib.rec.Start {
+				return ia.rec.Start < ib.rec.Start
+			}
+			return ia.rec.BatchIndex > ib.rec.BatchIndex
+		})
+
+		// 2. Selling checkpoints.
+		var soldNow int
+		var income float64
+		if anyCheckpoints {
+			kept := active[:0]
+			for _, in := range active {
+				if in.nextCk >= len(in.ckAges) || t-in.rec.Start != in.ckAges[in.nextCk] {
+					kept = append(kept, in)
+					continue
+				}
+				in.nextCk++
+				in.rec.WorkedAtCheckpoint = in.rec.Worked
+				ck := Checkpoint{
+					Hour:      t,
+					Start:     in.rec.Start,
+					Age:       t - in.rec.Start,
+					Worked:    in.rec.Worked,
+					Remaining: in.expiry - t,
+				}
+				if policy.ShouldSell(ck) {
+					in.sold = true
+					in.rec.SoldAt = t
+					soldNow++
+					remFrac := float64(in.expiry-t) / float64(period)
+					income += cfg.SellingDiscount * remFrac * it.Upfront * saleKeep
+				} else {
+					kept = append(kept, in)
+				}
+			}
+			active = kept
+		}
+
+		// 3. Working sequence: first d_t active instances serve demand.
+		d := demand[t]
+		busy := d
+		if busy > len(active) {
+			busy = len(active)
+		}
+		for _, in := range active[:busy] {
+			in.rec.Worked++
+			if cfg.RecordSchedules {
+				in.rec.Schedule[t-in.rec.Start] = true
+			}
+		}
+		onDemand := d - len(active)
+		if onDemand < 0 {
+			onDemand = 0
+		}
+
+		// 4. Book C_t per Eq. (1).
+		res.Hours[t] = HourRecord{
+			Demand:    d,
+			NewlyRes:  newRes[t],
+			ActiveRes: len(active),
+			OnDemand:  onDemand,
+			Sold:      soldNow,
+		}
+		res.Cost.OnDemand += float64(onDemand) * it.OnDemandHourly
+		res.Cost.Upfront += float64(newRes[t]) * it.Upfront
+		res.Cost.ReservedHourly += float64(len(active)) * alphaHourly
+		res.Cost.SaleIncome += income
+	}
+
+	res.Instances = make([]InstanceRecord, len(instances))
+	for i, in := range instances {
+		res.Instances[i] = in.rec
+	}
+	return res, nil
+}
+
+// KeepReserved is the paper's Keep-Reserved benchmark: never sell.
+// It is defined here (rather than in package core) because the engine
+// itself uses it as the neutral default in helpers.
+type KeepReserved struct{}
+
+// CheckpointAge implements SellingPolicy: no checkpoint.
+func (KeepReserved) CheckpointAge(int) int { return -1 }
+
+// ShouldSell implements SellingPolicy.
+func (KeepReserved) ShouldSell(Checkpoint) bool { return false }

@@ -1,0 +1,91 @@
+package simulate
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// PeakActive returns the largest number of simultaneously active
+// reservations during the run.
+func (r Result) PeakActive() int {
+	peak := 0
+	for _, h := range r.Hours {
+		if h.ActiveRes > peak {
+			peak = h.ActiveRes
+		}
+	}
+	return peak
+}
+
+// OnDemandHours returns the total on-demand instance-hours bought.
+func (r Result) OnDemandHours() int {
+	total := 0
+	for _, h := range r.Hours {
+		total += h.OnDemand
+	}
+	return total
+}
+
+// Utilization returns the fraction of active reserved instance-hours
+// that served demand (1 means no reserved hour was wasted; 0 when
+// nothing was ever reserved).
+func (r Result) Utilization() float64 {
+	var active, busy int
+	for _, h := range r.Hours {
+		active += h.ActiveRes
+		served := h.Demand - h.OnDemand
+		if served > h.ActiveRes {
+			served = h.ActiveRes
+		}
+		busy += served
+	}
+	if active == 0 {
+		return 0
+	}
+	return float64(busy) / float64(active)
+}
+
+// CumulativeCost returns the running Eq. (1) cost after each hour,
+// using the run's configuration implicitly through the per-hour records
+// and the supplied rates. It exists for cost-over-time plots.
+func (r Result) CumulativeCost(onDemandHourly, upfront, reservedHourly, saleIncomePerSale float64) []float64 {
+	out := make([]float64, len(r.Hours))
+	var acc float64
+	for t, h := range r.Hours {
+		acc += float64(h.OnDemand)*onDemandHourly +
+			float64(h.NewlyRes)*upfront +
+			float64(h.ActiveRes)*reservedHourly -
+			float64(h.Sold)*saleIncomePerSale
+		out[t] = acc
+	}
+	return out
+}
+
+// WriteHoursCSV writes the per-hour accounting rows (t, d_t, n_t, r_t,
+// o_t, s_t) as CSV for external plotting.
+func (r Result) WriteHoursCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"hour", "demand", "new_reserved", "active_reserved", "on_demand", "sold"}); err != nil {
+		return fmt.Errorf("simulate: csv: %w", err)
+	}
+	for t, h := range r.Hours {
+		rec := []string{
+			strconv.Itoa(t),
+			strconv.Itoa(h.Demand),
+			strconv.Itoa(h.NewlyRes),
+			strconv.Itoa(h.ActiveRes),
+			strconv.Itoa(h.OnDemand),
+			strconv.Itoa(h.Sold),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("simulate: csv: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("simulate: csv: %w", err)
+	}
+	return nil
+}

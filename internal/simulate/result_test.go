@@ -1,0 +1,93 @@
+package simulate
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func resultFixture(t *testing.T) Result {
+	t.Helper()
+	n := 40
+	demand := constSeries(0, n)
+	for i := 0; i < 10; i++ {
+		demand[i] = 2
+	}
+	newRes := constSeries(0, n)
+	newRes[0] = 2
+	res, err := Run(demand, newRes, testConfig(), sellAlways{age: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestResultHelpers(t *testing.T) {
+	res := resultFixture(t)
+	if got := res.PeakActive(); got != 2 {
+		t.Errorf("PeakActive = %d, want 2", got)
+	}
+	if got := res.OnDemandHours(); got != 0 {
+		t.Errorf("OnDemandHours = %d, want 0", got)
+	}
+	// Busy 2x10 hours of 2x20 active reserved hours (both sold at 20).
+	if got := res.Utilization(); !almostEqual(got, 0.5, 1e-9) {
+		t.Errorf("Utilization = %v, want 0.5", got)
+	}
+}
+
+func TestResultUtilizationEmpty(t *testing.T) {
+	res, err := Run([]int{1, 1}, []int{0, 0}, testConfig(), KeepReserved{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Utilization(); got != 0 {
+		t.Errorf("Utilization = %v, want 0 with no reservations", got)
+	}
+	if got := res.OnDemandHours(); got != 2 {
+		t.Errorf("OnDemandHours = %d, want 2", got)
+	}
+}
+
+func TestCumulativeCostMatchesTotal(t *testing.T) {
+	res := resultFixture(t)
+	it := testInstance()
+	// Income per sale: a * R * rem/T = 0.8 * 100 * 20/40 = 40.
+	series := res.CumulativeCost(it.OnDemandHourly, it.Upfront, it.ReservedHourly, 40)
+	if len(series) != len(res.Hours) {
+		t.Fatalf("len = %d", len(series))
+	}
+	final := series[len(series)-1]
+	if !almostEqual(final, res.Cost.Total(), 1e-9) {
+		t.Errorf("cumulative final %v != total %v", final, res.Cost.Total())
+	}
+	for i := 1; i < len(series); i++ {
+		maxDrop := float64(res.Hours[i].Sold) * 40 // drops only via sale income
+		if series[i] < series[i-1]-maxDrop-1e-9 {
+			t.Fatalf("suspicious drop at %d: %v -> %v", i, series[i-1], series[i])
+		}
+	}
+}
+
+func TestWriteHoursCSV(t *testing.T) {
+	res := resultFixture(t)
+	var buf bytes.Buffer
+	if err := res.WriteHoursCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != len(res.Hours)+1 {
+		t.Fatalf("rows = %d, want %d", len(records), len(res.Hours)+1)
+	}
+	if !strings.HasPrefix(strings.Join(records[0], ","), "hour,demand") {
+		t.Errorf("header = %v", records[0])
+	}
+	// Row 21 (hour 20) records the two sales.
+	if records[21][5] != "2" {
+		t.Errorf("sold at hour 20 = %s, want 2", records[21][5])
+	}
+}

@@ -1,0 +1,100 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is a named curve for ASCII plotting, one per algorithm in the
+// paper's figures.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// RenderCDFs renders one or more CDF curves as an ASCII chart of the
+// given width and height, the terminal stand-in for the paper's
+// matplotlib figures. Each series is drawn with its own glyph; a legend
+// follows the chart.
+func RenderCDFs(series []Series, width, height int) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	glyphs := []byte{'*', 'o', '+', 'x', '#', '@'}
+
+	// Establish shared x-range across all series; y is always [0,1].
+	xlo, xhi := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, p := range s.Points {
+			if p.X < xlo {
+				xlo = p.X
+			}
+			if p.X > xhi {
+				xhi = p.X
+			}
+		}
+	}
+	if math.IsInf(xlo, 1) || xlo == xhi {
+		return "(no data)\n"
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		for _, p := range s.Points {
+			col := int((p.X - xlo) / (xhi - xlo) * float64(width-1))
+			row := height - 1 - int(p.Y*float64(height-1))
+			if col < 0 || col >= width || row < 0 || row >= height {
+				continue
+			}
+			grid[row][col] = g
+		}
+	}
+
+	var b strings.Builder
+	b.WriteString("P(X<=x)\n")
+	for i, line := range grid {
+		yv := 1 - float64(i)/float64(height-1)
+		fmt.Fprintf(&b, "%5.2f |%s|\n", yv, string(line))
+	}
+	fmt.Fprintf(&b, "      %s\n", strings.Repeat("-", width+2))
+	fmt.Fprintf(&b, "      %-*.4g%*.4g\n", width/2, xlo, width/2+2, xhi)
+	for si, s := range series {
+		fmt.Fprintf(&b, "      [%c] %s\n", glyphs[si%len(glyphs)], s.Name)
+	}
+	return b.String()
+}
+
+// RenderHistogram renders bin counts as a horizontal ASCII bar chart,
+// used for the Fig. 2 fluctuation statistics.
+func RenderHistogram(edges []float64, counts []int, width int) string {
+	if len(counts) == 0 || len(edges) != len(counts)+1 {
+		return "(no data)\n"
+	}
+	if width < 8 {
+		width = 8
+	}
+	maxCount := 0
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	if maxCount == 0 {
+		maxCount = 1
+	}
+	var b strings.Builder
+	for i, c := range counts {
+		barLen := int(float64(c) / float64(maxCount) * float64(width))
+		fmt.Fprintf(&b, "[%8.3g, %8.3g) %-*s %d\n",
+			edges[i], edges[i+1], width, strings.Repeat("#", barLen), c)
+	}
+	return b.String()
+}

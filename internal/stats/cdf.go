@@ -1,0 +1,115 @@
+package stats
+
+import (
+	"sort"
+)
+
+// CDF is an empirical cumulative distribution function over a sample.
+// The zero value is unusable; construct one with NewCDF.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds an empirical CDF from the sample xs. The input is
+// copied, so the caller may keep mutating xs.
+func NewCDF(xs []float64) *CDF {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return &CDF{sorted: sorted}
+}
+
+// Len returns the sample size behind the CDF.
+func (c *CDF) Len() int { return len(c.sorted) }
+
+// At returns P(X <= x), the fraction of the sample at or below x.
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	// Index of the first element strictly greater than x.
+	idx := sort.Search(len(c.sorted), func(i int) bool { return c.sorted[i] > x })
+	return float64(idx) / float64(len(c.sorted))
+}
+
+// Quantile returns the smallest sample value v with P(X <= v) >= q,
+// for q in (0, 1]. Out-of-range q values are clamped.
+func (c *CDF) Quantile(q float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return c.sorted[0]
+	}
+	if q > 1 {
+		q = 1
+	}
+	idx := int(q*float64(len(c.sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(c.sorted) {
+		idx = len(c.sorted) - 1
+	}
+	return c.sorted[idx]
+}
+
+// Points returns up to n evenly spaced (x, P(X<=x)) points spanning the
+// sample range, suitable for plotting the CDF curve as in Figs. 3 and 4.
+// It returns nil for an empty CDF or n < 2.
+func (c *CDF) Points(n int) []Point {
+	if len(c.sorted) == 0 || n < 2 {
+		return nil
+	}
+	lo, hi := c.sorted[0], c.sorted[len(c.sorted)-1]
+	if lo == hi {
+		return []Point{{X: lo, Y: 1}}
+	}
+	pts := make([]Point, 0, n)
+	step := (hi - lo) / float64(n-1)
+	for i := 0; i < n; i++ {
+		x := lo + step*float64(i)
+		pts = append(pts, Point{X: x, Y: c.At(x)})
+	}
+	return pts
+}
+
+// Point is a single (x, y) sample of a curve.
+type Point struct {
+	X, Y float64
+}
+
+// Histogram counts the sample into nbins equal-width bins over
+// [min, max]. It returns bin edges (len nbins+1) and counts (len nbins).
+// Values exactly at the upper edge fall into the last bin.
+func Histogram(xs []float64, nbins int) (edges []float64, counts []int, err error) {
+	if len(xs) == 0 {
+		return nil, nil, ErrEmpty
+	}
+	if nbins < 1 {
+		nbins = 1
+	}
+	lo, hi, err := MinMax(xs)
+	if err != nil {
+		return nil, nil, err
+	}
+	if lo == hi {
+		hi = lo + 1
+	}
+	edges = make([]float64, nbins+1)
+	width := (hi - lo) / float64(nbins)
+	for i := range edges {
+		edges[i] = lo + width*float64(i)
+	}
+	counts = make([]int, nbins)
+	for _, x := range xs {
+		idx := int((x - lo) / width)
+		if idx >= nbins {
+			idx = nbins - 1
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		counts[idx]++
+	}
+	return edges, counts, nil
+}

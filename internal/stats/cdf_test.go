@@ -1,0 +1,178 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCDFAt(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4})
+	tests := []struct {
+		x    float64
+		want float64
+	}{
+		{x: 0.5, want: 0},
+		{x: 1, want: 0.25},
+		{x: 2.5, want: 0.5},
+		{x: 4, want: 1},
+		{x: 100, want: 1},
+	}
+	for _, tt := range tests {
+		if got := c.At(tt.x); !almostEqual(got, tt.want, 1e-12) {
+			t.Errorf("At(%v) = %v, want %v", tt.x, got, tt.want)
+		}
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	c := NewCDF(nil)
+	if c.Len() != 0 {
+		t.Errorf("Len = %d, want 0", c.Len())
+	}
+	if got := c.At(5); got != 0 {
+		t.Errorf("At = %v, want 0", got)
+	}
+	if got := c.Quantile(0.5); got != 0 {
+		t.Errorf("Quantile = %v, want 0", got)
+	}
+	if pts := c.Points(10); pts != nil {
+		t.Errorf("Points = %v, want nil", pts)
+	}
+}
+
+func TestCDFQuantile(t *testing.T) {
+	c := NewCDF([]float64{10, 20, 30, 40, 50})
+	tests := []struct {
+		q    float64
+		want float64
+	}{
+		{q: 0.2, want: 10},
+		{q: 0.5, want: 30}, // rounds to middle rank
+		{q: 1.0, want: 50},
+		{q: -1, want: 10},  // clamped low
+		{q: 2.0, want: 50}, // clamped high
+	}
+	for _, tt := range tests {
+		if got := c.Quantile(tt.q); got != tt.want {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+}
+
+func TestCDFDoesNotAliasInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	c := NewCDF(xs)
+	xs[0] = 100
+	if got := c.At(3); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("CDF aliased caller slice: At(3) = %v, want 1", got)
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	c := NewCDF([]float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	pts := c.Points(11)
+	if len(pts) != 11 {
+		t.Fatalf("len(Points) = %d, want 11", len(pts))
+	}
+	if pts[0].X != 0 || pts[len(pts)-1].X != 9 {
+		t.Errorf("x-range = [%v, %v], want [0, 9]", pts[0].X, pts[len(pts)-1].X)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Y < pts[i-1].Y {
+			t.Errorf("CDF points not monotone at %d: %v < %v", i, pts[i].Y, pts[i-1].Y)
+		}
+	}
+	// Degenerate single-value sample.
+	one := NewCDF([]float64{7, 7, 7})
+	pts = one.Points(5)
+	if len(pts) != 1 || pts[0].Y != 1 {
+		t.Errorf("degenerate Points = %v, want single (7,1)", pts)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	edges, counts, err := Histogram([]float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 10}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(edges) != 6 || len(counts) != 5 {
+		t.Fatalf("shape = (%d edges, %d counts), want (6, 5)", len(edges), len(counts))
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 10 {
+		t.Errorf("histogram total = %d, want 10", total)
+	}
+	if _, _, err := Histogram(nil, 5); err != ErrEmpty {
+		t.Errorf("Histogram(nil) err = %v, want ErrEmpty", err)
+	}
+	// Constant data widens the range rather than dividing by zero.
+	if _, counts, err := Histogram([]float64{2, 2, 2}, 3); err != nil || counts[0] != 3 {
+		t.Errorf("constant histogram = %v err %v, want all in bin 0", counts, err)
+	}
+}
+
+func TestPropertyCDFMonotone(t *testing.T) {
+	f := func(xs []float64, probes []float64) bool {
+		clean := xs[:0:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				clean = append(clean, x)
+			}
+		}
+		c := NewCDF(clean)
+		sort.Float64s(probes)
+		prev := -1.0
+		for _, p := range probes {
+			if math.IsNaN(p) {
+				continue
+			}
+			v := c.At(p)
+			if v < prev || v < 0 || v > 1 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRenderCDFs(t *testing.T) {
+	c1 := NewCDF([]float64{1, 2, 3})
+	c2 := NewCDF([]float64{2, 3, 4})
+	out := RenderCDFs([]Series{
+		{Name: "alpha", Points: c1.Points(20)},
+		{Name: "beta", Points: c2.Points(20)},
+	}, 40, 10)
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "beta") {
+		t.Errorf("legend missing from render:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Errorf("series glyphs missing from render:\n%s", out)
+	}
+	if got := RenderCDFs(nil, 40, 10); got != "(no data)\n" {
+		t.Errorf("RenderCDFs(nil) = %q", got)
+	}
+}
+
+func TestRenderHistogram(t *testing.T) {
+	edges, counts, err := Histogram([]float64{1, 1, 2, 3, 3, 3}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderHistogram(edges, counts, 20)
+	if !strings.Contains(out, "#") {
+		t.Errorf("bars missing:\n%s", out)
+	}
+	if got := RenderHistogram(nil, nil, 20); got != "(no data)\n" {
+		t.Errorf("RenderHistogram(nil) = %q", got)
+	}
+}

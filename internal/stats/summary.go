@@ -1,0 +1,53 @@
+package stats
+
+import (
+	"fmt"
+)
+
+// Summary is a five-number-plus summary of a sample.
+type Summary struct {
+	// N is the sample size.
+	N int
+	// Min, P25, Median, P75, P90, Max are order statistics.
+	Min, P25, Median, P75, P90, Max float64
+	// Mean and StdDev are the moments.
+	Mean, StdDev float64
+}
+
+// Summarize computes a Summary. It returns ErrEmpty for empty input.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	s := Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		StdDev: StdDev(xs),
+	}
+	var err error
+	if s.Min, s.Max, err = MinMax(xs); err != nil {
+		return Summary{}, err
+	}
+	for _, q := range []struct {
+		p    float64
+		dest *float64
+	}{
+		{p: 25, dest: &s.P25},
+		{p: 50, dest: &s.Median},
+		{p: 75, dest: &s.P75},
+		{p: 90, dest: &s.P90},
+	} {
+		v, err := Percentile(xs, q.p)
+		if err != nil {
+			return Summary{}, err
+		}
+		*q.dest = v
+	}
+	return s, nil
+}
+
+// String renders the summary on one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d min=%.4g p25=%.4g med=%.4g p75=%.4g p90=%.4g max=%.4g mean=%.4g sd=%.4g",
+		s.N, s.Min, s.P25, s.Median, s.P75, s.P90, s.Max, s.Mean, s.StdDev)
+}

@@ -1,0 +1,102 @@
+package trade
+
+import (
+	"fmt"
+
+	"rimarket/internal/marketplace"
+	"rimarket/internal/pricing"
+	"rimarket/internal/purchasing"
+)
+
+// BuyerStats reports the designated smart buyer's outcome in a market
+// session: how many reservations it sourced used instead of fresh, and
+// what it saved by doing so. This is the demand side of the paper's
+// marketplace — the buyer "pays the upfront fee to obtain the ownership
+// of this instance and then ... can enjoy the cheaper hourly rate in
+// the instance's remaining reservation period" (Section III.B).
+type BuyerStats struct {
+	// FreshReservations counts reservations bought new at the full
+	// upfront R.
+	FreshReservations int
+	// UsedPurchases counts reservations sourced from the marketplace.
+	UsedPurchases int
+	// UpfrontSpent is the total upfront paid (fresh R plus used asks).
+	UpfrontSpent float64
+	// Savings is the prorated fair value bought minus the price paid for
+	// used purchases: what the buyer saved versus paying the pro-rata
+	// upfront for the same remaining coverage.
+	Savings float64
+}
+
+// RunWithBuyer replays the sell events through a market session with
+// one designated smart buyer alongside the background buyer flow. The
+// smart buyer replays its own demand trace through the ICAC'13 online
+// purchasing algorithm; whenever that algorithm decides to reserve, the
+// buyer first checks the marketplace and takes the cheapest listing if
+// its per-remaining-hour price beats a fresh reservation's R/T.
+//
+// The returned Stats describe the whole market (including the smart
+// buyer's purchases); BuyerStats describe the smart buyer alone.
+func RunWithBuyer(events []SellEvent, cfg Config, buyerDemand []int, it pricing.InstanceType) (Stats, BuyerStats, error) {
+	if err := cfg.Validate(); err != nil {
+		return Stats{}, BuyerStats{}, err
+	}
+	if err := it.Validate(); err != nil {
+		return Stats{}, BuyerStats{}, err
+	}
+	if len(events) == 0 {
+		return Stats{}, BuyerStats{}, fmt.Errorf("trade: no sell events")
+	}
+	if len(buyerDemand) == 0 {
+		return Stats{}, BuyerStats{}, fmt.Errorf("trade: empty buyer demand")
+	}
+
+	// Pre-plan the smart buyer's reservation hours with the online
+	// purchaser; the market decides fresh-vs-used at execution time.
+	plan, err := purchasing.PlanReservations(buyerDemand, it.PeriodHours, purchasing.NewWangOnline(it))
+	if err != nil {
+		return Stats{}, BuyerStats{}, err
+	}
+
+	session, err := newSession(events, cfg)
+	if err != nil {
+		return Stats{}, BuyerStats{}, err
+	}
+	var buyer BuyerStats
+	// cheaperThanFresh compares per-remaining-hour prices by cross
+	// multiplication with a relative tolerance, so a re-capped ask
+	// (exactly at fresh parity up to floating point) is not "cheaper".
+	cheaperThanFresh := func(ask float64, remaining int) bool {
+		return ask*float64(it.PeriodHours) < it.Upfront*float64(remaining)*(1-1e-9)
+	}
+	for hour := 0; hour < session.horizon; hour++ {
+		if err := session.step(hour); err != nil {
+			return Stats{}, BuyerStats{}, err
+		}
+		if hour >= len(plan) {
+			continue
+		}
+		for i := 0; i < plan[hour]; i++ {
+			used := false
+			if open := session.market.OpenListings(it.Name); len(open) > 0 {
+				best := open[0] // cheapest first
+				if cheaperThanFresh(best.AskUpfront, best.RemainingHours) {
+					sales, err := session.market.Buy("smart-buyer", it.Name, 1)
+					if err == nil && len(sales) == 1 {
+						s := sales[0]
+						session.recordSale(hour, s)
+						buyer.UsedPurchases++
+						buyer.UpfrontSpent += s.PricePaid
+						buyer.Savings += marketplace.ProratedCap(s.Listing.Instance, s.Listing.RemainingHours) - s.PricePaid
+						used = true
+					}
+				}
+			}
+			if !used {
+				buyer.FreshReservations++
+				buyer.UpfrontSpent += it.Upfront
+			}
+		}
+	}
+	return session.finish(), buyer, nil
+}

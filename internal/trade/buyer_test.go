@@ -1,0 +1,128 @@
+package trade
+
+import (
+	"testing"
+
+	"rimarket/internal/pricing"
+)
+
+func TestRunWithBuyerValidation(t *testing.T) {
+	it := card()
+	cfg := defaultConfig()
+	events := []SellEvent{{Hour: 0, Seller: "a", Instance: it, RemainingHours: 100}}
+	demand := make([]int, 50)
+	if _, _, err := RunWithBuyer(nil, cfg, demand, it); err == nil {
+		t.Error("no events accepted")
+	}
+	if _, _, err := RunWithBuyer(events, cfg, nil, it); err == nil {
+		t.Error("empty buyer demand accepted")
+	}
+	bad := cfg
+	bad.ListingDiscount = 0
+	if _, _, err := RunWithBuyer(events, bad, demand, it); err == nil {
+		t.Error("bad config accepted")
+	}
+	if _, _, err := RunWithBuyer(events, cfg, demand, card()); err != nil {
+		t.Errorf("valid call failed: %v", err)
+	}
+}
+
+// buyerCard has an early Wang break-even (R/(p(1-alpha)) = 26.7 h) so
+// the smart buyer decides while listed discounts are still live —
+// once a listing's ask has been re-capped by aging, its per-hour price
+// equals a fresh reservation's R/T and is never strictly cheaper.
+func buyerCard() pricing.InstanceType {
+	return pricing.InstanceType{
+		Name:           "buyer.large",
+		OnDemandHourly: 1.0,
+		Upfront:        20,
+		ReservedHourly: 0.25,
+		PeriodHours:    400,
+	}
+}
+
+func TestRunWithBuyerPrefersCheapUsedListing(t *testing.T) {
+	// Fresh per-hour = 20/400 = 0.05. The listing offers 200 remaining
+	// hours at 0.8 * 10 = 8; by the buyer's decision at hour 26 it has
+	// 174 h left (cap 8.7, ask still 8 -> 0.046/h < 0.05/h): take it.
+	it := buyerCard()
+	demand := make([]int, 200)
+	for i := range demand {
+		demand[i] = 1
+	}
+	events := []SellEvent{{Hour: 0, Seller: "a", Instance: it, RemainingHours: 200}}
+	cfg := defaultConfig()
+	cfg.BuyerRate = 0 // no background buyers competing
+	cfg.Horizon = 200
+
+	stats, buyer, err := RunWithBuyer(events, cfg, demand, it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buyer.UsedPurchases != 1 || buyer.FreshReservations != 0 {
+		t.Fatalf("buyer = %+v, want one used purchase", buyer)
+	}
+	if !almostEqual(buyer.UpfrontSpent, 8, 1e-9) {
+		t.Errorf("UpfrontSpent = %v, want 8", buyer.UpfrontSpent)
+	}
+	// Paid 8 for a prorated value of 20*174/400 = 8.7: saved 0.7.
+	if !almostEqual(buyer.Savings, 0.7, 1e-9) {
+		t.Errorf("Savings = %v, want 0.7", buyer.Savings)
+	}
+	if stats.Sold != 1 {
+		t.Errorf("market sold = %d, want 1", stats.Sold)
+	}
+}
+
+func TestRunWithBuyerFallsBackToFresh(t *testing.T) {
+	// An undiscounted listing (ask per hour equal to fresh R/T) is
+	// skipped by the strict < comparison: the buyer reserves fresh.
+	it := buyerCard()
+	demand := make([]int, 200)
+	for i := range demand {
+		demand[i] = 1
+	}
+	events := []SellEvent{{Hour: 0, Seller: "a", Instance: it, RemainingHours: 300}}
+	cfg := defaultConfig()
+	cfg.ListingDiscount = 1.0
+	cfg.BuyerRate = 0
+	cfg.Horizon = 200
+	_, buyer, err := RunWithBuyer(events, cfg, demand, it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buyer.UsedPurchases != 0 {
+		t.Errorf("buyer bought an overpriced listing: %+v", buyer)
+	}
+	if buyer.FreshReservations != 1 {
+		t.Errorf("FreshReservations = %d, want 1", buyer.FreshReservations)
+	}
+	if !almostEqual(buyer.UpfrontSpent, it.Upfront, 1e-9) {
+		t.Errorf("UpfrontSpent = %v, want %v", buyer.UpfrontSpent, it.Upfront)
+	}
+}
+
+func TestRunWithBuyerDeterministic(t *testing.T) {
+	it := card()
+	demand := make([]int, 300)
+	for i := range demand {
+		demand[i] = 2
+	}
+	events := []SellEvent{
+		{Hour: 0, Seller: "a", Instance: it, RemainingHours: 300},
+		{Hour: 50, Seller: "b", Instance: it, RemainingHours: 250},
+	}
+	cfg := defaultConfig()
+	cfg.BuyerRate = 0.3
+	s1, b1, err := RunWithBuyer(events, cfg, demand, it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, b2, err := RunWithBuyer(events, cfg, demand, it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 || b1 != b2 {
+		t.Errorf("runs differ: %+v/%+v vs %+v/%+v", s1, b1, s2, b2)
+	}
+}

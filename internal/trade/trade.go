@@ -1,0 +1,252 @@
+// Package trade simulates reserved-instance marketplace dynamics over
+// time: sellers list the remaining periods their selling algorithms
+// shed, buyers arrive hour by hour, the order book ages (remaining
+// periods shrink, asks get re-capped, stale listings expire), and the
+// session reports whether listings actually clear and at what realized
+// income.
+//
+// The paper's cost model Eq. (1) books sale income the moment the
+// selling algorithm decides — implicitly assuming a buyer exists. This
+// package quantifies that assumption: with a given buyer arrival rate,
+// what fraction of listings sell before expiry, how long do they wait,
+// and how much of the assumed income is realized?
+package trade
+
+import (
+	"fmt"
+	"sort"
+
+	"rimarket/internal/marketplace"
+	"rimarket/internal/pricing"
+)
+
+// SellEvent is one reservation put up for sale during a simulation.
+type SellEvent struct {
+	// Hour is the simulation hour the sale decision happened.
+	Hour int
+	// Seller names the selling user.
+	Seller string
+	// Instance is the reservation's price card.
+	Instance pricing.InstanceType
+	// RemainingHours is the unexpired period at the decision hour.
+	RemainingHours int
+}
+
+// Config parameterizes a market session.
+type Config struct {
+	// ListingDiscount is the fraction of the prorated cap sellers ask
+	// (the paper's a).
+	ListingDiscount float64
+	// MarketFee is the marketplace's cut (Amazon: 0.12).
+	MarketFee float64
+	// BuyerRate is the mean number of buyer arrivals per hour; each
+	// buyer purchases one instance of a uniformly chosen listed type.
+	BuyerRate float64
+	// Horizon is the session length in hours; 0 derives it from the
+	// last sell event plus the longest remaining period.
+	Horizon int
+	// Seed makes arrivals reproducible.
+	Seed int64
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.ListingDiscount <= 0 || c.ListingDiscount > 1 {
+		return fmt.Errorf("trade: listing discount %v outside (0, 1]", c.ListingDiscount)
+	}
+	if c.MarketFee < 0 || c.MarketFee >= 1 {
+		return fmt.Errorf("trade: market fee %v outside [0, 1)", c.MarketFee)
+	}
+	if c.BuyerRate < 0 {
+		return fmt.Errorf("trade: buyer rate %v negative", c.BuyerRate)
+	}
+	if c.Horizon < 0 {
+		return fmt.Errorf("trade: horizon %d negative", c.Horizon)
+	}
+	return nil
+}
+
+// Stats summarizes a completed session.
+type Stats struct {
+	// Listed, Sold and Expired count listings through their outcomes;
+	// OpenAtEnd is what remained on the book at the horizon.
+	Listed, Sold, Expired, OpenAtEnd int
+	// SellerIncome is the total after-fee income sellers realized.
+	SellerIncome float64
+	// AssumedIncome is what Eq. (1) would have booked: an instant sale
+	// at the listing ask (after fee) for every sell event.
+	AssumedIncome float64
+	// FeeRevenue is the marketplace's total cut.
+	FeeRevenue float64
+	// BuyerSurplus is the total discount buyers captured: the prorated
+	// fair value of each purchased remaining period minus the price
+	// paid. It is why the marketplace clears — buyers get reserved-rate
+	// hours below the prorated upfront.
+	BuyerSurplus float64
+	// MeanHoursToSale averages the wait from listing to sale over sold
+	// listings.
+	MeanHoursToSale float64
+	// RealizedFraction is SellerIncome / AssumedIncome (1 when every
+	// listing sells instantly at its initial ask; lower when listings
+	// wait — asks decay with the cap — or expire unsold).
+	RealizedFraction float64
+}
+
+// Run replays the sell events through a live marketplace session.
+func Run(events []SellEvent, cfg Config) (Stats, error) {
+	if err := cfg.Validate(); err != nil {
+		return Stats{}, err
+	}
+	if len(events) == 0 {
+		return Stats{}, fmt.Errorf("trade: no sell events")
+	}
+	session, err := newSession(events, cfg)
+	if err != nil {
+		return Stats{}, err
+	}
+	for hour := 0; hour < session.horizon; hour++ {
+		if err := session.step(hour); err != nil {
+			return Stats{}, err
+		}
+	}
+	return session.finish(), nil
+}
+
+// session is the shared hour-stepped market state behind Run and
+// RunWithBuyer.
+type session struct {
+	cfg       Config
+	sorted    []SellEvent
+	horizon   int
+	market    *marketplace.Market
+	stats     Stats
+	listedAt  map[marketplace.ListingID]int
+	types     []string
+	seenType  map[string]bool
+	nextEvent int
+}
+
+func newSession(events []SellEvent, cfg Config) (*session, error) {
+	sorted := append([]SellEvent(nil), events...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Hour < sorted[j].Hour })
+
+	horizon := cfg.Horizon
+	if horizon == 0 {
+		for _, ev := range sorted {
+			// +1 so the final aging step that expires the longest-lived
+			// listing still runs.
+			if end := ev.Hour + ev.RemainingHours + 1; end > horizon {
+				horizon = end
+			}
+		}
+	}
+	for i, ev := range sorted {
+		if ev.Hour < 0 || ev.RemainingHours <= 0 {
+			return nil, fmt.Errorf("trade: event %d: invalid hour %d / remaining %d", i, ev.Hour, ev.RemainingHours)
+		}
+	}
+	m, err := marketplace.New(marketplace.WithFee(cfg.MarketFee))
+	if err != nil {
+		return nil, err
+	}
+	return &session{
+		cfg:      cfg,
+		sorted:   sorted,
+		horizon:  horizon,
+		market:   m,
+		listedAt: make(map[marketplace.ListingID]int),
+		seenType: make(map[string]bool, 4),
+	}, nil
+}
+
+// step advances the session by one hour: age the book, list the hour's
+// sell events, and run the background buyer arrivals.
+func (s *session) step(hour int) error {
+	// Age the book by one hour (skipped at hour 0: nothing listed).
+	if hour > 0 {
+		expired, err := s.market.Advance(1)
+		if err != nil {
+			return err
+		}
+		s.stats.Expired += expired
+	}
+
+	// List this hour's sell events.
+	for s.nextEvent < len(s.sorted) && s.sorted[s.nextEvent].Hour == hour {
+		ev := s.sorted[s.nextEvent]
+		s.nextEvent++
+		if ev.RemainingHours >= ev.Instance.PeriodHours {
+			return fmt.Errorf("trade: event at hour %d: remaining %d not below period %d",
+				ev.Hour, ev.RemainingHours, ev.Instance.PeriodHours)
+		}
+		id, err := s.market.ListAtDiscount(ev.Seller, ev.Instance, ev.RemainingHours, s.cfg.ListingDiscount)
+		if err != nil {
+			return err
+		}
+		s.listedAt[id] = hour
+		s.stats.Listed++
+		ask := s.cfg.ListingDiscount * marketplace.ProratedCap(ev.Instance, ev.RemainingHours)
+		s.stats.AssumedIncome += ask * (1 - s.cfg.MarketFee)
+		if !s.seenType[ev.Instance.Name] {
+			s.seenType[ev.Instance.Name] = true
+			s.types = append(s.types, ev.Instance.Name)
+		}
+	}
+
+	// Background buyers arrive. The per-hour count is deterministic in
+	// the seed: rate r yields floor(r) arrivals plus one more when the
+	// hour's hash draw is below frac(r).
+	arrivals := int(s.cfg.BuyerRate)
+	if frac := s.cfg.BuyerRate - float64(arrivals); frac > 0 {
+		if hashUniform(uint64(s.cfg.Seed), uint64(hour), 0) < frac {
+			arrivals++
+		}
+	}
+	for b := 0; b < arrivals && len(s.types) > 0; b++ {
+		// Pick a listed type uniformly; skip silently if its book is
+		// empty this hour (the buyer found nothing to buy).
+		pick := s.types[int(hashUniform(uint64(s.cfg.Seed), uint64(hour), uint64(b+1))*float64(len(s.types)))%len(s.types)]
+		sales, err := s.market.Buy(fmt.Sprintf("buyer-%d-%d", hour, b), pick, 1)
+		if err != nil {
+			continue // ErrNoListings: demand went unfilled this hour
+		}
+		for _, sale := range sales {
+			s.recordSale(hour, sale)
+		}
+	}
+	return nil
+}
+
+// recordSale books a completed purchase into the session statistics.
+func (s *session) recordSale(hour int, sale marketplace.Sale) {
+	s.stats.Sold++
+	s.stats.SellerIncome += sale.SellerProceeds
+	s.stats.FeeRevenue += sale.Fee
+	s.stats.BuyerSurplus += marketplace.ProratedCap(sale.Listing.Instance, sale.Listing.RemainingHours) - sale.PricePaid
+	s.stats.MeanHoursToSale += float64(hour - s.listedAt[sale.Listing.ID])
+}
+
+// finish closes the session and returns its statistics.
+func (s *session) finish() Stats {
+	s.stats.OpenAtEnd = s.market.OpenCount()
+	if s.stats.Sold > 0 {
+		s.stats.MeanHoursToSale /= float64(s.stats.Sold)
+	}
+	if s.stats.AssumedIncome > 0 {
+		s.stats.RealizedFraction = s.stats.SellerIncome / s.stats.AssumedIncome
+	}
+	return s.stats
+}
+
+// hashUniform maps (seed, hour, draw) to [0, 1) deterministically.
+func hashUniform(words ...uint64) float64 {
+	var h uint64 = 0x9e3779b97f4a7c15
+	for _, w := range words {
+		h ^= w + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
+		h += 0x9e3779b97f4a7c15
+		h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+		h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+		h ^= h >> 31
+	}
+	return float64(h>>11) / float64(1<<53)
+}

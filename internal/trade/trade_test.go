@@ -1,0 +1,238 @@
+package trade
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rimarket/internal/pricing"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func card() pricing.InstanceType {
+	return pricing.InstanceType{
+		Name:           "trade.large",
+		OnDemandHourly: 1.0,
+		Upfront:        100,
+		ReservedHourly: 0.25,
+		PeriodHours:    400,
+	}
+}
+
+func defaultConfig() Config {
+	return Config{
+		ListingDiscount: 0.8,
+		MarketFee:       0.12,
+		BuyerRate:       1,
+		Seed:            7,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := defaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{name: "zero discount", mutate: func(c *Config) { c.ListingDiscount = 0 }},
+		{name: "discount above 1", mutate: func(c *Config) { c.ListingDiscount = 1.5 }},
+		{name: "fee 1", mutate: func(c *Config) { c.MarketFee = 1 }},
+		{name: "negative rate", mutate: func(c *Config) { c.BuyerRate = -1 }},
+		{name: "negative horizon", mutate: func(c *Config) { c.Horizon = -1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := defaultConfig()
+			tt.mutate(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Error("invalid config accepted")
+			}
+		})
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	cfg := defaultConfig()
+	if _, err := Run(nil, cfg); err == nil {
+		t.Error("no events accepted")
+	}
+	bad := []SellEvent{{Hour: -1, Seller: "s", Instance: card(), RemainingHours: 10}}
+	if _, err := Run(bad, cfg); err == nil {
+		t.Error("negative hour accepted")
+	}
+	bad = []SellEvent{{Hour: 0, Seller: "s", Instance: card(), RemainingHours: 0}}
+	if _, err := Run(bad, cfg); err == nil {
+		t.Error("zero remaining accepted")
+	}
+	bad = []SellEvent{{Hour: 0, Seller: "s", Instance: card(), RemainingHours: 400}}
+	if _, err := Run(bad, cfg); err == nil {
+		t.Error("remaining == period accepted")
+	}
+}
+
+func TestRunInstantSaleRealizesAssumedIncome(t *testing.T) {
+	// One listing, a buyer every hour: it sells in the listing hour at
+	// the initial ask, so realized == assumed income exactly.
+	it := card()
+	events := []SellEvent{{Hour: 0, Seller: "alice", Instance: it, RemainingHours: 100}}
+	cfg := defaultConfig()
+	cfg.BuyerRate = 1
+	cfg.Horizon = 10
+	stats, err := Run(events, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Listed != 1 || stats.Sold != 1 || stats.Expired != 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	wantAsk := 0.8 * 100 * 100.0 / 400.0 // a * R * rem/T = 20
+	if !almostEqual(stats.SellerIncome, wantAsk*0.88, 1e-9) {
+		t.Errorf("SellerIncome = %v, want %v", stats.SellerIncome, wantAsk*0.88)
+	}
+	if !almostEqual(stats.RealizedFraction, 1, 1e-9) {
+		t.Errorf("RealizedFraction = %v, want 1", stats.RealizedFraction)
+	}
+	if stats.MeanHoursToSale != 0 {
+		t.Errorf("MeanHoursToSale = %v, want 0", stats.MeanHoursToSale)
+	}
+}
+
+func TestRunNoBuyersEverythingExpires(t *testing.T) {
+	it := card()
+	events := []SellEvent{
+		{Hour: 0, Seller: "a", Instance: it, RemainingHours: 50},
+		{Hour: 5, Seller: "b", Instance: it, RemainingHours: 30},
+	}
+	cfg := defaultConfig()
+	cfg.BuyerRate = 0
+	stats, err := Run(events, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Sold != 0 {
+		t.Errorf("Sold = %d, want 0", stats.Sold)
+	}
+	if stats.Expired != 2 {
+		t.Errorf("Expired = %d, want 2", stats.Expired)
+	}
+	if stats.RealizedFraction != 0 {
+		t.Errorf("RealizedFraction = %v, want 0", stats.RealizedFraction)
+	}
+}
+
+func TestRunDelayedSaleRealizesLess(t *testing.T) {
+	// A thin market: the listing waits ~10 hours, long enough that its
+	// ask decays below the initial one (re-capping bites once the wait
+	// exceeds (1-a) of the remaining period), so the realized fraction
+	// drops below 1.
+	it := card()
+	events := []SellEvent{{Hour: 0, Seller: "a", Instance: it, RemainingHours: 20}}
+	cfg := defaultConfig()
+	cfg.BuyerRate = 0.1
+	cfg.Horizon = 25
+	stats, err := Run(events, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Sold != 1 {
+		t.Fatalf("Sold = %d (stats %+v)", stats.Sold, stats)
+	}
+	if stats.MeanHoursToSale <= 0 {
+		t.Errorf("MeanHoursToSale = %v, want positive wait", stats.MeanHoursToSale)
+	}
+	if stats.RealizedFraction >= 1 {
+		t.Errorf("RealizedFraction = %v, want < 1 for a delayed sale", stats.RealizedFraction)
+	}
+	if stats.RealizedFraction <= 0.5 {
+		t.Errorf("RealizedFraction = %v suspiciously low for a short wait", stats.RealizedFraction)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	it := card()
+	events := []SellEvent{
+		{Hour: 0, Seller: "a", Instance: it, RemainingHours: 120},
+		{Hour: 3, Seller: "b", Instance: it, RemainingHours: 80},
+		{Hour: 9, Seller: "c", Instance: it, RemainingHours: 300},
+	}
+	cfg := defaultConfig()
+	cfg.BuyerRate = 0.5
+	s1, err := Run(events, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Run(events, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Errorf("same config differs: %+v vs %+v", s1, s2)
+	}
+}
+
+// TestPropertyConservation: every listing ends exactly one way, and
+// income accounting is consistent.
+func TestPropertyConservation(t *testing.T) {
+	it := card()
+	f := func(raw []uint8, rateSel uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 30 {
+			raw = raw[:30]
+		}
+		events := make([]SellEvent, 0, len(raw))
+		for i, b := range raw {
+			events = append(events, SellEvent{
+				Hour:           int(b) % 50,
+				Seller:         "s",
+				Instance:       it,
+				RemainingHours: 10 + int(b)%300,
+			})
+			_ = i
+		}
+		cfg := defaultConfig()
+		cfg.BuyerRate = float64(rateSel%30) / 10
+		stats, err := Run(events, cfg)
+		if err != nil {
+			return false
+		}
+		if stats.Listed != len(events) {
+			return false
+		}
+		if stats.Sold+stats.Expired+stats.OpenAtEnd != stats.Listed {
+			return false
+		}
+		if stats.SellerIncome < 0 || stats.FeeRevenue < 0 {
+			return false
+		}
+		// Realized income can never exceed the instant-sale assumption:
+		// asks only decay while waiting.
+		return stats.SellerIncome <= stats.AssumedIncome+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunBuyerSurplus(t *testing.T) {
+	// Listed at 80% of the cap and sold instantly: the buyer captures
+	// exactly 20% of the prorated cap.
+	it := card()
+	events := []SellEvent{{Hour: 0, Seller: "a", Instance: it, RemainingHours: 100}}
+	cfg := defaultConfig()
+	cfg.BuyerRate = 1
+	cfg.Horizon = 5
+	stats, err := Run(events, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap := it.Upfront * 100.0 / 400.0 // 25
+	if !almostEqual(stats.BuyerSurplus, 0.2*cap, 1e-9) {
+		t.Errorf("BuyerSurplus = %v, want %v", stats.BuyerSurplus, 0.2*cap)
+	}
+}

@@ -1,0 +1,194 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// CohortConfig describes the synthetic user population that stands in
+// for the paper's 300 trace-derived users (Section VI.A): PerGroup
+// users in each of the three fluctuation bands.
+type CohortConfig struct {
+	// PerGroup is the number of users per fluctuation group (the paper
+	// uses 100).
+	PerGroup int
+	// Hours is the trace length (the paper uses one reservation period;
+	// tests use much shorter horizons).
+	Hours int
+	// Seed makes the cohort reproducible.
+	Seed int64
+}
+
+// Validate reports whether the configuration is usable.
+func (c CohortConfig) Validate() error {
+	if c.PerGroup <= 0 {
+		return fmt.Errorf("workload: PerGroup = %d, must be positive", c.PerGroup)
+	}
+	if c.Hours <= 0 {
+		return fmt.Errorf("workload: Hours = %d, must be positive", c.Hours)
+	}
+	return nil
+}
+
+// maxDraws bounds rejection sampling per user before falling back to
+// the analytically calibrated spike-train generator.
+const maxDraws = 8
+
+// NewCohort synthesizes the experiment population: PerGroup traces per
+// fluctuation band, each verified to actually lie in its band (drawn
+// from a diverse pool of behavioral generators, with an analytic
+// spike-train fallback that guarantees band membership).
+func NewCohort(cfg CohortConfig) ([]Trace, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var traces []Trace
+	for _, g := range []Group{GroupStable, GroupModerate, GroupVolatile} {
+		for i := 0; i < cfg.PerGroup; i++ {
+			user := fmt.Sprintf("user-g%d-%03d", int(g), i)
+			traces = append(traces, generateInBand(user, g, cfg.Hours, rng))
+		}
+	}
+	return traces, nil
+}
+
+// generateInBand draws traces from the group's generator pool until one
+// classifies into the requested band, falling back to the calibrated
+// spike train.
+func generateInBand(user string, g Group, hours int, rng *rand.Rand) Trace {
+	pool := generatorPool(g, rng)
+	for attempt := 0; attempt < maxDraws; attempt++ {
+		gen := pool[rng.Intn(len(pool))]
+		tr := gen.gen.Generate(user, hours, rng)
+		if Classify(tr) == g && tr.MaxDemand() > 0 {
+			return tr
+		}
+	}
+	// Guaranteed fallback: spike train with the band's midpoint ratio.
+	var target float64
+	switch g {
+	case GroupStable:
+		target = 0.5
+	case GroupModerate:
+		target = 2.0
+	default:
+		target = 4.5
+	}
+	height := 1 + rng.Intn(20)
+	return SpikeTrainForRatio(target, height).Generate(user, hours, rng)
+}
+
+// generatorPool returns the behavioral generators plausible for a
+// fluctuation band, with randomized parameters. Each pool mixes
+// stationary behaviors with lifecycle shapes — projects winding down
+// (the marketplace's raison d'etre) and workloads that pause and
+// resume (the proofs' adversarial case) — in proportions that
+// reproduce the paper's outcome tails.
+func generatorPool(g Group, rng *rand.Rand) []namedGenerator {
+	scale := 1 + rng.Float64()*15 // user size: 1..16 instances
+	stable := StableGenerator{
+		Base:       2 + scale,
+		Jitter:     (2 + scale) * 0.15,
+		DiurnalAmp: (2 + scale) * 0.2,
+	}
+	switch g {
+	case GroupStable:
+		return []namedGenerator{
+			{name: "stable", gen: stable},
+			{name: "diurnal-mild", gen: DiurnalGenerator{
+				Peak:       scale * 1.5,
+				Trough:     scale * 0.7,
+				Noise:      scale * 0.1,
+				WeekendDip: 0.85,
+			}},
+			{name: "walk-slow", gen: RandomWalkGenerator{
+				Start: scale + 2,
+				Step:  0.05,
+				Max:   scale * 2.5,
+			}},
+			{name: "stable-winddown", gen: RampDown{
+				Inner:       stable,
+				EndFraction: 0.5 + rng.Float64()*0.4,
+				Tail:        0.4 + rng.Float64()*0.3,
+			}},
+			{name: "short-pause", gen: PauseResume{
+				Inner:          stable,
+				PauseFraction:  rng.Float64() * 0.06,
+				ResumeFraction: 0.25 + rng.Float64()*0.2,
+			}},
+			{name: "deep-winddown", gen: RampDown{
+				Inner:       stable,
+				EndFraction: 0.35 + rng.Float64()*0.35,
+				Tail:        0.1 + rng.Float64()*0.3,
+			}},
+		}
+	case GroupModerate:
+		return []namedGenerator{
+			{name: "diurnal-deep", gen: DiurnalGenerator{
+				Peak:       scale * 2,
+				Trough:     0,
+				Noise:      scale * 0.3,
+				WeekendDip: 0.2,
+			}},
+			{name: "onoff", gen: OnOffGenerator{
+				OnLevel:  scale * 1.5,
+				OnHours:  8 + rng.Intn(6),
+				OffHours: 16 + rng.Intn(20),
+				Jitter:   scale * 0.2,
+			}},
+			{name: "bursty-mid", gen: BurstyGenerator{
+				Idle:         0,
+				BurstHeight:  scale * 2,
+				BurstRate:    0.02,
+				MeanBurstLen: 8,
+			}},
+			{name: "spike-2", gen: SpikeTrainForRatio(1.5+rng.Float64(), int(scale*2)+1)},
+			{name: "project-ends", gen: RampDown{
+				Inner:       stable,
+				EndFraction: 0.2 + rng.Float64()*0.5,
+				Tail:        0,
+			}},
+			{name: "diurnal-winddown", gen: RampDown{
+				Inner: DiurnalGenerator{
+					Peak:       scale * 2,
+					Trough:     0,
+					Noise:      scale * 0.3,
+					WeekendDip: 0.2,
+				},
+				EndFraction: 0.25 + rng.Float64()*0.35,
+				Tail:        0,
+			}},
+			{name: "pause-resume", gen: PauseResume{
+				Inner:          stable,
+				PauseFraction:  rng.Float64() * 0.06,
+				ResumeFraction: 0.45 + rng.Float64()*0.3,
+			}},
+		}
+	default: // GroupVolatile
+		return []namedGenerator{
+			{name: "bursty-rare", gen: BurstyGenerator{
+				Idle:         0,
+				BurstHeight:  scale * 4,
+				BurstRate:    0.003,
+				MeanBurstLen: 5,
+			}},
+			{name: "spike-4", gen: SpikeTrainForRatio(3.5+rng.Float64()*3, int(scale*3)+1)},
+			{name: "burst-then-quiet", gen: RampDown{
+				Inner: BurstyGenerator{
+					Idle:         0,
+					BurstHeight:  scale * 4,
+					BurstRate:    0.02,
+					MeanBurstLen: 6,
+				},
+				EndFraction: 0.2 + rng.Float64()*0.3,
+				Tail:        0,
+			}},
+			{name: "quiet-then-burst", gen: PauseResume{
+				Inner:          SpikeTrainForRatio(2.8+rng.Float64(), int(scale*4)+1),
+				PauseFraction:  rng.Float64() * 0.06,
+				ResumeFraction: 0.3 + rng.Float64()*0.35,
+			}},
+		}
+	}
+}

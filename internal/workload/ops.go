@@ -1,0 +1,89 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+)
+
+// Add sums two demand traces pointwise (a team consolidating two
+// workloads onto one account). The result has the longer length, the
+// first trace's user name, and keeps both inputs unmodified.
+func Add(a, b Trace) Trace {
+	n := len(a.Demand)
+	if len(b.Demand) > n {
+		n = len(b.Demand)
+	}
+	demand := make([]int, n)
+	for i := range demand {
+		if i < len(a.Demand) {
+			demand[i] += a.Demand[i]
+		}
+		if i < len(b.Demand) {
+			demand[i] += b.Demand[i]
+		}
+	}
+	return Trace{User: a.User, Demand: demand}
+}
+
+// Scale multiplies every demand by factor, rounding to the nearest
+// instance count (capacity planning what-ifs). Negative products clamp
+// to zero.
+func Scale(tr Trace, factor float64) Trace {
+	demand := make([]int, len(tr.Demand))
+	for i, d := range tr.Demand {
+		v := math.Round(float64(d) * factor)
+		if v < 0 || math.IsNaN(v) {
+			v = 0
+		}
+		demand[i] = int(v)
+	}
+	return Trace{User: tr.User, Demand: demand}
+}
+
+// Concat appends b's demand after a's (a workload continuing across
+// two recorded segments).
+func Concat(a, b Trace) Trace {
+	demand := make([]int, 0, len(a.Demand)+len(b.Demand))
+	demand = append(demand, a.Demand...)
+	demand = append(demand, b.Demand...)
+	return Trace{User: a.User, Demand: demand}
+}
+
+// Shift delays the trace by the given number of hours, prepending
+// zero-demand hours (a project starting later). Negative shifts drop
+// leading hours instead.
+func Shift(tr Trace, hours int) Trace {
+	switch {
+	case hours == 0:
+		return Trace{User: tr.User, Demand: append([]int(nil), tr.Demand...)}
+	case hours > 0:
+		demand := make([]int, hours+len(tr.Demand))
+		copy(demand[hours:], tr.Demand)
+		return Trace{User: tr.User, Demand: demand}
+	default:
+		cut := -hours
+		if cut > len(tr.Demand) {
+			cut = len(tr.Demand)
+		}
+		return Trace{User: tr.User, Demand: append([]int(nil), tr.Demand[cut:]...)}
+	}
+}
+
+// Resample aggregates the trace into buckets of the given width,
+// summarizing each bucket with its maximum (the provisioning-relevant
+// statistic: the bucket needs enough instances for its peak). A daily
+// view of an hourly trace uses width 24.
+func Resample(tr Trace, width int) (Trace, error) {
+	if width <= 0 {
+		return Trace{}, fmt.Errorf("workload: resample width %d must be positive", width)
+	}
+	n := (len(tr.Demand) + width - 1) / width
+	demand := make([]int, n)
+	for i, d := range tr.Demand {
+		b := i / width
+		if d > demand[b] {
+			demand[b] = d
+		}
+	}
+	return Trace{User: tr.User, Demand: demand}, nil
+}

@@ -1,0 +1,141 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestAdd(t *testing.T) {
+	a := Trace{User: "a", Demand: []int{1, 2, 3}}
+	b := Trace{User: "b", Demand: []int{10, 20}}
+	got := Add(a, b)
+	want := []int{11, 22, 3}
+	if got.User != "a" || !reflect.DeepEqual(got.Demand, want) {
+		t.Errorf("Add = %+v, want user a demand %v", got, want)
+	}
+	// Inputs unmodified.
+	if a.Demand[0] != 1 || b.Demand[0] != 10 {
+		t.Error("Add mutated an input")
+	}
+}
+
+func TestScale(t *testing.T) {
+	tr := Trace{User: "u", Demand: []int{1, 2, 3}}
+	tests := []struct {
+		factor float64
+		want   []int
+	}{
+		{factor: 2, want: []int{2, 4, 6}},
+		// math.Round rounds half away from zero: 0.5->1, 1->1, 1.5->2.
+		{factor: 0.5, want: []int{1, 1, 2}},
+		{factor: 0, want: []int{0, 0, 0}},
+		{factor: -1, want: []int{0, 0, 0}},
+	}
+	for _, tt := range tests {
+		got := Scale(tr, tt.factor)
+		if !reflect.DeepEqual(got.Demand, tt.want) {
+			t.Errorf("Scale(%v) = %v, want %v", tt.factor, got.Demand, tt.want)
+		}
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := Trace{User: "a", Demand: []int{1, 2}}
+	b := Trace{User: "b", Demand: []int{3}}
+	got := Concat(a, b)
+	if got.User != "a" || !reflect.DeepEqual(got.Demand, []int{1, 2, 3}) {
+		t.Errorf("Concat = %+v", got)
+	}
+}
+
+func TestShift(t *testing.T) {
+	tr := Trace{User: "u", Demand: []int{5, 6, 7}}
+	tests := []struct {
+		hours int
+		want  []int
+	}{
+		{hours: 0, want: []int{5, 6, 7}},
+		{hours: 2, want: []int{0, 0, 5, 6, 7}},
+		{hours: -1, want: []int{6, 7}},
+		{hours: -10, want: []int{}},
+	}
+	for _, tt := range tests {
+		got := Shift(tr, tt.hours)
+		if len(got.Demand) != len(tt.want) {
+			t.Errorf("Shift(%d) len = %d, want %d", tt.hours, len(got.Demand), len(tt.want))
+			continue
+		}
+		for i := range tt.want {
+			if got.Demand[i] != tt.want[i] {
+				t.Errorf("Shift(%d) = %v, want %v", tt.hours, got.Demand, tt.want)
+				break
+			}
+		}
+	}
+	// Copy, not alias.
+	shifted := Shift(tr, 0)
+	shifted.Demand[0] = 99
+	if tr.Demand[0] != 5 {
+		t.Error("Shift aliased the input")
+	}
+}
+
+func TestResample(t *testing.T) {
+	tr := Trace{User: "u", Demand: []int{1, 5, 2, 0, 3, 4, 9}}
+	got, err := Resample(tr, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{5, 4, 9} // bucket maxima
+	if !reflect.DeepEqual(got.Demand, want) {
+		t.Errorf("Resample = %v, want %v", got.Demand, want)
+	}
+	if _, err := Resample(tr, 0); err == nil {
+		t.Error("zero width accepted")
+	}
+}
+
+func TestPropertyOpsPreserveValidity(t *testing.T) {
+	f := func(rawA, rawB []uint8, shiftSel int8, widthSel uint8) bool {
+		a := Trace{User: "a", Demand: make([]int, len(rawA))}
+		for i, v := range rawA {
+			a.Demand[i] = int(v % 11)
+		}
+		b := Trace{User: "b", Demand: make([]int, len(rawB))}
+		for i, v := range rawB {
+			b.Demand[i] = int(v % 11)
+		}
+		for _, tr := range []Trace{Add(a, b), Scale(a, 1.5), Concat(a, b), Shift(a, int(shiftSel))} {
+			if err := tr.Validate(); err != nil {
+				return false
+			}
+		}
+		rs, err := Resample(a, int(widthSel)%5+1)
+		if err != nil {
+			return false
+		}
+		// Resampled total peak never exceeds original peak.
+		return rs.MaxDemand() == a.MaxDemand()
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyAddCommutesOnDemand(t *testing.T) {
+	f := func(rawA, rawB []uint8) bool {
+		a := Trace{User: "a", Demand: make([]int, len(rawA))}
+		for i, v := range rawA {
+			a.Demand[i] = int(v % 7)
+		}
+		b := Trace{User: "b", Demand: make([]int, len(rawB))}
+		for i, v := range rawB {
+			b.Demand[i] = int(v % 7)
+		}
+		return reflect.DeepEqual(Add(a, b).Demand, Add(b, a).Demand)
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}

@@ -41,6 +41,7 @@ func run(args []string, w io.Writer) error {
 		discount = fs.Float64("a", 0, "override selling discount a in (0, 1]")
 		fee      = fs.Float64("fee", 0, "marketplace fee in [0, 1) applied to sale income")
 		term     = fs.Int("term", 1, "reservation term in years (1 or 3)")
+		par      = fs.Int("parallelism", 0, "worker goroutines evaluating users and grid cells; 0 means GOMAXPROCS (results are identical at any setting)")
 		traceDir = fs.String("tracedir", "", "run on real EC2-usage-log files (.csv/.csv.gz) from this directory instead of the synthetic cohort")
 		jsonOut  = fs.String("json", "", "also write the full cohort result as JSON to this file")
 		csvOut   = fs.String("csv", "", "also write per-user costs as CSV to this file")
@@ -87,6 +88,7 @@ func run(args []string, w io.Writer) error {
 		cfg.SellingDiscount = *discount
 	}
 	cfg.MarketFee = *fee
+	cfg.Parallelism = *par
 
 	// Table I always reports the real (unscaled) price card — the test
 	// scale shrinks the period and upfront proportionally for speed, but

@@ -1,0 +1,120 @@
+package experiments
+
+// Benchmarks for the sweep/grid hot path introduced with CohortPlan:
+// the sensitivity grid and the ablation sweeps at the worker counts
+// the -parallelism flag exposes, plus cached-plan variants that
+// measure the marginal cost of a grid once the cohort, reservation
+// plans and Keep-Reserved baselines are hoisted. Run with
+//
+//	go test ./internal/experiments -bench Sensitivity -benchmem
+//
+// and compare workers=1 (the serial seed path) against workers=4.
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchDiscounts/benchFractions are riexp's sensitivity defaults.
+var (
+	benchDiscounts = []float64{0.2, 0.4, 0.6, 0.8, 1.0}
+	benchFractions = []float64{0.125, 0.25, 0.5, 0.75, 0.875}
+	benchSweepKs   = []float64{0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875}
+)
+
+// BenchmarkSensitivityGrid measures the full driver — cohort
+// synthesis, planning, baselines and the 25-cell grid — at increasing
+// worker counts on the test-scale config.
+func BenchmarkSensitivityGrid(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		cfg := TestScaleConfig()
+		cfg.Parallelism = workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Sensitivity(cfg, benchDiscounts, benchFractions); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSensitivityGridCachedPlan measures only the per-grid cost
+// on a shared plan: planning and baselines are cached, so each
+// iteration pays for the 25 cells alone.
+func BenchmarkSensitivityGridCachedPlan(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		cfg := TestScaleConfig()
+		cfg.Parallelism = workers
+		plan, err := NewCohortPlan(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := plan.KeepStats(plan.engineConfig()); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := plan.Sensitivity(benchDiscounts, benchFractions); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSweepFraction measures the sweep-k driver end to end.
+func BenchmarkSweepFraction(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		cfg := TestScaleConfig()
+		cfg.Parallelism = workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := SweepFraction(cfg, benchSweepKs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSweepFractionCachedPlan isolates the per-sweep marginal
+// cost on a shared plan.
+func BenchmarkSweepFractionCachedPlan(b *testing.B) {
+	cfg := TestScaleConfig()
+	cfg.Parallelism = 4
+	plan, err := NewCohortPlan(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := plan.KeepStats(plan.engineConfig()); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := plan.SweepFraction(benchSweepKs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCohortPlan measures the substrate every driver now shares:
+// cohort synthesis plus reservation planning.
+func BenchmarkCohortPlan(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		cfg := TestScaleConfig()
+		cfg.Parallelism = workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := NewCohortPlan(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

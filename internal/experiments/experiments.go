@@ -8,10 +8,7 @@ package experiments
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
-	"sync"
-	"sync/atomic"
 
 	"rimarket/internal/core"
 	"rimarket/internal/pricing"
@@ -144,18 +141,11 @@ type CohortResult struct {
 // RunCohort executes the full pipeline: cohort synthesis, reservation
 // planning, and one engine run per (user, selling policy).
 func RunCohort(cfg Config) (*CohortResult, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	traces, err := workload.NewCohort(workload.CohortConfig{
-		PerGroup: cfg.PerGroup,
-		Hours:    cfg.Hours,
-		Seed:     cfg.Seed,
-	})
+	plan, err := NewCohortPlan(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return RunTraces(cfg, traces)
+	return plan.Cohort()
 }
 
 // RunTraces evaluates externally supplied user traces — e.g. real EC2
@@ -164,76 +154,65 @@ func RunCohort(cfg Config) (*CohortResult, error) {
 // cfg.Hours; fluctuation groups come from the traces themselves, so
 // group sizes need not be balanced. cfg.PerGroup is ignored.
 func RunTraces(cfg Config, traces []workload.Trace) (*CohortResult, error) {
-	if err := cfg.Validate(); err != nil {
+	plan, err := PlanTraces(cfg, traces)
+	if err != nil {
 		return nil, err
 	}
-	if len(traces) == 0 {
-		return nil, fmt.Errorf("experiments: no traces")
-	}
-	fitted := make([]workload.Trace, len(traces))
-	for i, tr := range traces {
-		if err := tr.Validate(); err != nil {
-			return nil, fmt.Errorf("experiments: %w", err)
-		}
-		if tr.Len() > cfg.Hours {
-			tr = tr.Clip(cfg.Hours)
-		} else if tr.Len() < cfg.Hours {
-			demand := make([]int, cfg.Hours)
-			copy(demand, tr.Demand)
-			tr = workload.Trace{User: tr.User, Demand: demand}
-		}
-		fitted[i] = tr
-	}
-	traces = fitted
+	return plan.Cohort()
+}
 
-	policies, err := buildPolicies(cfg)
+// Cohort evaluates the paper's full policy set on the plan: one grid
+// cell per selling policy, with the Keep-Reserved baseline coming from
+// the plan's cache instead of a per-user rerun.
+func (p *CohortPlan) Cohort() (*CohortResult, error) {
+	policies, err := buildPolicies(p.cfg)
+	if err != nil {
+		return nil, err
+	}
+	engCfg := p.engineConfig()
+	keeps, err := p.KeepStats(engCfg)
+	if err != nil {
+		return nil, err
+	}
+	cells := make([]Cell, 0, len(policies)-1)
+	for _, np := range policies {
+		if np.name == PolicyKeep {
+			continue // baseline comes from KeepStats
+		}
+		cells = append(cells, Cell{Name: np.name, Policy: np.policy, Engine: engCfg})
+	}
+	grid, err := p.RunGrid(cells)
 	if err != nil {
 		return nil, err
 	}
 
-	workers := cfg.Parallelism
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(traces) {
-		workers = len(traces)
-	}
-
-	res := &CohortResult{Config: cfg, Users: make([]UserResult, len(traces))}
-	var (
-		wg       sync.WaitGroup
-		errOnce  sync.Once
-		firstErr error
-		next     atomic.Int64
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(traces) {
-					return
-				}
-				tr := traces[i]
-				// Policies are immutable values, so sharing them across
-				// workers is safe; each user's random purchaser is seeded
-				// from the user index, so scheduling order cannot leak in.
-				behavior := Behaviors[i%len(Behaviors)]
-				ur, err := runUser(cfg, tr, behavior, int64(i), policies)
-				if err != nil {
-					errOnce.Do(func() {
-						firstErr = fmt.Errorf("experiments: user %s: %w", tr.User, err)
-					})
-					return
-				}
-				res.Users[i] = ur
+	res := &CohortResult{Config: p.cfg, Users: make([]UserResult, len(p.users))}
+	for i, u := range p.users {
+		ur := UserResult{
+			User:        u.Trace.User,
+			Group:       workload.Classify(u.Trace),
+			Fluctuation: u.Trace.FluctuationRatio(),
+			Behavior:    u.Behavior,
+			Reserved:    u.Reserved,
+			Costs:       make(map[string]float64, len(policies)),
+			Normalized:  make(map[string]float64, len(policies)),
+			Sold:        make(map[string]int, len(policies)),
+		}
+		ur.Costs[PolicyKeep] = keeps[i].Total
+		ur.Sold[PolicyKeep] = 0
+		for c, cell := range cells {
+			ur.Costs[cell.Name] = grid[c].Cost[i]
+			ur.Sold[cell.Name] = grid[c].Sold[i]
+		}
+		keep := keeps[i].Total
+		for name, cost := range ur.Costs {
+			if keep != 0 {
+				ur.Normalized[name] = cost / keep
+			} else {
+				ur.Normalized[name] = 1
 			}
-		}()
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+		}
+		res.Users[i] = ur
 	}
 	return res, nil
 }
@@ -293,54 +272,6 @@ func behaviorPolicy(cfg Config, behavior string, seed int64) (purchasing.Policy,
 	default:
 		return nil, fmt.Errorf("experiments: unknown behavior %q", behavior)
 	}
-}
-
-func runUser(cfg Config, tr workload.Trace, behavior string, seed int64, policies []namedPolicy) (UserResult, error) {
-	planner, err := behaviorPolicy(cfg, behavior, seed)
-	if err != nil {
-		return UserResult{}, err
-	}
-	newRes, err := purchasing.PlanReservations(tr.Demand, cfg.Instance.PeriodHours, planner)
-	if err != nil {
-		return UserResult{}, err
-	}
-	reserved := 0
-	for _, n := range newRes {
-		reserved += n
-	}
-
-	ur := UserResult{
-		User:        tr.User,
-		Group:       workload.Classify(tr),
-		Fluctuation: tr.FluctuationRatio(),
-		Behavior:    behavior,
-		Reserved:    reserved,
-		Costs:       make(map[string]float64, len(policies)),
-		Normalized:  make(map[string]float64, len(policies)),
-		Sold:        make(map[string]int, len(policies)),
-	}
-	engCfg := simulate.Config{
-		Instance:        cfg.Instance,
-		SellingDiscount: cfg.SellingDiscount,
-		MarketFee:       cfg.MarketFee,
-	}
-	for _, np := range policies {
-		run, err := simulate.Run(tr.Demand, newRes, engCfg, np.policy)
-		if err != nil {
-			return UserResult{}, fmt.Errorf("policy %s: %w", np.name, err)
-		}
-		ur.Costs[np.name] = run.Cost.Total()
-		ur.Sold[np.name] = run.SoldCount()
-	}
-	keep := ur.Costs[PolicyKeep]
-	for name, c := range ur.Costs {
-		if keep != 0 {
-			ur.Normalized[name] = c / keep
-		} else {
-			ur.Normalized[name] = 1
-		}
-	}
-	return ur, nil
 }
 
 // ByGroup partitions user results by fluctuation group.

@@ -5,10 +5,6 @@ import (
 	"strings"
 
 	"rimarket/internal/core"
-	"rimarket/internal/purchasing"
-	"rimarket/internal/simulate"
-	"rimarket/internal/stats"
-	"rimarket/internal/workload"
 )
 
 // ExtensionRow summarizes one selling policy in the future-work
@@ -24,15 +20,11 @@ type ExtensionRow struct {
 	WorstIncrease float64
 }
 
-// Extensions evaluates the paper's future-work directions against its
-// best fixed-checkpoint algorithm on the same cohort: the randomized
-// algorithm A_{rand} under three fraction distributions, and the
-// multi-checkpoint policy that revisits the decision at T/4, T/2 and
-// 3T/4.
-func Extensions(cfg Config) ([]ExtensionRow, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
+// Extensions evaluates the paper's future-work directions on the
+// plan's cohort: one grid cell per candidate policy, all sharing the
+// plan's cached reservation plans and Keep-Reserved baseline.
+func (p *CohortPlan) Extensions() ([]ExtensionRow, error) {
+	cfg := p.cfg
 	a3, err := core.NewA3T4(cfg.Instance, cfg.SellingDiscount)
 	if err != nil {
 		return nil, err
@@ -59,6 +51,7 @@ func Extensions(cfg Config) ([]ExtensionRow, error) {
 		return nil, err
 	}
 
+	engCfg := p.engineConfig()
 	policies := []namedPolicy{
 		{name: PolicyA3T4, policy: a3},
 		{name: PolicyAT4, policy: a4},
@@ -67,65 +60,43 @@ func Extensions(cfg Config) ([]ExtensionRow, error) {
 		{name: "A_rand " + randUni.Dist().String(), policy: randUni},
 		{name: "A_rand " + randPaper.Dist().String(), policy: randPaper},
 	}
-
-	traces, err := workload.NewCohort(workload.CohortConfig{
-		PerGroup: cfg.PerGroup,
-		Hours:    cfg.Hours,
-		Seed:     cfg.Seed,
-	})
+	cells := make([]Cell, len(policies))
+	for i, np := range policies {
+		cells[i] = Cell{Name: np.name, Policy: np.policy, Engine: engCfg}
+	}
+	grid, err := p.RunGrid(cells)
 	if err != nil {
 		return nil, err
 	}
-	engCfg := simulate.Config{
-		Instance:        cfg.Instance,
-		SellingDiscount: cfg.SellingDiscount,
-		MarketFee:       cfg.MarketFee,
-	}
 
-	normalized := make(map[string][]float64, len(policies))
-	for i, tr := range traces {
-		planner, err := behaviorPolicy(cfg, Behaviors[i%len(Behaviors)], int64(i))
-		if err != nil {
-			return nil, err
-		}
-		newRes, err := purchasing.PlanReservations(tr.Demand, cfg.Instance.PeriodHours, planner)
-		if err != nil {
-			return nil, err
-		}
-		keepRun, err := simulate.Run(tr.Demand, newRes, engCfg, core.KeepReserved{})
-		if err != nil {
-			return nil, err
-		}
-		keep := keepRun.Cost.Total()
-		for _, np := range policies {
-			run, err := simulate.Run(tr.Demand, newRes, engCfg, np.policy)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: %s: %w", np.name, err)
-			}
-			v := 1.0
-			if keep != 0 {
-				v = run.Cost.Total() / keep
-			}
-			normalized[np.name] = append(normalized[np.name], v)
-		}
-	}
-
-	rows := make([]ExtensionRow, 0, len(policies))
-	for _, np := range policies {
-		vals := normalized[np.name]
+	rows := make([]ExtensionRow, len(policies))
+	for i, np := range policies {
 		row := ExtensionRow{
 			Policy:         np.name,
-			MeanNormalized: stats.Mean(vals),
-			FracSaved:      stats.FractionBelow(vals, 1),
+			MeanNormalized: grid[i].MeanNorm(),
+			FracSaved:      grid[i].FracSaved(),
 		}
-		for _, v := range vals {
+		for _, v := range grid[i].Norm {
 			if v-1 > row.WorstIncrease {
 				row.WorstIncrease = v - 1
 			}
 		}
-		rows = append(rows, row)
+		rows[i] = row
 	}
 	return rows, nil
+}
+
+// Extensions evaluates the paper's future-work directions against its
+// best fixed-checkpoint algorithm on the same cohort: the randomized
+// algorithm A_{rand} under three fraction distributions, and the
+// multi-checkpoint policy that revisits the decision at T/4, T/2 and
+// 3T/4.
+func Extensions(cfg Config) ([]ExtensionRow, error) {
+	plan, err := NewCohortPlan(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return plan.Extensions()
 }
 
 // RenderExtensions renders the future-work comparison.

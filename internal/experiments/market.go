@@ -5,10 +5,8 @@ import (
 	"strings"
 
 	"rimarket/internal/core"
-	"rimarket/internal/purchasing"
 	"rimarket/internal/simulate"
 	"rimarket/internal/trade"
-	"rimarket/internal/workload"
 )
 
 // MarketPoint is one buyer-arrival-rate setting of the market-dynamics
@@ -20,54 +18,44 @@ type MarketPoint struct {
 	Stats trade.Stats
 }
 
-// MarketSession collects every sell event the cohort's A_{3T/4} runs
-// produce and replays them through live marketplace sessions at the
-// given buyer arrival rates. It quantifies the paper's instant-sale
-// assumption: Eq. (1) books income the moment the algorithm decides,
-// while a real marketplace needs a buyer.
-func MarketSession(cfg Config, buyerRates []float64) ([]MarketPoint, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
+// MarketSession collects every sell event the plan's A_{3T/4} runs
+// produce — fanned out over the plan's worker pool, with per-user
+// event slices concatenated in cohort order so the session input is
+// deterministic — and replays them through live marketplace sessions
+// at the given buyer arrival rates.
+func (p *CohortPlan) MarketSession(buyerRates []float64) ([]MarketPoint, error) {
+	cfg := p.cfg
 	policy, err := core.NewA3T4(cfg.Instance, cfg.SellingDiscount)
-	if err != nil {
-		return nil, err
-	}
-	traces, err := workload.NewCohort(workload.CohortConfig{
-		PerGroup: cfg.PerGroup,
-		Hours:    cfg.Hours,
-		Seed:     cfg.Seed,
-	})
 	if err != nil {
 		return nil, err
 	}
 	engCfg := simulate.Config{Instance: cfg.Instance, SellingDiscount: cfg.SellingDiscount}
 
-	var events []trade.SellEvent
-	for i, tr := range traces {
-		planner, err := behaviorPolicy(cfg, Behaviors[i%len(Behaviors)], int64(i))
+	perUser := make([][]trade.SellEvent, p.Len())
+	err = p.ForEachUser(func(i int, u PlannedUser) error {
+		run, err := simulateRun(u.Trace.Demand, u.NewRes, engCfg, policy)
 		if err != nil {
-			return nil, err
-		}
-		newRes, err := purchasing.PlanReservations(tr.Demand, cfg.Instance.PeriodHours, planner)
-		if err != nil {
-			return nil, err
-		}
-		run, err := simulate.Run(tr.Demand, newRes, engCfg, policy)
-		if err != nil {
-			return nil, err
+			return fmt.Errorf("experiments: user %s: %w", u.Trace.User, err)
 		}
 		for _, inst := range run.Instances {
 			if inst.SoldAt < 0 {
 				continue
 			}
-			events = append(events, trade.SellEvent{
+			perUser[i] = append(perUser[i], trade.SellEvent{
 				Hour:           inst.SoldAt,
-				Seller:         tr.User,
+				Seller:         u.Trace.User,
 				Instance:       cfg.Instance,
 				RemainingHours: inst.Start + cfg.Instance.PeriodHours - inst.SoldAt,
 			})
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var events []trade.SellEvent
+	for _, evs := range perUser {
+		events = append(events, evs...)
 	}
 	if len(events) == 0 {
 		return nil, fmt.Errorf("experiments: the cohort produced no sell events")
@@ -87,6 +75,17 @@ func MarketSession(cfg Config, buyerRates []float64) ([]MarketPoint, error) {
 		points = append(points, MarketPoint{BuyerRate: rate, Stats: stats})
 	}
 	return points, nil
+}
+
+// MarketSession quantifies the paper's instant-sale assumption: Eq. (1)
+// books income the moment the algorithm decides, while a real
+// marketplace needs a buyer.
+func MarketSession(cfg Config, buyerRates []float64) ([]MarketPoint, error) {
+	plan, err := NewCohortPlan(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return plan.MarketSession(buyerRates)
 }
 
 // RenderMarket renders the market-dynamics experiment.

@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"rimarket/internal/core"
+	"rimarket/internal/pricing"
+	"rimarket/internal/purchasing"
+	"rimarket/internal/simulate"
+	"rimarket/internal/workload"
+)
+
+// PlannedUser is one cohort member with its reservation plan resolved.
+type PlannedUser struct {
+	// Trace is the user's demand series, fitted to the config horizon.
+	Trace workload.Trace
+	// Behavior is the purchasing imitator assigned to the user.
+	Behavior string
+	// NewRes is the hourly reservation schedule the behavior produced.
+	NewRes []int
+	// Reserved is the total number of instances reserved.
+	Reserved int
+}
+
+// KeepStat is one user's Keep-Reserved baseline: the quantities every
+// driver normalizes against or derives secondary baselines from.
+type KeepStat struct {
+	// Total is the Keep-Reserved run's total cost (Eq. 1).
+	Total float64
+	// IdleHours counts reserved hours that served no demand (the
+	// hour-reselling baseline's income source).
+	IdleHours int
+}
+
+// CohortPlan is the shared substrate of every cohort experiment: the
+// traces, the per-user reservation plans, and cached Keep-Reserved
+// baselines. Sweeps and grids that differ only in selling parameters
+// reuse one plan instead of re-synthesizing and re-planning per cell —
+// reservation decisions never depend on the selling side (the paper's
+// pipeline fixes them before any selling is considered).
+//
+// A plan is safe for concurrent use.
+type CohortPlan struct {
+	cfg   Config
+	users []PlannedUser
+
+	mu sync.Mutex
+	// keeps caches baselines per price card. Keep-Reserved never sells,
+	// so its cost is independent of the selling discount and market fee;
+	// only the instance card matters (pinned by tests in runner_test.go).
+	keeps map[pricing.InstanceType][]KeepStat
+}
+
+// NewCohortPlan synthesizes the config's cohort and plans every user's
+// reservations once, fanning the planning out over Config.Parallelism
+// workers (results are identical at any worker count: each user's
+// behavior is seeded from its cohort index).
+func NewCohortPlan(cfg Config) (*CohortPlan, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	traces, err := workload.NewCohort(workload.CohortConfig{
+		PerGroup: cfg.PerGroup,
+		Hours:    cfg.Hours,
+		Seed:     cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return newPlan(cfg, traces)
+}
+
+// PlanTraces builds a plan from externally supplied traces (e.g. real
+// EC2 usage logs). Each trace is clipped or zero-padded to cfg.Hours;
+// cfg.PerGroup is ignored.
+func PlanTraces(cfg Config, traces []workload.Trace) (*CohortPlan, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(traces) == 0 {
+		return nil, fmt.Errorf("experiments: no traces")
+	}
+	fitted := make([]workload.Trace, len(traces))
+	for i, tr := range traces {
+		if err := tr.Validate(); err != nil {
+			return nil, fmt.Errorf("experiments: %w", err)
+		}
+		if tr.Len() > cfg.Hours {
+			tr = tr.Clip(cfg.Hours)
+		} else if tr.Len() < cfg.Hours {
+			demand := make([]int, cfg.Hours)
+			copy(demand, tr.Demand)
+			tr = workload.Trace{User: tr.User, Demand: demand}
+		}
+		fitted[i] = tr
+	}
+	return newPlan(cfg, fitted)
+}
+
+func newPlan(cfg Config, traces []workload.Trace) (*CohortPlan, error) {
+	p := &CohortPlan{
+		cfg:   cfg,
+		users: make([]PlannedUser, len(traces)),
+		keeps: make(map[pricing.InstanceType][]KeepStat),
+	}
+	err := runIndexed(cfg.Parallelism, len(traces), func(i int) error {
+		tr := traces[i]
+		behavior := Behaviors[i%len(Behaviors)]
+		planner, err := behaviorPolicy(cfg, behavior, int64(i))
+		if err != nil {
+			return err
+		}
+		newRes, err := purchasing.PlanReservations(tr.Demand, cfg.Instance.PeriodHours, planner)
+		if err != nil {
+			return fmt.Errorf("experiments: user %s: %w", tr.User, err)
+		}
+		reserved := 0
+		for _, n := range newRes {
+			reserved += n
+		}
+		p.users[i] = PlannedUser{Trace: tr, Behavior: behavior, NewRes: newRes, Reserved: reserved}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Config returns the plan's experiment configuration.
+func (p *CohortPlan) Config() Config { return p.cfg }
+
+// Len returns the number of planned users.
+func (p *CohortPlan) Len() int { return len(p.users) }
+
+// Users returns the planned users in cohort order. The slice is shared;
+// callers must not mutate it.
+func (p *CohortPlan) Users() []PlannedUser { return p.users }
+
+// KeepStats returns each user's Keep-Reserved baseline under the given
+// engine configuration, computing it at most once per price card (see
+// the cache invariant on CohortPlan.keeps).
+func (p *CohortPlan) KeepStats(engCfg simulate.Config) ([]KeepStat, error) {
+	p.mu.Lock()
+	cached, ok := p.keeps[engCfg.Instance]
+	p.mu.Unlock()
+	if ok {
+		return cached, nil
+	}
+	out := make([]KeepStat, len(p.users))
+	err := runIndexed(p.cfg.Parallelism, len(p.users), func(i int) error {
+		u := &p.users[i]
+		run, err := simulateRun(u.Trace.Demand, u.NewRes, engCfg, core.KeepReserved{})
+		if err != nil {
+			return fmt.Errorf("experiments: user %s: %w", u.Trace.User, err)
+		}
+		idle := 0
+		for _, h := range run.Hours {
+			served := h.Demand - h.OnDemand
+			idle += h.ActiveRes - served
+		}
+		out[i] = KeepStat{Total: run.Cost.Total(), IdleHours: idle}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	p.keeps[engCfg.Instance] = out
+	p.mu.Unlock()
+	return out, nil
+}
+
+// engineConfig is the engine configuration the plan's own experiment
+// parameters imply.
+func (p *CohortPlan) engineConfig() simulate.Config {
+	return simulate.Config{
+		Instance:        p.cfg.Instance,
+		SellingDiscount: p.cfg.SellingDiscount,
+		MarketFee:       p.cfg.MarketFee,
+	}
+}

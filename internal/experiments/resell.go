@@ -5,10 +5,8 @@ import (
 	"strings"
 
 	"rimarket/internal/core"
-	"rimarket/internal/purchasing"
 	"rimarket/internal/simulate"
 	"rimarket/internal/stats"
-	"rimarket/internal/workload"
 )
 
 // The paper's related work (Section II) discusses an alternative to
@@ -35,14 +33,12 @@ type HourResellRow struct {
 	CrossoverBeaten bool
 }
 
-// HourResellComparison evaluates the idle-hour-reselling baseline
-// against A_{3T/4} and A_{T/4} across resale efficiencies. The
-// baseline's cost is derived from the Keep-Reserved run: it keeps
-// every reservation and recoups gamma * p per idle reserved hour.
-func HourResellComparison(cfg Config, gammas []float64) ([]HourResellRow, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
+// HourResellComparison evaluates the idle-hour-reselling baseline on
+// the plan's cohort. The baseline's cost is derived from the cached
+// Keep-Reserved baseline: it keeps every reservation and recoups
+// gamma * p per idle reserved hour, so only the two period-selling
+// policies need engine runs.
+func (p *CohortPlan) HourResellComparison(gammas []float64) ([]HourResellRow, error) {
 	if len(gammas) == 0 {
 		return nil, fmt.Errorf("experiments: no gamma values")
 	}
@@ -51,6 +47,7 @@ func HourResellComparison(cfg Config, gammas []float64) ([]HourResellRow, error)
 			return nil, fmt.Errorf("experiments: gamma %v outside [0, 1]", g)
 		}
 	}
+	cfg := p.cfg
 	a3, err := core.NewA3T4(cfg.Instance, cfg.SellingDiscount)
 	if err != nil {
 		return nil, err
@@ -59,68 +56,31 @@ func HourResellComparison(cfg Config, gammas []float64) ([]HourResellRow, error)
 	if err != nil {
 		return nil, err
 	}
-	traces, err := workload.NewCohort(workload.CohortConfig{
-		PerGroup: cfg.PerGroup,
-		Hours:    cfg.Hours,
-		Seed:     cfg.Seed,
+	engCfg := simulate.Config{Instance: cfg.Instance, SellingDiscount: cfg.SellingDiscount}
+	keeps, err := p.KeepStats(engCfg)
+	if err != nil {
+		return nil, err
+	}
+	grid, err := p.RunGrid([]Cell{
+		{Name: PolicyA3T4, Policy: a3, Engine: engCfg},
+		{Name: PolicyAT4, Policy: a4, Engine: engCfg},
 	})
 	if err != nil {
 		return nil, err
 	}
-	engCfg := simulate.Config{Instance: cfg.Instance, SellingDiscount: cfg.SellingDiscount}
 
-	type userRun struct {
-		keep      float64
-		idleHours int
-		a3, a4    float64
-	}
-	runs := make([]userRun, 0, len(traces))
-	for i, tr := range traces {
-		planner, err := behaviorPolicy(cfg, Behaviors[i%len(Behaviors)], int64(i))
-		if err != nil {
-			return nil, err
-		}
-		newRes, err := purchasing.PlanReservations(tr.Demand, cfg.Instance.PeriodHours, planner)
-		if err != nil {
-			return nil, err
-		}
-		keepRun, err := simulate.Run(tr.Demand, newRes, engCfg, core.KeepReserved{})
-		if err != nil {
-			return nil, err
-		}
-		a3Run, err := simulate.Run(tr.Demand, newRes, engCfg, a3)
-		if err != nil {
-			return nil, err
-		}
-		a4Run, err := simulate.Run(tr.Demand, newRes, engCfg, a4)
-		if err != nil {
-			return nil, err
-		}
-		idle := 0
-		for _, h := range keepRun.Hours {
-			served := h.Demand - h.OnDemand
-			idle += h.ActiveRes - served
-		}
-		runs = append(runs, userRun{
-			keep:      keepRun.Cost.Total(),
-			idleHours: idle,
-			a3:        a3Run.Cost.Total(),
-			a4:        a4Run.Cost.Total(),
-		})
-	}
-
-	p := cfg.Instance.OnDemandHourly
+	od := cfg.Instance.OnDemandHourly
 	rows := make([]HourResellRow, 0, len(gammas))
 	for _, gamma := range gammas {
 		var resell, a3n, a4n []float64
-		for _, r := range runs {
-			if r.keep == 0 {
+		for i, ks := range keeps {
+			if ks.Total == 0 {
 				continue
 			}
-			resellCost := r.keep - gamma*p*float64(r.idleHours)
-			resell = append(resell, resellCost/r.keep)
-			a3n = append(a3n, r.a3/r.keep)
-			a4n = append(a4n, r.a4/r.keep)
+			resellCost := ks.Total - gamma*od*float64(ks.IdleHours)
+			resell = append(resell, resellCost/ks.Total)
+			a3n = append(a3n, grid[0].Norm[i])
+			a4n = append(a4n, grid[1].Norm[i])
 		}
 		row := HourResellRow{
 			Gamma:      gamma,
@@ -132,6 +92,19 @@ func HourResellComparison(cfg Config, gammas []float64) ([]HourResellRow, error)
 		rows = append(rows, row)
 	}
 	return rows, nil
+}
+
+// HourResellComparison evaluates the idle-hour-reselling baseline
+// against A_{3T/4} and A_{T/4} across resale efficiencies.
+func HourResellComparison(cfg Config, gammas []float64) ([]HourResellRow, error) {
+	if len(gammas) == 0 {
+		return nil, fmt.Errorf("experiments: no gamma values")
+	}
+	plan, err := NewCohortPlan(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return plan.HourResellComparison(gammas)
 }
 
 // RenderHourResell renders the related-work comparison.

@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"rimarket/internal/simulate"
+	"rimarket/internal/stats"
+)
+
+// simulateRun indirects the cost engine so tests can count or fail
+// invocations; production code always calls the real simulate.Run.
+var simulateRun = simulate.Run
+
+// workerCount resolves the Config.Parallelism contract: non-positive
+// means GOMAXPROCS, and there is never more than one worker per job.
+func workerCount(parallelism, jobs int) int {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > jobs {
+		parallelism = jobs
+	}
+	return parallelism
+}
+
+// runIndexed evaluates fn(0..n-1) over a bounded worker pool. It is the
+// package's one fan-out primitive, with two guarantees that make every
+// caller byte-identical at any worker count:
+//
+//   - each job writes only its own index, so outputs land in
+//     deterministic order regardless of scheduling;
+//   - the returned error is the one from the lowest-index failing job,
+//     not the temporally first. On failure the pool cancels all jobs
+//     above the best-known failing index but still drains every job
+//     below it (any of those could fail with a lower index), so the
+//     same error surfaces whether n workers race or one worker walks
+//     the jobs in order.
+func runIndexed(parallelism, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := workerCount(parallelism, n)
+	errs := make([]error, n)
+	var (
+		wg     sync.WaitGroup
+		next   atomic.Int64
+		minErr atomic.Int64
+	)
+	minErr.Store(int64(n))
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if int64(i) > minErr.Load() {
+					continue // canceled: a lower-index job already failed
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					for {
+						cur := minErr.Load()
+						if int64(i) >= cur || minErr.CompareAndSwap(cur, int64(i)) {
+							break
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if m := minErr.Load(); m < int64(n) {
+		return errs[m]
+	}
+	return nil
+}
+
+// Cell is one grid cell of a sweep or sensitivity experiment: a selling
+// policy and the engine configuration it runs under.
+type Cell struct {
+	// Name labels the cell in error messages.
+	Name string
+	// Policy is the selling policy the cell evaluates.
+	Policy simulate.SellingPolicy
+	// Engine is the cost-engine configuration for the cell's runs.
+	Engine simulate.Config
+}
+
+// CellResult holds one cell's per-user outcomes, in cohort order.
+type CellResult struct {
+	// Cost is each user's total cost (Eq. 1) under the cell's policy.
+	Cost []float64
+	// Norm is Cost normalized to the user's Keep-Reserved baseline
+	// (1 when the baseline is zero).
+	Norm []float64
+	// Sold is each user's number of instances sold.
+	Sold []int
+}
+
+// MeanNorm is the cohort-mean normalized cost.
+func (c CellResult) MeanNorm() float64 { return stats.Mean(c.Norm) }
+
+// FracSaved is the fraction of users strictly below the baseline.
+func (c CellResult) FracSaved() float64 { return stats.FractionBelow(c.Norm, 1) }
+
+// RunGrid evaluates every (cell, user) pair over the plan's worker
+// pool and returns one CellResult per cell, in cell order. Reservation
+// plans and Keep-Reserved baselines come from the plan's caches, so a
+// grid costs exactly one engine run per pair (plus one baseline run
+// per user for each price card not seen before).
+func (p *CohortPlan) RunGrid(cells []Cell) ([]CellResult, error) {
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("experiments: no grid cells")
+	}
+	// Resolve baselines before the fan-out: cells sharing a price card
+	// share one cached baseline computation.
+	keeps := make([][]KeepStat, len(cells))
+	for i, c := range cells {
+		ks, err := p.KeepStats(c.Engine)
+		if err != nil {
+			return nil, err
+		}
+		keeps[i] = ks
+	}
+	users := len(p.users)
+	out := make([]CellResult, len(cells))
+	for i := range out {
+		out[i] = CellResult{
+			Cost: make([]float64, users),
+			Norm: make([]float64, users),
+			Sold: make([]int, users),
+		}
+	}
+	err := runIndexed(p.cfg.Parallelism, len(cells)*users, func(j int) error {
+		ci, ui := j/users, j%users
+		u := &p.users[ui]
+		run, err := simulateRun(u.Trace.Demand, u.NewRes, cells[ci].Engine, cells[ci].Policy)
+		if err != nil {
+			return fmt.Errorf("experiments: cell %s: user %s: %w", cells[ci].Name, u.Trace.User, err)
+		}
+		cell := &out[ci]
+		cell.Cost[ui] = run.Cost.Total()
+		cell.Sold[ui] = run.SoldCount()
+		if keep := keeps[ci][ui].Total; keep != 0 {
+			cell.Norm[ui] = run.Cost.Total() / keep
+		} else {
+			cell.Norm[ui] = 1
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ForEachUser runs fn once per planned user over the plan's worker
+// pool. fn is called concurrently and must write only state owned by
+// its index; errors follow runIndexed's lowest-index-wins rule.
+func (p *CohortPlan) ForEachUser(fn func(i int, u PlannedUser) error) error {
+	return runIndexed(p.cfg.Parallelism, len(p.users), func(i int) error {
+		return fn(i, p.users[i])
+	})
+}

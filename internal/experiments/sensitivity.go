@@ -5,10 +5,6 @@ import (
 	"strings"
 
 	"rimarket/internal/core"
-	"rimarket/internal/purchasing"
-	"rimarket/internal/simulate"
-	"rimarket/internal/stats"
-	"rimarket/internal/workload"
 )
 
 // SensitivityGrid is the 2D ablation over selling discount a (rows)
@@ -24,82 +20,60 @@ type SensitivityGrid struct {
 	Mean [][]float64
 }
 
-// Sensitivity runs the full a-by-k grid on one cohort. Reservation
-// plans are computed once (they do not depend on a or k); each cell
-// replays the cohort's selling runs.
-func Sensitivity(cfg Config, discounts, fractions []float64) (SensitivityGrid, error) {
-	if err := cfg.Validate(); err != nil {
-		return SensitivityGrid{}, err
-	}
+// Sensitivity runs the a-by-k grid on the plan's cohort: one engine
+// run per (cell, user), fanned out over the plan's worker pool. The
+// reservation plans and the Keep-Reserved baseline are the plan's
+// cached copies, so repeated grids on one plan cost only the cells.
+func (p *CohortPlan) Sensitivity(discounts, fractions []float64) (SensitivityGrid, error) {
 	if len(discounts) == 0 || len(fractions) == 0 {
 		return SensitivityGrid{}, fmt.Errorf("experiments: empty sensitivity axes")
 	}
-	traces, err := workload.NewCohort(workload.CohortConfig{
-		PerGroup: cfg.PerGroup,
-		Hours:    cfg.Hours,
-		Seed:     cfg.Seed,
-	})
+	cells := make([]Cell, 0, len(discounts)*len(fractions))
+	for _, a := range discounts {
+		engCfg := p.engineConfig()
+		engCfg.SellingDiscount = a
+		for _, k := range fractions {
+			policy, err := core.NewThreshold(p.cfg.Instance, a, k)
+			if err != nil {
+				return SensitivityGrid{}, fmt.Errorf("experiments: cell (a=%v, k=%v): %w", a, k, err)
+			}
+			cells = append(cells, Cell{
+				Name:   fmt.Sprintf("a=%v,k=%v", a, k),
+				Policy: policy,
+				Engine: engCfg,
+			})
+		}
+	}
+	grid, err := p.RunGrid(cells)
 	if err != nil {
 		return SensitivityGrid{}, err
 	}
-
-	type planned struct{ demand, newRes []int }
-	plans := make([]planned, 0, len(traces))
-	for i, tr := range traces {
-		planner, err := behaviorPolicy(cfg, Behaviors[i%len(Behaviors)], int64(i))
-		if err != nil {
-			return SensitivityGrid{}, err
-		}
-		newRes, err := purchasing.PlanReservations(tr.Demand, cfg.Instance.PeriodHours, planner)
-		if err != nil {
-			return SensitivityGrid{}, err
-		}
-		plans = append(plans, planned{demand: tr.Demand, newRes: newRes})
-	}
-
-	grid := SensitivityGrid{
+	out := SensitivityGrid{
 		Discounts: append([]float64(nil), discounts...),
 		Fractions: append([]float64(nil), fractions...),
 		Mean:      make([][]float64, len(discounts)),
 	}
-	for i, a := range discounts {
-		grid.Mean[i] = make([]float64, len(fractions))
-		engCfg := simulate.Config{
-			Instance:        cfg.Instance,
-			SellingDiscount: a,
-			MarketFee:       cfg.MarketFee,
-		}
-		// Keep-Reserved baselines are independent of k but not of the
-		// engine config; compute once per row.
-		keeps := make([]float64, len(plans))
-		for p, pl := range plans {
-			keepRun, err := simulate.Run(pl.demand, pl.newRes, engCfg, core.KeepReserved{})
-			if err != nil {
-				return SensitivityGrid{}, err
-			}
-			keeps[p] = keepRun.Cost.Total()
-		}
-		for j, k := range fractions {
-			policy, err := core.NewThreshold(cfg.Instance, a, k)
-			if err != nil {
-				return SensitivityGrid{}, fmt.Errorf("experiments: cell (a=%v, k=%v): %w", a, k, err)
-			}
-			normalized := make([]float64, 0, len(plans))
-			for p, pl := range plans {
-				run, err := simulate.Run(pl.demand, pl.newRes, engCfg, policy)
-				if err != nil {
-					return SensitivityGrid{}, err
-				}
-				if keeps[p] == 0 {
-					normalized = append(normalized, 1)
-					continue
-				}
-				normalized = append(normalized, run.Cost.Total()/keeps[p])
-			}
-			grid.Mean[i][j] = stats.Mean(normalized)
+	for i := range discounts {
+		out.Mean[i] = make([]float64, len(fractions))
+		for j := range fractions {
+			out.Mean[i][j] = grid[i*len(fractions)+j].MeanNorm()
 		}
 	}
-	return grid, nil
+	return out, nil
+}
+
+// Sensitivity runs the full a-by-k grid on one cohort. Reservation
+// plans are computed once (they do not depend on a or k); each cell
+// replays the cohort's selling runs.
+func Sensitivity(cfg Config, discounts, fractions []float64) (SensitivityGrid, error) {
+	if len(discounts) == 0 || len(fractions) == 0 {
+		return SensitivityGrid{}, fmt.Errorf("experiments: empty sensitivity axes")
+	}
+	plan, err := NewCohortPlan(cfg)
+	if err != nil {
+		return SensitivityGrid{}, err
+	}
+	return plan.Sensitivity(discounts, fractions)
 }
 
 // RenderSensitivity renders the grid as a table (rows a, columns k).

@@ -5,10 +5,7 @@ import (
 	"strings"
 
 	"rimarket/internal/core"
-	"rimarket/internal/purchasing"
 	"rimarket/internal/simulate"
-	"rimarket/internal/stats"
-	"rimarket/internal/workload"
 )
 
 // SweepPoint is one setting of an ablation sweep.
@@ -23,112 +20,103 @@ type SweepPoint struct {
 	FracSaved float64
 }
 
-// sweepOver runs the cohort once per parameter value, building the
-// selling policy with mk. When valueIsDiscount is set, the swept value
-// also replaces the engine's selling discount (income side).
-func sweepOver(cfg Config, values []float64, valueIsDiscount bool, mk func(Config, float64) (simulate.SellingPolicy, error)) ([]SweepPoint, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	traces, err := workload.NewCohort(workload.CohortConfig{
-		PerGroup: cfg.PerGroup,
-		Hours:    cfg.Hours,
-		Seed:     cfg.Seed,
-	})
+// sweepCells runs one grid cell per swept value and folds each cell
+// into a SweepPoint.
+func (p *CohortPlan) sweepCells(values []float64, cells []Cell) ([]SweepPoint, error) {
+	grid, err := p.RunGrid(cells)
 	if err != nil {
 		return nil, err
 	}
-
-	// Plan reservations once per user; the plan does not depend on the
-	// swept selling parameter.
-	type planned struct {
-		demand []int
-		newRes []int
-	}
-	plans := make([]planned, 0, len(traces))
-	for i, tr := range traces {
-		planner, err := behaviorPolicy(cfg, Behaviors[i%len(Behaviors)], int64(i))
-		if err != nil {
-			return nil, err
+	out := make([]SweepPoint, len(values))
+	for i, v := range values {
+		out[i] = SweepPoint{
+			Value:          v,
+			MeanNormalized: grid[i].MeanNorm(),
+			FracSaved:      grid[i].FracSaved(),
 		}
-		newRes, err := purchasing.PlanReservations(tr.Demand, cfg.Instance.PeriodHours, planner)
-		if err != nil {
-			return nil, err
-		}
-		plans = append(plans, planned{demand: tr.Demand, newRes: newRes})
 	}
+	return out, nil
+}
 
-	out := make([]SweepPoint, 0, len(values))
+// sweepOver builds the selling policy with mk once per parameter value
+// and evaluates all values on the shared plan. When valueIsDiscount is
+// set, the swept value also replaces the engine's selling discount
+// (income side).
+func (p *CohortPlan) sweepOver(values []float64, valueIsDiscount bool, mk func(Config, float64) (simulate.SellingPolicy, error)) ([]SweepPoint, error) {
+	cells := make([]Cell, 0, len(values))
 	for _, v := range values {
-		policy, err := mk(cfg, v)
+		policy, err := mk(p.cfg, v)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: sweep value %v: %w", v, err)
 		}
-		engCfg := simulate.Config{
-			Instance:        cfg.Instance,
-			SellingDiscount: cfg.SellingDiscount,
-			MarketFee:       cfg.MarketFee,
-		}
+		engCfg := p.engineConfig()
 		if valueIsDiscount {
 			engCfg.SellingDiscount = v
 		}
-		normalized := make([]float64, 0, len(plans))
-		for _, pl := range plans {
-			keepRun, err := simulate.Run(pl.demand, pl.newRes, engCfg, core.KeepReserved{})
-			if err != nil {
-				return nil, err
-			}
-			run, err := simulate.Run(pl.demand, pl.newRes, engCfg, policy)
-			if err != nil {
-				return nil, err
-			}
-			keep := keepRun.Cost.Total()
-			if keep == 0 {
-				normalized = append(normalized, 1)
-				continue
-			}
-			normalized = append(normalized, run.Cost.Total()/keep)
-		}
-		out = append(out, SweepPoint{
-			Value:          v,
-			MeanNormalized: stats.Mean(normalized),
-			FracSaved:      stats.FractionBelow(normalized, 1),
-		})
+		cells = append(cells, Cell{Name: fmt.Sprintf("value=%v", v), Policy: policy, Engine: engCfg})
 	}
-	return out, nil
+	return p.sweepCells(values, cells)
+}
+
+// SweepFraction evaluates the generalized A_{kT} across checkpoint
+// fractions on the plan's cohort.
+func (p *CohortPlan) SweepFraction(fractions []float64) ([]SweepPoint, error) {
+	return p.sweepOver(fractions, false, func(c Config, k float64) (simulate.SellingPolicy, error) {
+		return core.NewThreshold(c.Instance, c.SellingDiscount, k)
+	})
+}
+
+// SweepDiscount evaluates A_{3T/4} across selling discounts a on the
+// plan's cohort.
+func (p *CohortPlan) SweepDiscount(discounts []float64) ([]SweepPoint, error) {
+	return p.sweepOver(discounts, true, func(c Config, a float64) (simulate.SellingPolicy, error) {
+		return core.NewA3T4(c.Instance, a)
+	})
+}
+
+// SweepMarketFee evaluates A_{3T/4} across marketplace fees on the
+// plan's cohort.
+func (p *CohortPlan) SweepMarketFee(fees []float64) ([]SweepPoint, error) {
+	cells := make([]Cell, 0, len(fees))
+	for _, fee := range fees {
+		policy, err := core.NewA3T4(p.cfg.Instance, p.cfg.SellingDiscount)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: sweep value %v: %w", fee, err)
+		}
+		engCfg := p.engineConfig()
+		engCfg.MarketFee = fee
+		cells = append(cells, Cell{Name: fmt.Sprintf("fee=%v", fee), Policy: policy, Engine: engCfg})
+	}
+	return p.sweepCells(fees, cells)
 }
 
 // SweepFraction evaluates the generalized A_{kT} across checkpoint
 // fractions — the paper's future-work direction of selling at an
 // arbitrary time spot.
 func SweepFraction(cfg Config, fractions []float64) ([]SweepPoint, error) {
-	return sweepOver(cfg, fractions, false, func(c Config, k float64) (simulate.SellingPolicy, error) {
-		return core.NewThreshold(c.Instance, c.SellingDiscount, k)
-	})
+	plan, err := NewCohortPlan(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return plan.SweepFraction(fractions)
 }
 
 // SweepDiscount evaluates A_{3T/4} across selling discounts a.
 func SweepDiscount(cfg Config, discounts []float64) ([]SweepPoint, error) {
-	return sweepOver(cfg, discounts, true, func(c Config, a float64) (simulate.SellingPolicy, error) {
-		return core.NewA3T4(c.Instance, a)
-	})
+	plan, err := NewCohortPlan(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return plan.SweepDiscount(discounts)
 }
 
 // SweepMarketFee evaluates A_{3T/4} across marketplace fees.
 func SweepMarketFee(cfg Config, fees []float64) ([]SweepPoint, error) {
-	points := make([]SweepPoint, 0, len(fees))
-	for _, fee := range fees {
-		c := cfg
-		c.MarketFee = fee
-		got, err := sweepOver(c, []float64{fee}, false, func(cc Config, _ float64) (simulate.SellingPolicy, error) {
-			return core.NewA3T4(cc.Instance, cc.SellingDiscount)
-		})
-		if err != nil {
-			return nil, err
-		}
-		points = append(points, got[0])
+	plan, err := NewCohortPlan(cfg)
+	if err != nil {
+		return nil, err
 	}
-	return points, nil
+	return plan.SweepMarketFee(fees)
 }
 
 // RenderSweep renders sweep points as a small table.

@@ -23,8 +23,16 @@ import (
 //
 // Comment lines start with '#'; a "# user:" comment names the trace.
 
+// MaxLogHours caps the hour index a usage-log row may carry. The
+// reconstructed series is dense (one slot per hour up to the maximum
+// index seen), so without a cap one malformed or hostile row like
+// "99999999999,1" would make the parser attempt a terabyte-scale
+// allocation. A century of hours is far beyond any reservation horizon.
+const MaxLogHours = 100 * 365 * 24
+
 // ReadEC2Log parses one EC2 usage-log stream into a demand trace.
 // Hours may be sparse and out of order; missing hours have zero demand.
+// Hour indices above MaxLogHours are rejected.
 func ReadEC2Log(r io.Reader) (workload.Trace, error) {
 	sc := bufio.NewScanner(r)
 	user := "ec2-log"
@@ -63,6 +71,9 @@ func ReadEC2Log(r io.Reader) (workload.Trace, error) {
 		}
 		if hour < 0 || count < 0 {
 			return workload.Trace{}, fmt.Errorf("gtrace: ec2 log line %d: negative value", line)
+		}
+		if hour > MaxLogHours {
+			return workload.Trace{}, fmt.Errorf("gtrace: ec2 log line %d: hour %d beyond the %d-hour limit", line, hour, MaxLogHours)
 		}
 		demand[hour] = count
 		if hour > maxHour {

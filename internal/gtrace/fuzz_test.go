@@ -1,0 +1,114 @@
+package gtrace
+
+// Fuzz targets for the two trace parsers, covering the gzip
+// auto-detection layer as well: arbitrary bytes — malformed rows,
+// truncated gzip streams, hostile hour indices — must produce errors,
+// never panics or unbounded allocations. Seed corpora live in
+// testdata/fuzz; CI runs a short -fuzztime pass on both targets.
+
+import (
+	"bytes"
+	"compress/gzip"
+	"strings"
+	"testing"
+)
+
+// gzipped compresses s so seeds can exercise the auto-gunzip path.
+func gzipped(tb testing.TB, s string) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write([]byte(s)); err != nil {
+		tb.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func FuzzReadEC2Log(f *testing.F) {
+	valid := "# user: app-7\nhour,instances\n0,12\n1,14\n5,3\n"
+	f.Add([]byte(valid))
+	f.Add([]byte("hour,instances\n"))             // header only: empty trace, no error
+	f.Add([]byte("0,1\n99999999999,5\n"))         // hostile hour index: must error, not allocate
+	f.Add([]byte("0,1\n1,-3\n"))                  // negative count
+	f.Add([]byte("not,a,log\n"))                  // wrong arity
+	f.Add([]byte("12\n"))                         // missing column
+	f.Add([]byte(""))                             // empty stream
+	f.Add(gzipped(f, valid))                      // gzip-compressed valid log
+	f.Add(gzipped(f, valid)[:10])                 // truncated gzip stream
+	f.Add([]byte{0x1f, 0x8b})                     // bare gzip magic
+	f.Add([]byte("# user: x\nhour,instances\n" + strings.Repeat("0,1\n", 100)))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadEC2LogAuto(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A nil error must yield a structurally sane trace.
+		if tr.User == "" {
+			t.Errorf("parsed trace has no user")
+		}
+		if len(tr.Demand) > MaxLogHours+1 {
+			t.Errorf("series length %d exceeds the %d-hour cap", len(tr.Demand), MaxLogHours)
+		}
+		for h, d := range tr.Demand {
+			if d < 0 {
+				t.Errorf("hour %d: negative demand %d survived parsing", h, d)
+			}
+		}
+	})
+}
+
+func FuzzReadTaskEvents(f *testing.F) {
+	valid := "0,,6218406404,0,,0,alice,,,0.03,0.01,0.002,\n" +
+		"3600,,6218406404,1,,1,bob,,,0.06,0.02,0.004,\n"
+	f.Add([]byte(valid))
+	f.Add([]byte("0,,1,0,,0,u,,,,,,\n"))  // blank resource fields parse as zero
+	f.Add([]byte("0,,1,0,0\n"))           // wrong column count
+	f.Add([]byte("x,,1,0,,0,u,,,0,0,0,\n")) // non-numeric timestamp
+	f.Add([]byte(""))                     // empty stream: ErrNoEvents
+	f.Add(gzipped(f, valid))              // gzip-compressed stream
+	f.Add(gzipped(f, valid)[:8])          // truncated gzip stream
+	f.Add([]byte{0x1f, 0x8b, 0x08})       // gzip magic, garbage header
+	f.Fuzz(func(t *testing.T, data []byte) {
+		events, err := ReadTaskEventsAuto(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if len(events) == 0 {
+			t.Error("nil error with zero events (want ErrNoEvents)")
+		}
+	})
+}
+
+// TestHostileHourIndexRejected pins the MaxLogHours guard outside the
+// fuzzer so the regression is caught even in -short runs.
+func TestHostileHourIndexRejected(t *testing.T) {
+	_, err := ReadEC2Log(strings.NewReader("0,1\n99999999999,5\n"))
+	if err == nil {
+		t.Fatal("terabyte-scale hour index accepted")
+	}
+	if !strings.Contains(err.Error(), "hour") {
+		t.Errorf("error %q does not mention the hour cap", err)
+	}
+	// The boundary itself is accepted.
+	tr, err := ReadEC2Log(strings.NewReader("# user: edge\nhour,instances\n" +
+		"0,1\n"))
+	if err != nil || tr.Len() != 1 {
+		t.Fatalf("minimal log rejected: %v", err)
+	}
+}
+
+// TestTruncatedGzipSurfacesError pins the truncated-stream behavior
+// for both parsers.
+func TestTruncatedGzipSurfacesError(t *testing.T) {
+	log := gzipped(t, "# user: z\nhour,instances\n0,4\n1,5\n")
+	if _, err := ReadEC2LogAuto(bytes.NewReader(log[:12])); err == nil {
+		t.Error("truncated gzip ec2 log accepted")
+	}
+	events := gzipped(t, "0,,1,0,,0,u,,,0,0,0,\n")
+	if _, err := ReadTaskEventsAuto(bytes.NewReader(events[:12])); err == nil {
+		t.Error("truncated gzip task events accepted")
+	}
+}

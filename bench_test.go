@@ -169,28 +169,84 @@ func BenchmarkSweepFraction(b *testing.B) {
 	}
 }
 
-// BenchmarkEngineRun isolates the hourly cost engine: one year-long
-// demand trace, one selling policy, no cohort overhead.
-func BenchmarkEngineRun(b *testing.B) {
-	it := pricing.D2XLarge()
-	demand := make([]int, pricing.HoursPerYear)
-	for i := range demand {
-		demand[i] = 5 + i%7
-	}
-	plan, err := purchasing.PlanReservations(demand, it.PeriodHours, purchasing.AllReserved{})
-	if err != nil {
-		b.Fatal(err)
-	}
-	policy, err := core.NewA3T4(it, 0.8)
-	if err != nil {
-		b.Fatal(err)
-	}
-	cfg := simulate.Config{Instance: it, SellingDiscount: 0.8}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := simulate.Run(demand, plan, cfg, policy); err != nil {
+// engineBenchPolicy builds the checkpoint shape for the engine bench
+// matrix: sparse is the paper's single-checkpoint A_{3T/4}; dense is a
+// 16-checkpoint multi-threshold portfolio, stressing the engine's
+// checkpoint event schedule.
+func engineBenchPolicy(b *testing.B, it pricing.InstanceType, shape string) simulate.SellingPolicy {
+	b.Helper()
+	switch shape {
+	case "sparse":
+		policy, err := core.NewA3T4(it, 0.8)
+		if err != nil {
 			b.Fatal(err)
+		}
+		return policy
+	case "dense":
+		fractions := make([]float64, 16)
+		for i := range fractions {
+			fractions[i] = float64(i+1) / 17
+		}
+		policy, err := core.NewMultiThreshold(it, 0.8, fractions)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return policy
+	default:
+		b.Fatalf("unknown checkpoint shape %q", shape)
+		return nil
+	}
+}
+
+// BenchmarkEngineRun isolates the hourly cost engine across the
+// dimensions that stress its hot path: 1-year vs 3-year terms (the
+// horizon spans one full period), sparse vs dense checkpoint
+// schedules, and instance schedule recording on/off. These are the
+// benches scripts/bench.sh snapshots into BENCH_2.json and CI's
+// regression gate enforces.
+func BenchmarkEngineRun(b *testing.B) {
+	oneYear := pricing.D2XLarge()
+	threeYear, err := pricing.ThreeYearTerm(oneYear)
+	if err != nil {
+		b.Fatal(err)
+	}
+	terms := []struct {
+		name string
+		it   pricing.InstanceType
+	}{
+		{"1y", oneYear},
+		{"3y", threeYear},
+	}
+	for _, term := range terms {
+		demand := make([]int, term.it.PeriodHours)
+		for i := range demand {
+			demand[i] = 5 + i%7
+		}
+		plan, err := purchasing.PlanReservations(demand, term.it.PeriodHours, purchasing.AllReserved{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, shape := range []string{"sparse", "dense"} {
+			policy := engineBenchPolicy(b, term.it, shape)
+			for _, sched := range []bool{false, true} {
+				cfg := simulate.Config{
+					Instance:        term.it,
+					SellingDiscount: 0.8,
+					RecordSchedules: sched,
+				}
+				schedName := "off"
+				if sched {
+					schedName = "on"
+				}
+				b.Run("term="+term.name+"/ckpt="+shape+"/sched="+schedName, func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						if _, err := simulate.Run(demand, plan, cfg, policy); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
 		}
 	}
 }

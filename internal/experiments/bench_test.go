@@ -13,6 +13,8 @@ package experiments
 import (
 	"fmt"
 	"testing"
+
+	"rimarket/internal/pricing"
 )
 
 // benchDiscounts/benchFractions are riexp's sensitivity defaults.
@@ -97,6 +99,33 @@ func BenchmarkSweepFractionCachedPlan(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := plan.SweepFraction(benchSweepKs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKeepStatsCachedPlan isolates the engine inside the grid
+// substrate: on a cached CohortPlan, KeepStats is a pure fan-out of
+// simulate.Run over the cohort, so its time and allocation profile is
+// the engine's — the cost every additional grid cell pays. The cache
+// is cleared each iteration by using a fresh engine config edge: we
+// rebuild the plan outside the timer and benchmark one full cohort of
+// engine runs per iteration.
+func BenchmarkKeepStatsCachedPlan(b *testing.B) {
+	cfg := TestScaleConfig()
+	cfg.Parallelism = 1
+	plan, err := NewCohortPlan(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	engCfg := plan.engineConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan.mu.Lock()
+		plan.keeps = make(map[pricing.InstanceType][]KeepStat)
+		plan.mu.Unlock()
+		if _, err := plan.KeepStats(engCfg); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -30,15 +30,15 @@ func gzipped(tb testing.TB, s string) []byte {
 func FuzzReadEC2Log(f *testing.F) {
 	valid := "# user: app-7\nhour,instances\n0,12\n1,14\n5,3\n"
 	f.Add([]byte(valid))
-	f.Add([]byte("hour,instances\n"))             // header only: empty trace, no error
-	f.Add([]byte("0,1\n99999999999,5\n"))         // hostile hour index: must error, not allocate
-	f.Add([]byte("0,1\n1,-3\n"))                  // negative count
-	f.Add([]byte("not,a,log\n"))                  // wrong arity
-	f.Add([]byte("12\n"))                         // missing column
-	f.Add([]byte(""))                             // empty stream
-	f.Add(gzipped(f, valid))                      // gzip-compressed valid log
-	f.Add(gzipped(f, valid)[:10])                 // truncated gzip stream
-	f.Add([]byte{0x1f, 0x8b})                     // bare gzip magic
+	f.Add([]byte("hour,instances\n"))     // header only: empty trace, no error
+	f.Add([]byte("0,1\n99999999999,5\n")) // hostile hour index: must error, not allocate
+	f.Add([]byte("0,1\n1,-3\n"))          // negative count
+	f.Add([]byte("not,a,log\n"))          // wrong arity
+	f.Add([]byte("12\n"))                 // missing column
+	f.Add([]byte(""))                     // empty stream
+	f.Add(gzipped(f, valid))              // gzip-compressed valid log
+	f.Add(gzipped(f, valid)[:10])         // truncated gzip stream
+	f.Add([]byte{0x1f, 0x8b})             // bare gzip magic
 	f.Add([]byte("# user: x\nhour,instances\n" + strings.Repeat("0,1\n", 100)))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		tr, err := ReadEC2LogAuto(bytes.NewReader(data))
@@ -64,13 +64,13 @@ func FuzzReadTaskEvents(f *testing.F) {
 	valid := "0,,6218406404,0,,0,alice,,,0.03,0.01,0.002,\n" +
 		"3600,,6218406404,1,,1,bob,,,0.06,0.02,0.004,\n"
 	f.Add([]byte(valid))
-	f.Add([]byte("0,,1,0,,0,u,,,,,,\n"))  // blank resource fields parse as zero
-	f.Add([]byte("0,,1,0,0\n"))           // wrong column count
+	f.Add([]byte("0,,1,0,,0,u,,,,,,\n"))    // blank resource fields parse as zero
+	f.Add([]byte("0,,1,0,0\n"))             // wrong column count
 	f.Add([]byte("x,,1,0,,0,u,,,0,0,0,\n")) // non-numeric timestamp
-	f.Add([]byte(""))                     // empty stream: ErrNoEvents
-	f.Add(gzipped(f, valid))              // gzip-compressed stream
-	f.Add(gzipped(f, valid)[:8])          // truncated gzip stream
-	f.Add([]byte{0x1f, 0x8b, 0x08})       // gzip magic, garbage header
+	f.Add([]byte(""))                       // empty stream: ErrNoEvents
+	f.Add(gzipped(f, valid))                // gzip-compressed stream
+	f.Add(gzipped(f, valid)[:8])            // truncated gzip stream
+	f.Add([]byte{0x1f, 0x8b, 0x08})         // gzip magic, garbage header
 	f.Fuzz(func(t *testing.T, data []byte) {
 		events, err := ReadTaskEventsAuto(bytes.NewReader(data))
 		if err != nil {

@@ -5,8 +5,10 @@ import (
 	"sort"
 )
 
-// instance is the engine's mutable per-reservation state.
-type instance struct {
+// instState is the engine's mutable per-reservation state, stored in
+// one contiguous slab per run (see Run) so a whole-cohort experiment
+// makes O(users) allocations rather than O(users·instances).
+type instState struct {
 	rec    InstanceRecord
 	sold   bool
 	expiry int   // Start + T
@@ -40,6 +42,30 @@ func checkpointAges(policy SellingPolicy, period int) []int {
 	return out
 }
 
+// validateRun is the shared input validation of Run and the test-only
+// reference engine; both must reject identical inputs identically.
+func validateRun(demand, newRes []int, cfg Config, policy SellingPolicy) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if len(demand) != len(newRes) {
+		return fmt.Errorf("%w: %d demand hours, %d reservation hours",
+			ErrLengthMismatch, len(demand), len(newRes))
+	}
+	for t, d := range demand {
+		if d < 0 {
+			return fmt.Errorf("simulate: negative demand %d at hour %d", d, t)
+		}
+		if newRes[t] < 0 {
+			return fmt.Errorf("simulate: negative reservation count %d at hour %d", newRes[t], t)
+		}
+	}
+	if policy == nil {
+		return fmt.Errorf("simulate: nil selling policy")
+	}
+	return nil
+}
+
 // Run replays the demand series against the reservation series under
 // the given selling policy and returns the full accounting.
 //
@@ -57,91 +83,145 @@ func checkpointAges(policy SellingPolicy, period int) []int {
 //
 // Policies implementing MultiCheckpointPolicy are consulted at each of
 // their ages until they sell; policies implementing PerInstancePolicy
-// assign every instance its own age at reservation time.
+// assign every instance its own age at reservation time. ShouldSell is
+// called in exactly the working-sequence order of the instances due at
+// each hour; InstanceCheckpointAge is called once per instance in
+// reservation order (start ascending, batch index ascending) before the
+// replay begins — the interface requires it to be deterministic in
+// (start, batchIndex), so the hoisting is unobservable.
+//
+// The engine exploits two structural invariants to stay out of the
+// per-hour hot path's way. First, because PeriodHours is constant, the
+// active list stays in working-sequence order by construction: expiring
+// instances are always a prefix (head-trim) and each hour's new batch
+// always belongs at the tail (appended in descending batch index), so
+// no per-hour sort is needed. Second, every checkpoint hour is known at
+// activation time, so consultations are bucketed into a per-hour event
+// schedule up front instead of scanning the active list every hour.
+// The whole replay makes O(1) heap allocations: instance state, hour
+// records, checkpoint events and (optionally) schedules live in
+// pre-sized slabs.
 func Run(demand, newRes []int, cfg Config, policy SellingPolicy) (Result, error) {
-	if err := cfg.Validate(); err != nil {
+	if err := validateRun(demand, newRes, cfg, policy); err != nil {
 		return Result{}, err
-	}
-	if len(demand) != len(newRes) {
-		return Result{}, fmt.Errorf("%w: %d demand hours, %d reservation hours",
-			ErrLengthMismatch, len(demand), len(newRes))
-	}
-	for t, d := range demand {
-		if d < 0 {
-			return Result{}, fmt.Errorf("simulate: negative demand %d at hour %d", d, t)
-		}
-		if newRes[t] < 0 {
-			return Result{}, fmt.Errorf("simulate: negative reservation count %d at hour %d", newRes[t], t)
-		}
-	}
-	if policy == nil {
-		return Result{}, fmt.Errorf("simulate: nil selling policy")
 	}
 
 	it := cfg.Instance
 	period := it.PeriodHours
 	alphaHourly := it.ReservedHourly
 	saleKeep := 1 - cfg.MarketFee
+	horizon := len(demand)
 
 	sharedAges := checkpointAges(policy, period)
 	perInst, isPerInstance := policy.(PerInstancePolicy)
 
-	res := Result{Hours: make([]HourRecord, len(demand))}
-	var instances []*instance
-	// active holds the currently active (unexpired, unsold) instances
-	// in working-sequence order: earlier start first (less remaining
-	// period), higher batch index first within a batch.
-	var active []*instance
-	anyCheckpoints := len(sharedAges) > 0 || isPerInstance
+	// Slab of all instances ever reserved, in reservation order (start
+	// ascending, batch index ascending). batchOff[t]..batchOff[t+1] is
+	// hour t's batch.
+	total := 0
+	batchOff := make([]int, horizon+1)
+	for t, n := range newRes {
+		batchOff[t] = total
+		total += n
+	}
+	batchOff[horizon] = total
 
-	for t := range demand {
-		// Drop expired instances.
-		live := active[:0]
-		for _, in := range active {
-			if t < in.expiry {
-				live = append(live, in)
-			}
-		}
-		active = live
-
-		// 1. Activate this hour's new reservations.
+	slab := make([]instState, total)
+	var soloAges []int // backing for per-instance single-age slices
+	if isPerInstance {
+		soloAges = make([]int, total)
+	}
+	var schedSlab []bool
+	if cfg.RecordSchedules {
+		schedSlab = make([]bool, total*period)
+	}
+	for t := 0; t < horizon; t++ {
 		for i := 1; i <= newRes[t]; i++ {
-			in := &instance{
-				rec:    InstanceRecord{Start: t, BatchIndex: i, SoldAt: -1, WorkedAtCheckpoint: -1},
-				expiry: t + period,
-			}
+			j := batchOff[t] + i - 1
+			in := &slab[j]
+			in.rec = InstanceRecord{Start: t, BatchIndex: i, SoldAt: -1, WorkedAtCheckpoint: -1}
+			in.expiry = t + period
 			if isPerInstance {
 				if age := perInst.InstanceCheckpointAge(t, i, period); age > 0 && age < period {
-					in.ckAges = []int{age}
+					soloAges[j] = age
+					in.ckAges = soloAges[j : j+1 : j+1]
 				}
 			} else {
 				in.ckAges = sharedAges
 			}
 			if cfg.RecordSchedules {
-				in.rec.Schedule = make([]bool, period)
+				in.rec.Schedule = schedSlab[j*period : (j+1)*period : (j+1)*period]
 			}
-			instances = append(instances, in)
-			active = append(active, in)
 		}
-		// Restore working-sequence order: new instances have the most
-		// remaining period so they sort last; within the new batch the
-		// higher index must come first.
-		sort.SliceStable(active, func(a, b int) bool {
-			ia, ib := active[a], active[b]
-			if ia.rec.Start != ib.rec.Start {
-				return ia.rec.Start < ib.rec.Start
-			}
-			return ia.rec.BatchIndex > ib.rec.BatchIndex
-		})
+	}
 
-		// 2. Selling checkpoints.
+	// Checkpoint event schedule: for each hour, the slab indices of the
+	// instances with a decision age falling on that hour, in working-
+	// sequence order (start ascending, batch index descending — the
+	// order the reference engine consults them in). Built with one
+	// counting pass and one fill pass over two shared arrays.
+	var evOff []int // evOff[t]..evOff[t+1] indexes events for hour t
+	var events []int
+	if total > 0 && (len(sharedAges) > 0 || isPerInstance) {
+		evOff = make([]int, horizon+2)
+		for j := range slab {
+			in := &slab[j]
+			for _, a := range in.ckAges {
+				if h := in.rec.Start + a; h < horizon {
+					evOff[h+2]++
+				}
+			}
+		}
+		for t := 2; t <= horizon+1; t++ {
+			evOff[t] += evOff[t-1]
+		}
+		events = make([]int, evOff[horizon+1])
+		// Fill in (start asc, batch index desc) order so each bucket
+		// comes out in working-sequence order; evOff[t+1] doubles as the
+		// running fill cursor for hour t and ends at its final value.
+		for t := 0; t < horizon; t++ {
+			for j := batchOff[t+1] - 1; j >= batchOff[t]; j-- {
+				for _, a := range slab[j].ckAges {
+					if h := t + a; h < horizon {
+						events[evOff[h+1]] = j
+						evOff[h+1]++
+					}
+				}
+			}
+		}
+	}
+
+	res := Result{Hours: make([]HourRecord, horizon)}
+	// active holds the currently active (unexpired, unsold) instances'
+	// slab indices in working-sequence order; the window active[head:]
+	// is the live list. Expiry only ever removes a prefix (constant
+	// period ⇒ expiry order = start order), so head advances instead of
+	// reslicing; sales splice the window in place on the rare hours a
+	// sale happens.
+	active := make([]int, 0, total)
+	head := 0
+
+	for t := 0; t < horizon; t++ {
+		// Drop expired instances: always a prefix of the window.
+		for head < len(active) && slab[active[head]].expiry <= t {
+			head++
+		}
+
+		// 1. Activate this hour's new reservations. Everything already
+		// active started earlier (less remaining period), and within the
+		// batch the higher index works first, so the batch is appended
+		// at the tail in descending index order.
+		for j := batchOff[t+1] - 1; j >= batchOff[t]; j-- {
+			active = append(active, j)
+		}
+
+		// 2. Selling checkpoints: only the instances scheduled for hour t.
 		var soldNow int
 		var income float64
-		if anyCheckpoints {
-			kept := active[:0]
-			for _, in := range active {
-				if in.nextCk >= len(in.ckAges) || t-in.rec.Start != in.ckAges[in.nextCk] {
-					kept = append(kept, in)
+		if events != nil && evOff[t] < evOff[t+1] {
+			for _, j := range events[evOff[t]:evOff[t+1]] {
+				in := &slab[j]
+				if in.sold || in.nextCk >= len(in.ckAges) || t-in.rec.Start != in.ckAges[in.nextCk] {
 					continue
 				}
 				in.nextCk++
@@ -159,26 +239,36 @@ func Run(demand, newRes []int, cfg Config, policy SellingPolicy) (Result, error)
 					soldNow++
 					remFrac := float64(in.expiry-t) / float64(period)
 					income += cfg.SellingDiscount * remFrac * it.Upfront * saleKeep
-				} else {
-					kept = append(kept, in)
 				}
 			}
-			active = kept
+			if soldNow > 0 {
+				w := active[head:]
+				k := 0
+				for _, j := range w {
+					if !slab[j].sold {
+						w[k] = j
+						k++
+					}
+				}
+				active = active[:head+k]
+			}
 		}
 
 		// 3. Working sequence: first d_t active instances serve demand.
+		win := active[head:]
 		d := demand[t]
 		busy := d
-		if busy > len(active) {
-			busy = len(active)
+		if busy > len(win) {
+			busy = len(win)
 		}
-		for _, in := range active[:busy] {
+		for _, j := range win[:busy] {
+			in := &slab[j]
 			in.rec.Worked++
 			if cfg.RecordSchedules {
 				in.rec.Schedule[t-in.rec.Start] = true
 			}
 		}
-		onDemand := d - len(active)
+		onDemand := d - len(win)
 		if onDemand < 0 {
 			onDemand = 0
 		}
@@ -187,19 +277,19 @@ func Run(demand, newRes []int, cfg Config, policy SellingPolicy) (Result, error)
 		res.Hours[t] = HourRecord{
 			Demand:    d,
 			NewlyRes:  newRes[t],
-			ActiveRes: len(active),
+			ActiveRes: len(win),
 			OnDemand:  onDemand,
 			Sold:      soldNow,
 		}
 		res.Cost.OnDemand += float64(onDemand) * it.OnDemandHourly
 		res.Cost.Upfront += float64(newRes[t]) * it.Upfront
-		res.Cost.ReservedHourly += float64(len(active)) * alphaHourly
+		res.Cost.ReservedHourly += float64(len(win)) * alphaHourly
 		res.Cost.SaleIncome += income
 	}
 
-	res.Instances = make([]InstanceRecord, len(instances))
-	for i, in := range instances {
-		res.Instances[i] = in.rec
+	res.Instances = make([]InstanceRecord, total)
+	for j := range slab {
+		res.Instances[j] = slab[j].rec
 	}
 	return res, nil
 }

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Refresh the committed engine benchmark baseline (BENCH_2.json).
+#
+# Runs the BenchmarkEngineRun matrix (terms x checkpoint density x
+# schedule recording) with -benchmem, takes the minimum over COUNT
+# repeats, and writes the baseline JSON that CI's benchgate step
+# enforces with a 20% regression tolerance. Run it on an idle machine
+# after any change to internal/simulate, and commit the result:
+#
+#   scripts/bench.sh             # writes BENCH_2.json
+#   COUNT=10 scripts/bench.sh    # more repeats, tighter minima
+#   OUT=/tmp/b.json scripts/bench.sh   # write elsewhere for comparison
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+COUNT="${COUNT:-5}"
+OUT="${OUT:-BENCH_2.json}"
+
+go test -run '^$' -bench '^BenchmarkEngineRun$' -benchmem -count "$COUNT" . |
+	tee /dev/stderr |
+	go run ./scripts/benchgate -update -baseline "$OUT"

@@ -1,0 +1,219 @@
+// Command benchgate parses `go test -bench` output on stdin and either
+// records a benchmark baseline JSON (-update) or enforces one: with an
+// existing baseline it exits non-zero when any benchmark regresses by
+// more than the tolerance in time/op or allocs/op.
+//
+// Record/refresh the committed baseline (scripts/bench.sh does this):
+//
+//	go test -run '^$' -bench '^BenchmarkEngineRun$' -benchmem -count 5 . |
+//	    go run ./scripts/benchgate -update -baseline BENCH_2.json
+//
+// Enforce it (the CI regression gate):
+//
+//	go test -run '^$' -bench '^BenchmarkEngineRun$' -benchmem -count 3 . |
+//	    go run ./scripts/benchgate -baseline BENCH_2.json
+//
+// With -count > 1 the minimum over repeats is used on both sides,
+// which is the standard way to damp scheduler noise.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark's recorded costs. GOMAXPROCS suffixes are
+// stripped from names so baselines transfer across machines.
+type Entry struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Baseline is the committed BENCH_*.json document.
+type Baseline struct {
+	Note       string  `json:"note"`
+	Tolerance  float64 `json:"tolerance"`
+	Benchmarks []Entry `json:"benchmarks"`
+}
+
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBench reads `go test -bench` output and returns per-benchmark
+// minima over repeated runs.
+func parseBench(f *os.File) ([]Entry, error) {
+	byName := map[string]*Entry{}
+	var order []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		name := gomaxprocsSuffix.ReplaceAllString(fields[0], "")
+		e := Entry{Name: name, NsPerOp: -1, BytesPerOp: -1, AllocsPerOp: -1}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchgate: bad value %q in %q", fields[i], line)
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				e.NsPerOp = v
+			case "B/op":
+				e.BytesPerOp = v
+			case "allocs/op":
+				e.AllocsPerOp = v
+			}
+		}
+		if e.NsPerOp < 0 {
+			continue
+		}
+		prev, ok := byName[name]
+		if !ok {
+			cp := e
+			byName[name] = &cp
+			order = append(order, name)
+			continue
+		}
+		if e.NsPerOp < prev.NsPerOp {
+			prev.NsPerOp = e.NsPerOp
+		}
+		if e.BytesPerOp >= 0 && (prev.BytesPerOp < 0 || e.BytesPerOp < prev.BytesPerOp) {
+			prev.BytesPerOp = e.BytesPerOp
+		}
+		if e.AllocsPerOp >= 0 && (prev.AllocsPerOp < 0 || e.AllocsPerOp < prev.AllocsPerOp) {
+			prev.AllocsPerOp = e.AllocsPerOp
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]Entry, 0, len(order))
+	for _, name := range order {
+		out = append(out, *byName[name])
+	}
+	return out, nil
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_2.json", "baseline JSON path")
+	update := flag.Bool("update", false, "write the parsed results as the new baseline instead of checking")
+	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional regression in allocs/op (and time/op unless -time-tolerance is set)")
+	timeTolerance := flag.Float64("time-tolerance", -1,
+		"allowed fractional regression in time/op; defaults to -tolerance. Allocs are deterministic, wall time is not: on shared CI runners give time extra headroom — it still catches algorithmic regressions, which cost integer factors, not percents")
+	note := flag.String("note", "Engine benchmark baseline; refresh with scripts/bench.sh (see EXPERIMENTS.md).",
+		"note stored in the baseline on -update")
+	flag.Parse()
+
+	current, err := parseBench(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if len(current) == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: no benchmark lines on stdin")
+		os.Exit(2)
+	}
+
+	if *update {
+		sort.Slice(current, func(i, j int) bool { return current[i].Name < current[j].Name })
+		doc := Baseline{Note: *note, Tolerance: *tolerance, Benchmarks: current}
+		buf, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*baselinePath, buf, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Printf("benchgate: wrote %d benchmarks to %s\n", len(current), *baselinePath)
+		return
+	}
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	var base Baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %s: %v\n", *baselinePath, err)
+		os.Exit(2)
+	}
+	tol := *tolerance
+	explicitTol := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "tolerance" {
+			explicitTol = true
+		}
+	})
+	if !explicitTol && base.Tolerance > 0 {
+		tol = base.Tolerance
+	}
+	timeTol := *timeTolerance
+	if timeTol < 0 {
+		timeTol = tol
+	}
+
+	baseByName := map[string]Entry{}
+	for _, e := range base.Benchmarks {
+		baseByName[e.Name] = e
+	}
+	curByName := map[string]Entry{}
+	for _, e := range current {
+		curByName[e.Name] = e
+	}
+
+	failed := false
+	for _, b := range base.Benchmarks {
+		c, ok := curByName[b.Name]
+		if !ok {
+			fmt.Printf("MISSING  %s: in baseline but not in this run\n", b.Name)
+			failed = true
+			continue
+		}
+		timeRatio := c.NsPerOp / b.NsPerOp
+		status := "ok      "
+		if timeRatio > 1+timeTol {
+			status = "REGRESS "
+			failed = true
+		}
+		fmt.Printf("%s %s: time/op %.0f -> %.0f ns (%+.1f%%)\n",
+			status, b.Name, b.NsPerOp, c.NsPerOp, 100*(timeRatio-1))
+		if b.AllocsPerOp > 0 || c.AllocsPerOp > 0 {
+			allocRatio := (c.AllocsPerOp + 1) / (b.AllocsPerOp + 1) // +1: tolerate zero baselines
+			if allocRatio > 1+tol {
+				fmt.Printf("REGRESS  %s: allocs/op %.0f -> %.0f (%+.1f%%)\n",
+					b.Name, b.AllocsPerOp, c.AllocsPerOp, 100*(allocRatio-1))
+				failed = true
+			}
+		}
+	}
+	for _, c := range current {
+		if _, ok := baseByName[c.Name]; !ok {
+			fmt.Printf("NEW      %s: not in baseline; refresh with scripts/bench.sh\n", c.Name)
+		}
+	}
+	if failed {
+		fmt.Printf("benchgate: regression beyond tolerance (time %.0f%%, allocs %.0f%%) vs %s\n",
+			100*timeTol, 100*tol, *baselinePath)
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: %d benchmarks within tolerance (time %.0f%%, allocs %.0f%%) of %s\n",
+		len(base.Benchmarks), 100*timeTol, 100*tol, *baselinePath)
+}

@@ -7,6 +7,7 @@ package rimarket_test
 // these benches pin the cost of regenerating it.
 
 import (
+	"context"
 	"testing"
 
 	"rimarket"
@@ -34,7 +35,7 @@ var benchCohort *experiments.CohortResult
 func cohortForBench(b *testing.B) *experiments.CohortResult {
 	b.Helper()
 	if benchCohort == nil {
-		res, err := experiments.RunCohort(benchConfig())
+		res, err := experiments.RunCohort(context.Background(), benchConfig())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -61,7 +62,7 @@ func BenchmarkFig2Fluctuation(b *testing.B) {
 	cfg := benchConfig()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.RunCohort(cfg)
+		res, err := experiments.RunCohort(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -125,7 +126,7 @@ func BenchmarkTable3AverageCost(b *testing.B) {
 	cfg := benchConfig()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.RunCohort(cfg)
+		res, err := experiments.RunCohort(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -163,7 +164,7 @@ func BenchmarkSweepFraction(b *testing.B) {
 	cfg.PerGroup = 4
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.SweepFraction(cfg, []float64{0.25, 0.5, 0.75}); err != nil {
+		if _, err := experiments.SweepFraction(context.Background(), cfg, []float64{0.25, 0.5, 0.75}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -314,7 +315,7 @@ func BenchmarkExtensions(b *testing.B) {
 	cfg.PerGroup = 4
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Extensions(cfg)
+		rows, err := experiments.Extensions(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -356,7 +357,7 @@ func BenchmarkMarketSession(b *testing.B) {
 	cfg := benchConfig()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		points, err := experiments.MarketSession(cfg, []float64{1})
+		points, err := experiments.MarketSession(context.Background(), cfg, []float64{1})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -10,7 +10,9 @@ package main
 //	go test ./cmd/riexp -run TestGolden -update
 
 import (
+	"context"
 	"flag"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -34,7 +36,7 @@ func TestGolden(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			var out strings.Builder
-			if err := run(tc.args, &out); err != nil {
+			if err := run(context.Background(), tc.args, &out, io.Discard); err != nil {
 				t.Fatalf("run(%v): %v", tc.args, err)
 			}
 			path := filepath.Join("testdata", tc.name+".golden")
@@ -65,12 +67,12 @@ func TestGoldenParallelismSmoke(t *testing.T) {
 		t.Skip("golden runs use the full test-scale cohort; skipped in -short mode")
 	}
 	var ref strings.Builder
-	if err := run([]string{"-exp", "sweep-k", "-parallelism", "1"}, &ref); err != nil {
+	if err := run(context.Background(), []string{"-exp", "sweep-k", "-parallelism", "1"}, &ref, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	for _, par := range []string{"2", "8"} {
 		var out strings.Builder
-		if err := run([]string{"-exp", "sweep-k", "-parallelism", par}, &out); err != nil {
+		if err := run(context.Background(), []string{"-exp", "sweep-k", "-parallelism", par}, &out, io.Discard); err != nil {
 			t.Fatalf("parallelism %s: %v", par, err)
 		}
 		if out.String() != ref.String() {

@@ -9,15 +9,25 @@
 // Experiments: table1, table2, table3, fig2, fig3a, fig3b, fig3c,
 // fig4a, fig4b, fig4c, bounds, sweep-k, sweep-a, sweep-fee,
 // extensions, market, sensitivity, audit, resell, all.
+//
+// Exit codes: 0 on success, 1 on a run error, 2 on command-line
+// misuse, 3 when the run completed but a best-effort trace load
+// skipped files (partial ingestion). SIGINT/SIGTERM cancel the run
+// gracefully: in-flight users drain, and the error reports which grid
+// cells completed.
 package main
 
 import (
-	"flag"
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 
+	"flag"
+
 	"rimarket/internal/analysis"
+	"rimarket/internal/cli"
 	"rimarket/internal/core"
 	"rimarket/internal/experiments"
 	"rimarket/internal/gtrace"
@@ -25,14 +35,18 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := cli.SignalContext()
+	err := run(ctx, os.Args[1:], os.Stdout, os.Stderr)
+	stop()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "riexp:", err)
-		os.Exit(1)
 	}
+	os.Exit(cli.ExitCode(err))
 }
 
-func run(args []string, w io.Writer) error {
+func run(ctx context.Context, args []string, w, stderr io.Writer) error {
 	fs := flag.NewFlagSet("riexp", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
 		exp      = fs.String("exp", "all", "experiment to run (table1|table2|table3|fig2|fig3a|fig3b|fig3c|fig4a|fig4b|fig4c|bounds|sweep-k|sweep-a|sweep-fee|extensions|market|sensitivity|audit|resell|all)")
 		scale    = fs.String("scale", "test", "experiment scale: test (fast) or full (paper: 300 users, 1-year horizon)")
@@ -43,12 +57,31 @@ func run(args []string, w io.Writer) error {
 		term     = fs.Int("term", 1, "reservation term in years (1 or 3)")
 		par      = fs.Int("parallelism", 0, "worker goroutines evaluating users and grid cells; 0 means GOMAXPROCS (results are identical at any setting)")
 		traceDir = fs.String("tracedir", "", "run on real EC2-usage-log files (.csv/.csv.gz) from this directory instead of the synthetic cohort")
+		traceErr = fs.String("trace-errors", "strict", "error policy for -tracedir files: strict (fail on the first bad file) or best-effort (skip bad files, warn, exit 3)")
+		traceBud = fs.Int("trace-error-budget", 0, "max files best-effort may skip before failing anyway; 0 means unlimited")
 		jsonOut  = fs.String("json", "", "also write the full cohort result as JSON to this file")
 		csvOut   = fs.String("csv", "", "also write per-user costs as CSV to this file")
 	)
 	if err := fs.Parse(args); err != nil {
-		return err
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return cli.Usage(err)
 	}
+
+	var loadOpts gtrace.LoadOptions
+	switch *traceErr {
+	case "strict":
+		loadOpts.Policy = gtrace.Strict
+	case "best-effort":
+		loadOpts.Policy = gtrace.BestEffort
+	default:
+		return cli.Usagef("unknown -trace-errors policy %q (want strict or best-effort)", *traceErr)
+	}
+	if *traceBud < 0 {
+		return cli.Usagef("-trace-error-budget %d must be non-negative", *traceBud)
+	}
+	loadOpts.FailureBudget = *traceBud
 
 	var cfg experiments.Config
 	switch *scale {
@@ -57,7 +90,7 @@ func run(args []string, w io.Writer) error {
 	case "full":
 		cfg = experiments.DefaultConfig()
 	default:
-		return fmt.Errorf("unknown scale %q (want test or full)", *scale)
+		return cli.Usagef("unknown scale %q (want test or full)", *scale)
 	}
 	switch *term {
 	case 1:
@@ -76,7 +109,7 @@ func run(args []string, w io.Writer) error {
 		cfg.Instance = three
 		cfg.Hours = three.PeriodHours
 	default:
-		return fmt.Errorf("unsupported term %d (want 1 or 3)", *term)
+		return cli.Usagef("unsupported term %d (want 1 or 3)", *term)
 	}
 	if *perGroup > 0 {
 		cfg.PerGroup = *perGroup
@@ -105,10 +138,10 @@ func run(args []string, w io.Writer) error {
 		return printBounds(w, cfg)
 	}
 	if sweep, ok := map[string]bool{"sweep-k": true, "sweep-a": true, "sweep-fee": true}[*exp]; ok && sweep {
-		return printSweep(w, cfg, *exp)
+		return printSweep(ctx, w, cfg, *exp)
 	}
 	if *exp == "resell" {
-		rows, err := experiments.HourResellComparison(cfg, []float64{0.1, 0.25, 0.5, 0.75, 1.0})
+		rows, err := experiments.HourResellComparison(ctx, cfg, []float64{0.1, 0.25, 0.5, 0.75, 1.0})
 		if err != nil {
 			return err
 		}
@@ -118,7 +151,7 @@ func run(args []string, w io.Writer) error {
 	if *exp == "audit" {
 		var results []experiments.AuditResult
 		for _, k := range []float64{core.Fraction3T4, core.FractionT2, core.FractionT4} {
-			r, err := experiments.RatioAudit(cfg, k)
+			r, err := experiments.RatioAudit(ctx, cfg, k)
 			if err != nil {
 				return err
 			}
@@ -128,7 +161,7 @@ func run(args []string, w io.Writer) error {
 		return nil
 	}
 	if *exp == "sensitivity" {
-		grid, err := experiments.Sensitivity(cfg,
+		grid, err := experiments.Sensitivity(ctx, cfg,
 			[]float64{0.2, 0.4, 0.6, 0.8, 1.0},
 			[]float64{0.125, 0.25, 0.5, 0.75, 0.875})
 		if err != nil {
@@ -138,7 +171,7 @@ func run(args []string, w io.Writer) error {
 		return nil
 	}
 	if *exp == "market" {
-		points, err := experiments.MarketSession(cfg, []float64{0.05, 0.2, 1, 5})
+		points, err := experiments.MarketSession(ctx, cfg, []float64{0.05, 0.2, 1, 5})
 		if err != nil {
 			return err
 		}
@@ -146,7 +179,7 @@ func run(args []string, w io.Writer) error {
 		return nil
 	}
 	if *exp == "extensions" {
-		rows, err := experiments.Extensions(cfg)
+		rows, err := experiments.Extensions(ctx, cfg)
 		if err != nil {
 			return err
 		}
@@ -155,18 +188,27 @@ func run(args []string, w io.Writer) error {
 	}
 
 	var res *experiments.CohortResult
+	var report *gtrace.LoadReport
 	if *traceDir != "" {
-		traces, err := gtrace.LoadEC2LogDir(*traceDir)
+		traces, rep, err := gtrace.LoadEC2LogDirOpts(*traceDir, loadOpts)
 		if err != nil {
-			return err
+			return fmt.Errorf("%s: %w", *traceDir, err)
 		}
-		res, err = experiments.RunTraces(cfg, traces)
+		report = rep
+		if report.Partial() {
+			fmt.Fprintf(stderr, "riexp: warning: partial ingestion: %d of %d trace files skipped:\n",
+				len(report.Skipped), len(report.Skipped)+len(report.Loaded))
+			for _, sk := range report.Skipped {
+				fmt.Fprintf(stderr, "riexp: warning:   %s: %v\n", sk.File, sk.Err)
+			}
+		}
+		res, err = experiments.RunTraces(ctx, cfg, traces)
 		if err != nil {
 			return err
 		}
 	} else {
 		var err error
-		res, err = experiments.RunCohort(cfg)
+		res, err = experiments.RunCohort(ctx, cfg)
 		if err != nil {
 			return err
 		}
@@ -174,7 +216,19 @@ func run(args []string, w io.Writer) error {
 	if err := exportResult(res, *jsonOut, *csvOut); err != nil {
 		return err
 	}
-	switch *exp {
+	if err := printExperiment(w, cfg, table1Card, res, *exp); err != nil {
+		return err
+	}
+	if report.Partial() {
+		return fmt.Errorf("%d of %d trace files skipped: %w",
+			len(report.Skipped), len(report.Skipped)+len(report.Loaded), cli.ErrPartial)
+	}
+	return nil
+}
+
+// printExperiment renders the cohort-backed experiments.
+func printExperiment(w io.Writer, cfg experiments.Config, table1Card pricing.InstanceType, res *experiments.CohortResult, exp string) error {
+	switch exp {
 	case "table2":
 		out, err := experiments.Table2(res)
 		if err != nil {
@@ -190,14 +244,14 @@ func run(args []string, w io.Writer) error {
 			"fig3a": experiments.PolicyA3T4,
 			"fig3b": experiments.PolicyAT2,
 			"fig3c": experiments.PolicyAT4,
-		}[*exp]
+		}[exp]
 		sum, err := experiments.Fig3(res.Users, policy)
 		if err != nil {
 			return err
 		}
 		fmt.Fprint(w, experiments.RenderFig3(sum))
 	case "fig4a", "fig4b", "fig4c":
-		idx := map[string]int{"fig4a": 0, "fig4b": 1, "fig4c": 2}[*exp]
+		idx := map[string]int{"fig4a": 0, "fig4b": 1, "fig4c": 2}[exp]
 		fmt.Fprint(w, experiments.RenderFig4(experiments.Fig4(res)[idx]))
 	case "all":
 		fmt.Fprint(w, experiments.Table1(table1Card))
@@ -228,7 +282,7 @@ func run(args []string, w io.Writer) error {
 			return err
 		}
 	default:
-		return fmt.Errorf("unknown experiment %q", *exp)
+		return cli.Usagef("unknown experiment %q", exp)
 	}
 	return nil
 }
@@ -322,22 +376,22 @@ func printBounds(w io.Writer, cfg experiments.Config) error {
 	return nil
 }
 
-func printSweep(w io.Writer, cfg experiments.Config, which string) error {
+func printSweep(ctx context.Context, w io.Writer, cfg experiments.Config, which string) error {
 	switch which {
 	case "sweep-k":
-		points, err := experiments.SweepFraction(cfg, []float64{0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875})
+		points, err := experiments.SweepFraction(ctx, cfg, []float64{0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875})
 		if err != nil {
 			return err
 		}
 		fmt.Fprint(w, experiments.RenderSweep("Ablation — checkpoint fraction k of A_{kT}", "k", points))
 	case "sweep-a":
-		points, err := experiments.SweepDiscount(cfg, []float64{0.2, 0.4, 0.6, 0.8, 1.0})
+		points, err := experiments.SweepDiscount(ctx, cfg, []float64{0.2, 0.4, 0.6, 0.8, 1.0})
 		if err != nil {
 			return err
 		}
 		fmt.Fprint(w, experiments.RenderSweep("Ablation — selling discount a of A_{3T/4}", "a", points))
 	case "sweep-fee":
-		points, err := experiments.SweepMarketFee(cfg, []float64{0, 0.06, 0.12, 0.24})
+		points, err := experiments.SweepMarketFee(ctx, cfg, []float64{0, 0.06, 0.12, 0.24})
 		if err != nil {
 			return err
 		}

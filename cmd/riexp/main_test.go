@@ -1,11 +1,17 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"rimarket/internal/cli"
+	"rimarket/internal/gtrace"
 )
 
 // fastArgs shrinks the cohort so every CLI test is quick.
@@ -118,7 +124,7 @@ func TestRunExperiments(t *testing.T) {
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
 			var out strings.Builder
-			if err := run(tt.args, &out); err != nil {
+			if err := run(context.Background(), tt.args, &out, io.Discard); err != nil {
 				t.Fatalf("run(%v): %v", tt.args, err)
 			}
 			for _, want := range tt.want {
@@ -132,7 +138,7 @@ func TestRunExperiments(t *testing.T) {
 
 func TestRunAll(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{"-exp", "all", "-pergroup", "4"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-exp", "all", "-pergroup", "4"}, &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"Table I", "Fig. 2", "Fig. 3", "Fig. 4", "Table II", "Table III", "Competitive-ratio"} {
@@ -155,7 +161,7 @@ func TestRunErrors(t *testing.T) {
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
 			var out strings.Builder
-			if err := run(tt.args, &out); err == nil {
+			if err := run(context.Background(), tt.args, &out, io.Discard); err == nil {
 				t.Error("run succeeded, want error")
 			}
 		})
@@ -168,7 +174,7 @@ func TestRunExports(t *testing.T) {
 	csvPath := filepath.Join(dir, "users.csv")
 	var out strings.Builder
 	args := []string{"-exp", "table3", "-pergroup", "3", "-json", jsonPath, "-csv", csvPath}
-	if err := run(args, &out); err != nil {
+	if err := run(context.Background(), args, &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	for _, path := range []string{jsonPath, csvPath} {
@@ -181,7 +187,7 @@ func TestRunExports(t *testing.T) {
 		}
 	}
 	// Unwritable export path surfaces as an error.
-	if err := run([]string{"-exp", "table3", "-pergroup", "2", "-json", "/nonexistent-dir/x.json"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-exp", "table3", "-pergroup", "2", "-json", "/nonexistent-dir/x.json"}, &out, io.Discard); err == nil {
 		t.Error("bad export path accepted")
 	}
 }
@@ -202,27 +208,142 @@ func TestRunTraceDir(t *testing.T) {
 		}
 	}
 	var out strings.Builder
-	if err := run([]string{"-exp", "table3", "-tracedir", dir}, &out); err != nil {
+	if err := run(context.Background(), []string{"-exp", "table3", "-tracedir", dir}, &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "Table III") {
 		t.Errorf("output:\n%s", out.String())
 	}
 	// Empty directory errors.
-	if err := run([]string{"-exp", "table3", "-tracedir", t.TempDir()}, &out); err == nil {
+	if err := run(context.Background(), []string{"-exp", "table3", "-tracedir", t.TempDir()}, &out, io.Discard); err == nil {
 		t.Error("empty trace dir accepted")
+	}
+}
+
+// writeMixedTraceDir builds a real directory with good traces and one
+// corrupt file, the shape of a partially-damaged usage-log download.
+func writeMixedTraceDir(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	stable := "# user: s1\nhour,instances\n"
+	for h := 0; h < 300; h++ {
+		stable += fmt.Sprintf("%d,5\n", h)
+	}
+	files := map[string]string{
+		"corrupt.csv":  "not,a,trace\n",
+		"stable.csv":   stable,
+		"volatile.csv": "# user: v1\nhour,instances\n0,40\n",
+	}
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestRunTraceDirBestEffort(t *testing.T) {
+	dir := writeMixedTraceDir(t)
+	var out, warn strings.Builder
+	err := run(context.Background(), []string{"-exp", "table3", "-tracedir", dir, "-trace-errors", "best-effort"}, &out, &warn)
+	if err == nil {
+		t.Fatal("partial ingestion completed without the partial error")
+	}
+	if !errors.Is(err, cli.ErrPartial) {
+		t.Fatalf("err = %v, want cli.ErrPartial in chain", err)
+	}
+	if code := cli.ExitCode(err); code != cli.ExitPartial {
+		t.Errorf("exit code %d, want %d", code, cli.ExitPartial)
+	}
+	// The run still rendered its results for the files that loaded.
+	if !strings.Contains(out.String(), "Table III") {
+		t.Errorf("partial run produced no table:\n%s", out.String())
+	}
+	for _, want := range []string{"partial ingestion", "corrupt.csv", "1 of 3"} {
+		if !strings.Contains(warn.String(), want) {
+			t.Errorf("warning missing %q:\n%s", want, warn.String())
+		}
+	}
+}
+
+func TestRunTraceDirStrict(t *testing.T) {
+	dir := writeMixedTraceDir(t)
+	var out strings.Builder
+	// Strict is the default: the corrupt file fails the whole run.
+	err := run(context.Background(), []string{"-exp", "table3", "-tracedir", dir}, &out, io.Discard)
+	if err == nil {
+		t.Fatal("strict run over a corrupt file succeeded")
+	}
+	var perr *gtrace.ParseError
+	if !errors.As(err, &perr) || perr.File != "corrupt.csv" {
+		t.Fatalf("err = %v, want *gtrace.ParseError naming corrupt.csv", err)
+	}
+	if code := cli.ExitCode(err); code != cli.ExitError {
+		t.Errorf("exit code %d, want %d", code, cli.ExitError)
+	}
+}
+
+func TestRunTraceDirBudgetExceeded(t *testing.T) {
+	dir := writeMixedTraceDir(t)
+	if err := os.WriteFile(filepath.Join(dir, "also-corrupt.csv"), []byte("garbage\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	args := []string{"-exp", "table3", "-tracedir", dir, "-trace-errors", "best-effort", "-trace-error-budget", "1"}
+	err := run(context.Background(), args, &out, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "failure budget") {
+		t.Fatalf("err = %v, want budget exceeded", err)
+	}
+	if code := cli.ExitCode(err); code != cli.ExitError {
+		t.Errorf("exit code %d, want %d (budget overrun is a failure, not a partial success)", code, cli.ExitError)
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{name: "unknown trace-errors policy", args: []string{"-trace-errors", "lenient"}},
+		{name: "negative budget", args: []string{"-trace-error-budget", "-1"}},
+		{name: "unknown flag", args: []string{"-bogus"}},
+		{name: "unknown scale", args: []string{"-scale", "huge"}},
+		{name: "unknown experiment", args: []string{"-exp", "nope", "-pergroup", "2"}},
+		{name: "bad term", args: []string{"-term", "2"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var out strings.Builder
+			err := run(context.Background(), tt.args, &out, io.Discard)
+			if code := cli.ExitCode(err); code != cli.ExitUsage {
+				t.Errorf("run(%v) = %v (exit %d), want usage error (exit %d)", tt.args, err, code, cli.ExitUsage)
+			}
+		})
+	}
+}
+
+func TestRunCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out strings.Builder
+	err := run(ctx, fastArgs("-exp", "table3"), &out, io.Discard)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if code := cli.ExitCode(err); code != cli.ExitError {
+		t.Errorf("exit code %d, want %d", code, cli.ExitError)
 	}
 }
 
 func TestRunThreeYearTerm(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{"-exp", "table3", "-term", "3", "-pergroup", "3"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-exp", "table3", "-term", "3", "-pergroup", "3"}, &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "Table III") {
 		t.Errorf("output:\n%s", out.String())
 	}
-	if err := run([]string{"-exp", "table3", "-term", "2"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-exp", "table3", "-term", "2"}, &out, io.Discard); err == nil {
 		t.Error("term 2 accepted")
 	}
 }

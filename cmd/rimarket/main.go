@@ -16,6 +16,7 @@ import (
 	"math/rand"
 	"os"
 
+	"rimarket/internal/cli"
 	"rimarket/internal/marketplace"
 	"rimarket/internal/pricing"
 )
@@ -23,7 +24,7 @@ import (
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "rimarket:", err)
-		os.Exit(1)
+		os.Exit(cli.ExitCode(err))
 	}
 }
 
@@ -37,7 +38,7 @@ func run(args []string, w io.Writer) error {
 		seed     = fs.Int64("seed", 7, "seed for discounts and buyer demand")
 	)
 	if err := fs.Parse(args); err != nil {
-		return err
+		return cli.Usage(err)
 	}
 	it, err := pricing.StandardLinuxUSEast().Lookup(*instance)
 	if err != nil {

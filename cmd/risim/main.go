@@ -17,6 +17,7 @@ import (
 	"os"
 	"strconv"
 
+	"rimarket/internal/cli"
 	"rimarket/internal/core"
 	"rimarket/internal/gtrace"
 	"rimarket/internal/pricing"
@@ -28,7 +29,7 @@ import (
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "risim:", err)
-		os.Exit(1)
+		os.Exit(cli.ExitCode(err))
 	}
 }
 
@@ -47,7 +48,7 @@ func run(args []string, w io.Writer) error {
 		seed      = fs.Int64("seed", 1, "seed for synthetic demand and random behavior")
 	)
 	if err := fs.Parse(args); err != nil {
-		return err
+		return cli.Usage(err)
 	}
 
 	it, err := pricing.StandardLinuxUSEast().Lookup(*instance)

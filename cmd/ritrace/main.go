@@ -16,6 +16,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"rimarket/internal/cli"
 	"rimarket/internal/gtrace"
 	"rimarket/internal/stats"
 	"rimarket/internal/workload"
@@ -24,13 +25,13 @@ import (
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "ritrace:", err)
-		os.Exit(1)
+		os.Exit(cli.ExitCode(err))
 	}
 }
 
 func run(args []string, w io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: ritrace <gen|gen-gtrace|inspect|convert> [flags]")
+		return cli.Usagef("usage: ritrace <gen|gen-gtrace|inspect|convert> [flags]")
 	}
 	cmd, rest := args[0], args[1:]
 	switch cmd {
@@ -43,7 +44,7 @@ func run(args []string, w io.Writer) error {
 	case "convert":
 		return convert(rest, w)
 	default:
-		return fmt.Errorf("unknown subcommand %q", cmd)
+		return cli.Usagef("unknown subcommand %q", cmd)
 	}
 }
 
@@ -59,7 +60,7 @@ func genCohort(args []string, w io.Writer) error {
 	out := fs.String("out", ".", "output directory for EC2-usage-log files")
 	perGroup, hours, seed := cohortFlags(fs)
 	if err := fs.Parse(args); err != nil {
-		return err
+		return cli.Usage(err)
 	}
 	traces, err := workload.NewCohort(workload.CohortConfig{PerGroup: *perGroup, Hours: *hours, Seed: *seed})
 	if err != nil {
@@ -92,7 +93,7 @@ func genGTrace(args []string, w io.Writer) error {
 	compress := fs.Bool("gz", false, "gzip the output (like the real clusterdata files)")
 	perGroup, hours, seed := cohortFlags(fs)
 	if err := fs.Parse(args); err != nil {
-		return err
+		return cli.Usage(err)
 	}
 	traces, err := workload.NewCohort(workload.CohortConfig{PerGroup: *perGroup, Hours: *hours, Seed: *seed})
 	if err != nil {
@@ -122,7 +123,7 @@ func inspect(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("inspect", flag.ContinueOnError)
 	path := fs.String("trace", "", "EC2-usage-log CSV to inspect")
 	if err := fs.Parse(args); err != nil {
-		return err
+		return cli.Usage(err)
 	}
 	if *path == "" {
 		return fmt.Errorf("pass -trace FILE")
@@ -154,7 +155,7 @@ func convert(args []string, w io.Writer) error {
 	cpu := fs.Float64("cpu", gtrace.DefaultCapacity.CPU, "per-instance CPU capacity")
 	mem := fs.Float64("mem", gtrace.DefaultCapacity.Memory, "per-instance memory capacity")
 	if err := fs.Parse(args); err != nil {
-		return err
+		return cli.Usage(err)
 	}
 	if *in == "" {
 		return fmt.Errorf("pass -in FILE")

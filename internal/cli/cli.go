@@ -1,0 +1,78 @@
+// Package cli is the shared process plumbing of the rimarket binaries:
+// one exit-code vocabulary, one error classification, and one signal
+// wiring, so every command fails the same way and scripts driving the
+// tools can branch on status codes instead of scraping stderr.
+package cli
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// Exit codes shared by every binary. riexp documents them in its
+// -help output; the other commands use the same vocabulary.
+const (
+	// ExitOK: the run completed.
+	ExitOK = 0
+	// ExitError: the run failed (engine error, bad input file, ...).
+	ExitError = 1
+	// ExitUsage: the command line itself was wrong.
+	ExitUsage = 2
+	// ExitPartial: the run completed, but on partial inputs — e.g. a
+	// best-effort trace load skipped files. Results were produced and
+	// are trustworthy for the inputs that loaded; the caller decides
+	// whether partial coverage is acceptable.
+	ExitPartial = 3
+)
+
+// ErrPartial marks a run that completed on partial inputs. Wrap it
+// with context (fmt.Errorf("...: %w", cli.ErrPartial)) and return it
+// from a command's run function; ExitCode maps it to ExitPartial.
+var ErrPartial = errors.New("completed with partial inputs")
+
+// UsageError marks command-line misuse; ExitCode maps it to ExitUsage.
+type UsageError struct{ Err error }
+
+func (e *UsageError) Error() string { return e.Err.Error() }
+func (e *UsageError) Unwrap() error { return e.Err }
+
+// Usage wraps err as a UsageError; it returns nil for a nil err.
+func Usage(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &UsageError{Err: err}
+}
+
+// Usagef builds a UsageError from a format string.
+func Usagef(format string, args ...any) error {
+	return &UsageError{Err: fmt.Errorf(format, args...)}
+}
+
+// ExitCode maps a run function's error to the process exit code.
+func ExitCode(err error) int {
+	var ue *UsageError
+	switch {
+	case err == nil:
+		return ExitOK
+	case errors.Is(err, ErrPartial):
+		return ExitPartial
+	case errors.As(err, &ue), errors.Is(err, flag.ErrHelp):
+		return ExitUsage
+	default:
+		return ExitError
+	}
+}
+
+// SignalContext returns a context cancelled on SIGINT or SIGTERM. The
+// first signal cancels the context so the pipeline drains gracefully;
+// a second signal kills the process through Go's default handling
+// (stop restores it once the context is cancelled).
+func SignalContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}

@@ -1,0 +1,56 @@
+package cli
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"testing"
+)
+
+func TestExitCode(t *testing.T) {
+	tests := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{name: "nil", err: nil, want: ExitOK},
+		{name: "plain error", err: errors.New("boom"), want: ExitError},
+		{name: "partial", err: ErrPartial, want: ExitPartial},
+		{name: "wrapped partial", err: fmt.Errorf("4 of 36 files skipped: %w", ErrPartial), want: ExitPartial},
+		{name: "usage", err: Usagef("unknown flag"), want: ExitUsage},
+		{name: "wrapped usage", err: fmt.Errorf("riexp: %w", Usagef("bad")), want: ExitUsage},
+		{name: "help", err: flag.ErrHelp, want: ExitUsage},
+	}
+	for _, tc := range tests {
+		if got := ExitCode(tc.err); got != tc.want {
+			t.Errorf("%s: ExitCode(%v) = %d, want %d", tc.name, tc.err, got, tc.want)
+		}
+	}
+}
+
+func TestUsage(t *testing.T) {
+	if Usage(nil) != nil {
+		t.Error("Usage(nil) != nil")
+	}
+	cause := errors.New("flag provided but not defined")
+	err := Usage(cause)
+	if !errors.Is(err, cause) {
+		t.Errorf("Usage does not unwrap to its cause: %v", err)
+	}
+	var ue *UsageError
+	if !errors.As(err, &ue) || ue.Error() != cause.Error() {
+		t.Errorf("Usage(%v) = %v", cause, err)
+	}
+}
+
+func TestSignalContext(t *testing.T) {
+	ctx, cancel := SignalContext()
+	if err := ctx.Err(); err != nil {
+		t.Fatalf("fresh signal context already done: %v", err)
+	}
+	cancel()
+	if !errors.Is(ctx.Err(), context.Canceled) {
+		t.Errorf("cancelled signal context: %v", ctx.Err())
+	}
+}

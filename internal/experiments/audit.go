@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -34,7 +35,7 @@ type AuditResult struct {
 // schedules for A_{kT}. The horizon is extended to two periods so
 // instances reserved during the first period live out their full term
 // and have complete schedules.
-func RatioAudit(cfg Config, fraction float64) (AuditResult, error) {
+func RatioAudit(ctx context.Context, cfg Config, fraction float64) (AuditResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return AuditResult{}, err
 	}
@@ -66,6 +67,9 @@ func RatioAudit(cfg Config, fraction float64) (AuditResult, error) {
 		RecordSchedules: true,
 	}
 	for i, tr := range traces {
+		if err := ctx.Err(); err != nil {
+			return AuditResult{}, err
+		}
 		planner, err := behaviorPolicy(cfg, Behaviors[i%len(Behaviors)], int64(i))
 		if err != nil {
 			return AuditResult{}, err

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -9,7 +10,7 @@ import (
 
 func TestRatioAudit(t *testing.T) {
 	cfg := smallConfig()
-	res, err := RatioAudit(cfg, core.FractionT2)
+	res, err := RatioAudit(context.Background(), cfg, core.FractionT2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,12 +34,12 @@ func TestRatioAudit(t *testing.T) {
 
 func TestRatioAuditValidation(t *testing.T) {
 	cfg := smallConfig()
-	if _, err := RatioAudit(cfg, 0); err == nil {
+	if _, err := RatioAudit(context.Background(), cfg, 0); err == nil {
 		t.Error("invalid fraction accepted")
 	}
 	bad := cfg
 	bad.PerGroup = 0
-	if _, err := RatioAudit(bad, 0.5); err == nil {
+	if _, err := RatioAudit(context.Background(), bad, 0.5); err == nil {
 		t.Error("bad config accepted")
 	}
 }

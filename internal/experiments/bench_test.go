@@ -11,6 +11,7 @@ package experiments
 // and compare workers=1 (the serial seed path) against workers=4.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -34,7 +35,7 @@ func BenchmarkSensitivityGrid(b *testing.B) {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := Sensitivity(cfg, benchDiscounts, benchFractions); err != nil {
+				if _, err := Sensitivity(context.Background(), cfg, benchDiscounts, benchFractions); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -49,17 +50,17 @@ func BenchmarkSensitivityGridCachedPlan(b *testing.B) {
 	for _, workers := range []int{1, 4} {
 		cfg := TestScaleConfig()
 		cfg.Parallelism = workers
-		plan, err := NewCohortPlan(cfg)
+		plan, err := NewCohortPlan(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := plan.KeepStats(plan.engineConfig()); err != nil {
+		if _, err := plan.KeepStats(context.Background(), plan.engineConfig()); err != nil {
 			b.Fatal(err)
 		}
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := plan.Sensitivity(benchDiscounts, benchFractions); err != nil {
+				if _, err := plan.Sensitivity(context.Background(), benchDiscounts, benchFractions); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -75,7 +76,7 @@ func BenchmarkSweepFraction(b *testing.B) {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := SweepFraction(cfg, benchSweepKs); err != nil {
+				if _, err := SweepFraction(context.Background(), cfg, benchSweepKs); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -88,17 +89,17 @@ func BenchmarkSweepFraction(b *testing.B) {
 func BenchmarkSweepFractionCachedPlan(b *testing.B) {
 	cfg := TestScaleConfig()
 	cfg.Parallelism = 4
-	plan, err := NewCohortPlan(cfg)
+	plan, err := NewCohortPlan(context.Background(), cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
-	if _, err := plan.KeepStats(plan.engineConfig()); err != nil {
+	if _, err := plan.KeepStats(context.Background(), plan.engineConfig()); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := plan.SweepFraction(benchSweepKs); err != nil {
+		if _, err := plan.SweepFraction(context.Background(), benchSweepKs); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -114,7 +115,7 @@ func BenchmarkSweepFractionCachedPlan(b *testing.B) {
 func BenchmarkKeepStatsCachedPlan(b *testing.B) {
 	cfg := TestScaleConfig()
 	cfg.Parallelism = 1
-	plan, err := NewCohortPlan(cfg)
+	plan, err := NewCohortPlan(context.Background(), cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -125,7 +126,7 @@ func BenchmarkKeepStatsCachedPlan(b *testing.B) {
 		plan.mu.Lock()
 		plan.keeps = make(map[pricing.InstanceType][]KeepStat)
 		plan.mu.Unlock()
-		if _, err := plan.KeepStats(engCfg); err != nil {
+		if _, err := plan.KeepStats(context.Background(), engCfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -140,7 +141,7 @@ func BenchmarkCohortPlan(b *testing.B) {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := NewCohortPlan(cfg); err != nil {
+				if _, err := NewCohortPlan(context.Background(), cfg); err != nil {
 					b.Fatal(err)
 				}
 			}

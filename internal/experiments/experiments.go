@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -139,13 +140,15 @@ type CohortResult struct {
 }
 
 // RunCohort executes the full pipeline: cohort synthesis, reservation
-// planning, and one engine run per (user, selling policy).
-func RunCohort(cfg Config) (*CohortResult, error) {
-	plan, err := NewCohortPlan(cfg)
+// planning, and one engine run per (user, selling policy). Cancelling
+// ctx drains in-flight engine runs and surfaces an error satisfying
+// errors.Is(err, context.Canceled).
+func RunCohort(ctx context.Context, cfg Config) (*CohortResult, error) {
+	plan, err := NewCohortPlan(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return plan.Cohort()
+	return plan.Cohort(ctx)
 }
 
 // RunTraces evaluates externally supplied user traces — e.g. real EC2
@@ -153,24 +156,24 @@ func RunCohort(cfg Config) (*CohortResult, error) {
 // pipeline as RunCohort. Each trace is clipped or zero-padded to
 // cfg.Hours; fluctuation groups come from the traces themselves, so
 // group sizes need not be balanced. cfg.PerGroup is ignored.
-func RunTraces(cfg Config, traces []workload.Trace) (*CohortResult, error) {
-	plan, err := PlanTraces(cfg, traces)
+func RunTraces(ctx context.Context, cfg Config, traces []workload.Trace) (*CohortResult, error) {
+	plan, err := PlanTraces(ctx, cfg, traces)
 	if err != nil {
 		return nil, err
 	}
-	return plan.Cohort()
+	return plan.Cohort(ctx)
 }
 
 // Cohort evaluates the paper's full policy set on the plan: one grid
 // cell per selling policy, with the Keep-Reserved baseline coming from
 // the plan's cache instead of a per-user rerun.
-func (p *CohortPlan) Cohort() (*CohortResult, error) {
+func (p *CohortPlan) Cohort(ctx context.Context) (*CohortResult, error) {
 	policies, err := buildPolicies(p.cfg)
 	if err != nil {
 		return nil, err
 	}
 	engCfg := p.engineConfig()
-	keeps, err := p.KeepStats(engCfg)
+	keeps, err := p.KeepStats(ctx, engCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -181,7 +184,7 @@ func (p *CohortPlan) Cohort() (*CohortResult, error) {
 		}
 		cells = append(cells, Cell{Name: np.name, Policy: np.policy, Engine: engCfg})
 	}
-	grid, err := p.RunGrid(cells)
+	grid, err := p.RunGrid(ctx, cells)
 	if err != nil {
 		return nil, err
 	}

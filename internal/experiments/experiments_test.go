@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -67,7 +68,7 @@ func TestTestScaleConfigPreservesAlphaTheta(t *testing.T) {
 
 func TestRunCohortShape(t *testing.T) {
 	cfg := smallConfig()
-	res, err := RunCohort(cfg)
+	res, err := RunCohort(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,11 +96,11 @@ func TestRunCohortShape(t *testing.T) {
 
 func TestRunCohortDeterministic(t *testing.T) {
 	cfg := smallConfig()
-	a, err := RunCohort(cfg)
+	a, err := RunCohort(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RunCohort(cfg)
+	b, err := RunCohort(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +116,7 @@ func TestRunCohortDeterministic(t *testing.T) {
 func TestRunCohortRejectsBadConfig(t *testing.T) {
 	cfg := smallConfig()
 	cfg.PerGroup = -1
-	if _, err := RunCohort(cfg); err == nil {
+	if _, err := RunCohort(context.Background(), cfg); err == nil {
 		t.Error("bad config accepted")
 	}
 }
@@ -130,7 +131,7 @@ func TestTable1Rendering(t *testing.T) {
 }
 
 func TestFig2GroupsAndRender(t *testing.T) {
-	res, err := RunCohort(smallConfig())
+	res, err := RunCohort(context.Background(), smallConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +156,7 @@ func TestFig2GroupsAndRender(t *testing.T) {
 }
 
 func TestFig3SummaryAndRender(t *testing.T) {
-	res, err := RunCohort(smallConfig())
+	res, err := RunCohort(context.Background(), smallConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +182,7 @@ func TestFig3SummaryAndRender(t *testing.T) {
 }
 
 func TestFig4AndRender(t *testing.T) {
-	res, err := RunCohort(smallConfig())
+	res, err := RunCohort(context.Background(), smallConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +207,7 @@ func TestFig4AndRender(t *testing.T) {
 }
 
 func TestTable2AndTable3(t *testing.T) {
-	res, err := RunCohort(smallConfig())
+	res, err := RunCohort(context.Background(), smallConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,7 +252,7 @@ func TestMostVolatileUserEmptyCohort(t *testing.T) {
 
 func TestSweepFraction(t *testing.T) {
 	cfg := smallConfig()
-	points, err := SweepFraction(cfg, []float64{0.25, 0.5, 0.75})
+	points, err := SweepFraction(context.Background(), cfg, []float64{0.25, 0.5, 0.75})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,14 +268,14 @@ func TestSweepFraction(t *testing.T) {
 	if !strings.Contains(out, "mean cost") {
 		t.Errorf("render:\n%s", out)
 	}
-	if _, err := SweepFraction(cfg, []float64{0}); err == nil {
+	if _, err := SweepFraction(context.Background(), cfg, []float64{0}); err == nil {
 		t.Error("invalid fraction accepted")
 	}
 }
 
 func TestSweepDiscountMonotoneIncome(t *testing.T) {
 	cfg := smallConfig()
-	points, err := SweepDiscount(cfg, []float64{0.2, 0.9})
+	points, err := SweepDiscount(context.Background(), cfg, []float64{0.2, 0.9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -289,7 +290,7 @@ func TestSweepDiscountMonotoneIncome(t *testing.T) {
 
 func TestSweepMarketFee(t *testing.T) {
 	cfg := smallConfig()
-	points, err := SweepMarketFee(cfg, []float64{0, 0.12})
+	points, err := SweepMarketFee(context.Background(), cfg, []float64{0, 0.12})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -307,11 +308,11 @@ func TestRunCohortParallelismInvariant(t *testing.T) {
 	parallel := base
 	parallel.Parallelism = 8
 
-	a, err := RunCohort(serial)
+	a, err := RunCohort(context.Background(), serial)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RunCohort(parallel)
+	b, err := RunCohort(context.Background(), parallel)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -340,7 +341,7 @@ func TestRunTraces(t *testing.T) {
 	for i := range traces[1].Demand {
 		traces[1].Demand[i] = 1 + i%3
 	}
-	res, err := RunTraces(cfg, traces)
+	res, err := RunTraces(context.Background(), cfg, traces)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -352,11 +353,11 @@ func TestRunTraces(t *testing.T) {
 			t.Errorf("user %s: %d policies", u.User, len(u.Costs))
 		}
 	}
-	if _, err := RunTraces(cfg, nil); err == nil {
+	if _, err := RunTraces(context.Background(), cfg, nil); err == nil {
 		t.Error("empty traces accepted")
 	}
 	bad := []workload.Trace{{User: "", Demand: []int{1}}}
-	if _, err := RunTraces(cfg, bad); err == nil {
+	if _, err := RunTraces(context.Background(), cfg, bad); err == nil {
 		t.Error("invalid trace accepted")
 	}
 }

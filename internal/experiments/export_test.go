@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"encoding/csv"
 	"encoding/json"
 	"errors"
@@ -9,7 +10,7 @@ import (
 )
 
 func TestWriteUsersCSV(t *testing.T) {
-	res, err := RunCohort(smallConfig())
+	res, err := RunCohort(context.Background(), smallConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +48,7 @@ func TestWriteUsersCSV(t *testing.T) {
 }
 
 func TestWriteJSON(t *testing.T) {
-	res, err := RunCohort(smallConfig())
+	res, err := RunCohort(context.Background(), smallConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func (failWriter) Write([]byte) (int, error) {
 }
 
 func TestExportsSurfaceWriteErrors(t *testing.T) {
-	res, err := RunCohort(smallConfig())
+	res, err := RunCohort(context.Background(), smallConfig())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -23,7 +24,7 @@ type ExtensionRow struct {
 // Extensions evaluates the paper's future-work directions on the
 // plan's cohort: one grid cell per candidate policy, all sharing the
 // plan's cached reservation plans and Keep-Reserved baseline.
-func (p *CohortPlan) Extensions() ([]ExtensionRow, error) {
+func (p *CohortPlan) Extensions(ctx context.Context) ([]ExtensionRow, error) {
 	cfg := p.cfg
 	a3, err := core.NewA3T4(cfg.Instance, cfg.SellingDiscount)
 	if err != nil {
@@ -64,7 +65,7 @@ func (p *CohortPlan) Extensions() ([]ExtensionRow, error) {
 	for i, np := range policies {
 		cells[i] = Cell{Name: np.name, Policy: np.policy, Engine: engCfg}
 	}
-	grid, err := p.RunGrid(cells)
+	grid, err := p.RunGrid(ctx, cells)
 	if err != nil {
 		return nil, err
 	}
@@ -91,12 +92,12 @@ func (p *CohortPlan) Extensions() ([]ExtensionRow, error) {
 // algorithm A_{rand} under three fraction distributions, and the
 // multi-checkpoint policy that revisits the decision at T/4, T/2 and
 // 3T/4.
-func Extensions(cfg Config) ([]ExtensionRow, error) {
-	plan, err := NewCohortPlan(cfg)
+func Extensions(ctx context.Context, cfg Config) ([]ExtensionRow, error) {
+	plan, err := NewCohortPlan(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return plan.Extensions()
+	return plan.Extensions(ctx)
 }
 
 // RenderExtensions renders the future-work comparison.

@@ -1,13 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestExtensions(t *testing.T) {
 	cfg := smallConfig()
-	rows, err := Extensions(cfg)
+	rows, err := Extensions(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,18 +40,18 @@ func TestExtensions(t *testing.T) {
 func TestExtensionsRejectsBadConfig(t *testing.T) {
 	cfg := smallConfig()
 	cfg.Hours = 0
-	if _, err := Extensions(cfg); err == nil {
+	if _, err := Extensions(context.Background(), cfg); err == nil {
 		t.Error("bad config accepted")
 	}
 }
 
 func TestExtensionsDeterministic(t *testing.T) {
 	cfg := smallConfig()
-	a, err := Extensions(cfg)
+	a, err := Extensions(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Extensions(cfg)
+	b, err := Extensions(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +72,7 @@ func TestExtensionsRandomizedTamesTail(t *testing.T) {
 	}
 	cfg := TestScaleConfig()
 	cfg.PerGroup = 40
-	rows, err := Extensions(cfg)
+	rows, err := Extensions(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"testing"
 
 	"rimarket/internal/workload"
@@ -16,7 +17,7 @@ func testScale(t *testing.T) *CohortResult {
 		t.Skip("integration shapes skipped in -short mode")
 	}
 	if testScaleResult == nil {
-		res, err := RunCohort(TestScaleConfig())
+		res, err := RunCohort(context.Background(), TestScaleConfig())
 		if err != nil {
 			t.Fatal(err)
 		}

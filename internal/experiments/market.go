@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -23,7 +24,7 @@ type MarketPoint struct {
 // event slices concatenated in cohort order so the session input is
 // deterministic — and replays them through live marketplace sessions
 // at the given buyer arrival rates.
-func (p *CohortPlan) MarketSession(buyerRates []float64) ([]MarketPoint, error) {
+func (p *CohortPlan) MarketSession(ctx context.Context, buyerRates []float64) ([]MarketPoint, error) {
 	cfg := p.cfg
 	policy, err := core.NewA3T4(cfg.Instance, cfg.SellingDiscount)
 	if err != nil {
@@ -32,7 +33,7 @@ func (p *CohortPlan) MarketSession(buyerRates []float64) ([]MarketPoint, error) 
 	engCfg := simulate.Config{Instance: cfg.Instance, SellingDiscount: cfg.SellingDiscount}
 
 	perUser := make([][]trade.SellEvent, p.Len())
-	err = p.ForEachUser(func(i int, u PlannedUser) error {
+	err = p.ForEachUser(ctx, func(i int, u PlannedUser) error {
 		run, err := simulateRun(u.Trace.Demand, u.NewRes, engCfg, policy)
 		if err != nil {
 			return fmt.Errorf("experiments: user %s: %w", u.Trace.User, err)
@@ -80,12 +81,12 @@ func (p *CohortPlan) MarketSession(buyerRates []float64) ([]MarketPoint, error) 
 // MarketSession quantifies the paper's instant-sale assumption: Eq. (1)
 // books income the moment the algorithm decides, while a real
 // marketplace needs a buyer.
-func MarketSession(cfg Config, buyerRates []float64) ([]MarketPoint, error) {
-	plan, err := NewCohortPlan(cfg)
+func MarketSession(ctx context.Context, cfg Config, buyerRates []float64) ([]MarketPoint, error) {
+	plan, err := NewCohortPlan(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return plan.MarketSession(buyerRates)
+	return plan.MarketSession(ctx, buyerRates)
 }
 
 // RenderMarket renders the market-dynamics experiment.

@@ -1,13 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestMarketSession(t *testing.T) {
 	cfg := smallConfig()
-	points, err := MarketSession(cfg, []float64{0.1, 10})
+	points, err := MarketSession(context.Background(), cfg, []float64{0.1, 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,18 +39,18 @@ func TestMarketSession(t *testing.T) {
 func TestMarketSessionRejectsBadConfig(t *testing.T) {
 	cfg := smallConfig()
 	cfg.PerGroup = 0
-	if _, err := MarketSession(cfg, []float64{1}); err == nil {
+	if _, err := MarketSession(context.Background(), cfg, []float64{1}); err == nil {
 		t.Error("bad config accepted")
 	}
 }
 
 func TestMarketSessionDeterministic(t *testing.T) {
 	cfg := smallConfig()
-	a, err := MarketSession(cfg, []float64{0.5})
+	a, err := MarketSession(context.Background(), cfg, []float64{0.5})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := MarketSession(cfg, []float64{0.5})
+	b, err := MarketSession(context.Background(), cfg, []float64{0.5})
 	if err != nil {
 		t.Fatal(err)
 	}

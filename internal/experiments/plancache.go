@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -55,8 +56,9 @@ type CohortPlan struct {
 // NewCohortPlan synthesizes the config's cohort and plans every user's
 // reservations once, fanning the planning out over Config.Parallelism
 // workers (results are identical at any worker count: each user's
-// behavior is seeded from its cohort index).
-func NewCohortPlan(cfg Config) (*CohortPlan, error) {
+// behavior is seeded from its cohort index). Cancelling ctx drains the
+// in-flight planning jobs and returns the context's error.
+func NewCohortPlan(ctx context.Context, cfg Config) (*CohortPlan, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -68,13 +70,13 @@ func NewCohortPlan(cfg Config) (*CohortPlan, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newPlan(cfg, traces)
+	return newPlan(ctx, cfg, traces)
 }
 
 // PlanTraces builds a plan from externally supplied traces (e.g. real
 // EC2 usage logs). Each trace is clipped or zero-padded to cfg.Hours;
 // cfg.PerGroup is ignored.
-func PlanTraces(cfg Config, traces []workload.Trace) (*CohortPlan, error) {
+func PlanTraces(ctx context.Context, cfg Config, traces []workload.Trace) (*CohortPlan, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -95,16 +97,16 @@ func PlanTraces(cfg Config, traces []workload.Trace) (*CohortPlan, error) {
 		}
 		fitted[i] = tr
 	}
-	return newPlan(cfg, fitted)
+	return newPlan(ctx, cfg, fitted)
 }
 
-func newPlan(cfg Config, traces []workload.Trace) (*CohortPlan, error) {
+func newPlan(ctx context.Context, cfg Config, traces []workload.Trace) (*CohortPlan, error) {
 	p := &CohortPlan{
 		cfg:   cfg,
 		users: make([]PlannedUser, len(traces)),
 		keeps: make(map[pricing.InstanceType][]KeepStat),
 	}
-	err := runIndexed(cfg.Parallelism, len(traces), func(i int) error {
+	err := runIndexed(ctx, cfg.Parallelism, len(traces), func(i int) error {
 		tr := traces[i]
 		behavior := Behaviors[i%len(Behaviors)]
 		planner, err := behaviorPolicy(cfg, behavior, int64(i))
@@ -140,8 +142,9 @@ func (p *CohortPlan) Users() []PlannedUser { return p.users }
 
 // KeepStats returns each user's Keep-Reserved baseline under the given
 // engine configuration, computing it at most once per price card (see
-// the cache invariant on CohortPlan.keeps).
-func (p *CohortPlan) KeepStats(engCfg simulate.Config) ([]KeepStat, error) {
+// the cache invariant on CohortPlan.keeps). A cancelled or failed
+// computation is never cached.
+func (p *CohortPlan) KeepStats(ctx context.Context, engCfg simulate.Config) ([]KeepStat, error) {
 	p.mu.Lock()
 	cached, ok := p.keeps[engCfg.Instance]
 	p.mu.Unlock()
@@ -149,7 +152,7 @@ func (p *CohortPlan) KeepStats(engCfg simulate.Config) ([]KeepStat, error) {
 		return cached, nil
 	}
 	out := make([]KeepStat, len(p.users))
-	err := runIndexed(p.cfg.Parallelism, len(p.users), func(i int) error {
+	err := runIndexed(ctx, p.cfg.Parallelism, len(p.users), func(i int) error {
 		u := &p.users[i]
 		run, err := simulateRun(u.Trace.Demand, u.NewRes, engCfg, core.KeepReserved{})
 		if err != nil {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -38,7 +39,7 @@ type HourResellRow struct {
 // Keep-Reserved baseline: it keeps every reservation and recoups
 // gamma * p per idle reserved hour, so only the two period-selling
 // policies need engine runs.
-func (p *CohortPlan) HourResellComparison(gammas []float64) ([]HourResellRow, error) {
+func (p *CohortPlan) HourResellComparison(ctx context.Context, gammas []float64) ([]HourResellRow, error) {
 	if len(gammas) == 0 {
 		return nil, fmt.Errorf("experiments: no gamma values")
 	}
@@ -57,11 +58,11 @@ func (p *CohortPlan) HourResellComparison(gammas []float64) ([]HourResellRow, er
 		return nil, err
 	}
 	engCfg := simulate.Config{Instance: cfg.Instance, SellingDiscount: cfg.SellingDiscount}
-	keeps, err := p.KeepStats(engCfg)
+	keeps, err := p.KeepStats(ctx, engCfg)
 	if err != nil {
 		return nil, err
 	}
-	grid, err := p.RunGrid([]Cell{
+	grid, err := p.RunGrid(ctx, []Cell{
 		{Name: PolicyA3T4, Policy: a3, Engine: engCfg},
 		{Name: PolicyAT4, Policy: a4, Engine: engCfg},
 	})
@@ -96,15 +97,15 @@ func (p *CohortPlan) HourResellComparison(gammas []float64) ([]HourResellRow, er
 
 // HourResellComparison evaluates the idle-hour-reselling baseline
 // against A_{3T/4} and A_{T/4} across resale efficiencies.
-func HourResellComparison(cfg Config, gammas []float64) ([]HourResellRow, error) {
+func HourResellComparison(ctx context.Context, cfg Config, gammas []float64) ([]HourResellRow, error) {
 	if len(gammas) == 0 {
 		return nil, fmt.Errorf("experiments: no gamma values")
 	}
-	plan, err := NewCohortPlan(cfg)
+	plan, err := NewCohortPlan(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return plan.HourResellComparison(gammas)
+	return plan.HourResellComparison(ctx, gammas)
 }
 
 // RenderHourResell renders the related-work comparison.

@@ -1,13 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestHourResellComparison(t *testing.T) {
 	cfg := smallConfig()
-	rows, err := HourResellComparison(cfg, []float64{0, 0.5, 1})
+	rows, err := HourResellComparison(context.Background(), cfg, []float64{0, 0.5, 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,15 +35,15 @@ func TestHourResellComparison(t *testing.T) {
 
 func TestHourResellValidation(t *testing.T) {
 	cfg := smallConfig()
-	if _, err := HourResellComparison(cfg, nil); err == nil {
+	if _, err := HourResellComparison(context.Background(), cfg, nil); err == nil {
 		t.Error("empty gammas accepted")
 	}
-	if _, err := HourResellComparison(cfg, []float64{2}); err == nil {
+	if _, err := HourResellComparison(context.Background(), cfg, []float64{2}); err == nil {
 		t.Error("gamma above 1 accepted")
 	}
 	bad := cfg
 	bad.Hours = 0
-	if _, err := HourResellComparison(bad, []float64{0.5}); err == nil {
+	if _, err := HourResellComparison(context.Background(), bad, []float64{0.5}); err == nil {
 		t.Error("bad config accepted")
 	}
 }

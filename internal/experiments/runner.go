@@ -1,8 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -26,8 +29,61 @@ func workerCount(parallelism, jobs int) int {
 	return parallelism
 }
 
+// JobPanicError is a panic captured from a worker-pool job. The pool
+// converts panics to errors instead of letting one bad cell or user
+// kill the whole process: the panic value and stack are preserved so
+// the failure is as debuggable as the crash would have been, while
+// every other job drains normally.
+type JobPanicError struct {
+	// Index is the panicking job's index.
+	Index int
+	// Value is the value passed to panic.
+	Value any
+	// Stack is the panicking goroutine's stack, captured at recover.
+	Stack []byte
+}
+
+func (e *JobPanicError) Error() string {
+	return fmt.Sprintf("experiments: job %d panicked: %v", e.Index, e.Value)
+}
+
+// CancelError reports a fan-out cut short by context cancellation:
+// in-flight jobs were drained, jobs not yet started were abandoned.
+// It unwraps to the context's error so callers can branch with
+// errors.Is(err, context.Canceled).
+type CancelError struct {
+	// Completed names the fully-completed units of work (grid cells for
+	// RunGrid; empty for plain user fan-outs).
+	Completed []string
+	// Total is the number of units the run was asked for.
+	Total int
+	// Err is the context's error (context.Canceled or DeadlineExceeded).
+	Err error
+}
+
+func (e *CancelError) Error() string {
+	if len(e.Completed) == 0 {
+		return fmt.Sprintf("experiments: %v (0 of %d cells completed)", e.Err, e.Total)
+	}
+	return fmt.Sprintf("experiments: %v (%d of %d cells completed: %s)",
+		e.Err, len(e.Completed), e.Total, strings.Join(e.Completed, ", "))
+}
+
+func (e *CancelError) Unwrap() error { return e.Err }
+
+// runJob invokes fn(i) with panic containment: a panic becomes a
+// *JobPanicError carrying the job index, panic value and stack.
+func runJob(i int, fn func(i int) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &JobPanicError{Index: i, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn(i)
+}
+
 // runIndexed evaluates fn(0..n-1) over a bounded worker pool. It is the
-// package's one fan-out primitive, with two guarantees that make every
+// package's one fan-out primitive, with guarantees that make every
 // caller byte-identical at any worker count:
 //
 //   - each job writes only its own index, so outputs land in
@@ -37,10 +93,27 @@ func workerCount(parallelism, jobs int) int {
 //     above the best-known failing index but still drains every job
 //     below it (any of those could fail with a lower index), so the
 //     same error surfaces whether n workers race or one worker walks
-//     the jobs in order.
-func runIndexed(parallelism, n int, fn func(i int) error) error {
+//     the jobs in order;
+//   - a panicking job is captured as a *JobPanicError and participates
+//     in the lowest-index rule like any other failure — the process
+//     never crashes because one job did;
+//   - cancelling ctx stops workers from claiming new jobs; jobs already
+//     running are drained, never interrupted. Job errors take
+//     precedence; otherwise, if any job was abandoned, the context's
+//     error is returned.
+func runIndexed(ctx context.Context, parallelism, n int, fn func(i int) error) error {
+	_, err := runIndexedDone(ctx, parallelism, n, fn)
+	return err
+}
+
+// runIndexedDone is runIndexed plus a completion bitmap: done[i]
+// reports whether fn(i) ran to completion without error. The bitmap is
+// what lets RunGrid report which cells fully completed after a
+// cancellation.
+func runIndexedDone(ctx context.Context, parallelism, n int, fn func(i int) error) ([]bool, error) {
+	done := make([]bool, n)
 	if n <= 0 {
-		return nil
+		return done, ctx.Err()
 	}
 	workers := workerCount(parallelism, n)
 	errs := make([]error, n)
@@ -55,6 +128,9 @@ func runIndexed(parallelism, n int, fn func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return // stop claiming; in-flight jobs drain elsewhere
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -62,7 +138,7 @@ func runIndexed(parallelism, n int, fn func(i int) error) error {
 				if int64(i) > minErr.Load() {
 					continue // canceled: a lower-index job already failed
 				}
-				if err := fn(i); err != nil {
+				if err := runJob(i, fn); err != nil {
 					errs[i] = err
 					for {
 						cur := minErr.Load()
@@ -70,15 +146,26 @@ func runIndexed(parallelism, n int, fn func(i int) error) error {
 							break
 						}
 					}
+				} else {
+					done[i] = true
 				}
 			}
 		}()
 	}
 	wg.Wait()
 	if m := minErr.Load(); m < int64(n) {
-		return errs[m]
+		return done, errs[m]
 	}
-	return nil
+	if err := ctx.Err(); err != nil {
+		// Cancellation may race the tail of the run: if every job in
+		// fact completed, the results are whole and the run succeeded.
+		for _, d := range done {
+			if !d {
+				return done, err
+			}
+		}
+	}
+	return done, nil
 }
 
 // Cell is one grid cell of a sweep or sensitivity experiment: a selling
@@ -94,6 +181,9 @@ type Cell struct {
 
 // CellResult holds one cell's per-user outcomes, in cohort order.
 type CellResult struct {
+	// Name echoes the cell's label, so partial grids returned after a
+	// cancellation remain identifiable.
+	Name string
 	// Cost is each user's total cost (Eq. 1) under the cell's policy.
 	Cost []float64
 	// Norm is Cost normalized to the user's Keep-Reserved baseline
@@ -114,7 +204,12 @@ func (c CellResult) FracSaved() float64 { return stats.FractionBelow(c.Norm, 1) 
 // plans and Keep-Reserved baselines come from the plan's caches, so a
 // grid costs exactly one engine run per pair (plus one baseline run
 // per user for each price card not seen before).
-func (p *CohortPlan) RunGrid(cells []Cell) ([]CellResult, error) {
+//
+// When ctx is cancelled mid-grid the in-flight runs are drained and
+// RunGrid returns the fully-completed cells (in cell order) together
+// with a *CancelError naming them; errors.Is(err, context.Canceled)
+// holds and no partially-evaluated cell is ever returned.
+func (p *CohortPlan) RunGrid(ctx context.Context, cells []Cell) ([]CellResult, error) {
 	if len(cells) == 0 {
 		return nil, fmt.Errorf("experiments: no grid cells")
 	}
@@ -122,7 +217,7 @@ func (p *CohortPlan) RunGrid(cells []Cell) ([]CellResult, error) {
 	// share one cached baseline computation.
 	keeps := make([][]KeepStat, len(cells))
 	for i, c := range cells {
-		ks, err := p.KeepStats(c.Engine)
+		ks, err := p.KeepStats(ctx, c.Engine)
 		if err != nil {
 			return nil, err
 		}
@@ -132,12 +227,13 @@ func (p *CohortPlan) RunGrid(cells []Cell) ([]CellResult, error) {
 	out := make([]CellResult, len(cells))
 	for i := range out {
 		out[i] = CellResult{
+			Name: cells[i].Name,
 			Cost: make([]float64, users),
 			Norm: make([]float64, users),
 			Sold: make([]int, users),
 		}
 	}
-	err := runIndexed(p.cfg.Parallelism, len(cells)*users, func(j int) error {
+	done, err := runIndexedDone(ctx, p.cfg.Parallelism, len(cells)*users, func(j int) error {
 		ci, ui := j/users, j%users
 		u := &p.users[ui]
 		run, err := simulateRun(u.Trace.Demand, u.NewRes, cells[ci].Engine, cells[ci].Policy)
@@ -155,6 +251,24 @@ func (p *CohortPlan) RunGrid(cells []Cell) ([]CellResult, error) {
 		return nil
 	})
 	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil && err == ctxErr {
+			completed := make([]CellResult, 0, len(cells))
+			names := make([]string, 0, len(cells))
+			for ci := range cells {
+				whole := true
+				for ui := 0; ui < users; ui++ {
+					if !done[ci*users+ui] {
+						whole = false
+						break
+					}
+				}
+				if whole {
+					completed = append(completed, out[ci])
+					names = append(names, cells[ci].Name)
+				}
+			}
+			return completed, &CancelError{Completed: names, Total: len(cells), Err: ctxErr}
+		}
 		return nil, err
 	}
 	return out, nil
@@ -162,9 +276,11 @@ func (p *CohortPlan) RunGrid(cells []Cell) ([]CellResult, error) {
 
 // ForEachUser runs fn once per planned user over the plan's worker
 // pool. fn is called concurrently and must write only state owned by
-// its index; errors follow runIndexed's lowest-index-wins rule.
-func (p *CohortPlan) ForEachUser(fn func(i int, u PlannedUser) error) error {
-	return runIndexed(p.cfg.Parallelism, len(p.users), func(i int) error {
+// its index; errors follow runIndexed's lowest-index-wins rule, panics
+// are captured as *JobPanicError, and cancelling ctx drains in-flight
+// users and returns the context's error.
+func (p *CohortPlan) ForEachUser(ctx context.Context, fn func(i int, u PlannedUser) error) error {
+	return runIndexed(ctx, p.cfg.Parallelism, len(p.users), func(i int) error {
 		return fn(i, p.users[i])
 	})
 }

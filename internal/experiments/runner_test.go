@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"reflect"
@@ -38,32 +39,32 @@ func TestDriversParallelismInvariant(t *testing.T) {
 		run  func(Config) (any, error)
 	}{
 		{name: "RunCohort", run: func(c Config) (any, error) {
-			res, err := RunCohort(c)
+			res, err := RunCohort(context.Background(), c)
 			if err != nil {
 				return nil, err
 			}
 			return res.Users, nil // Config echoes Parallelism; compare outcomes only
 		}},
 		{name: "SweepFraction", run: func(c Config) (any, error) {
-			return SweepFraction(c, []float64{0.25, 0.5, 0.75})
+			return SweepFraction(context.Background(), c, []float64{0.25, 0.5, 0.75})
 		}},
 		{name: "SweepDiscount", run: func(c Config) (any, error) {
-			return SweepDiscount(c, []float64{0.2, 0.8})
+			return SweepDiscount(context.Background(), c, []float64{0.2, 0.8})
 		}},
 		{name: "SweepMarketFee", run: func(c Config) (any, error) {
-			return SweepMarketFee(c, []float64{0, 0.12})
+			return SweepMarketFee(context.Background(), c, []float64{0, 0.12})
 		}},
 		{name: "Sensitivity", run: func(c Config) (any, error) {
-			return Sensitivity(c, []float64{0.2, 0.8}, []float64{0.25, 0.75})
+			return Sensitivity(context.Background(), c, []float64{0.2, 0.8}, []float64{0.25, 0.75})
 		}},
 		{name: "Extensions", run: func(c Config) (any, error) {
-			return Extensions(c)
+			return Extensions(context.Background(), c)
 		}},
 		{name: "HourResellComparison", run: func(c Config) (any, error) {
-			return HourResellComparison(c, []float64{0.25, 0.75})
+			return HourResellComparison(context.Background(), c, []float64{0.25, 0.75})
 		}},
 		{name: "MarketSession", run: func(c Config) (any, error) {
-			return MarketSession(c, []float64{0.2, 2})
+			return MarketSession(context.Background(), c, []float64{0.2, 2})
 		}},
 	}
 	for _, d := range drivers {
@@ -94,7 +95,7 @@ func TestRunIndexedFirstErrorDeterministic(t *testing.T) {
 	for _, workers := range []int{1, 2, 8, n} {
 		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
 			ran := make([]atomic.Bool, n)
-			err := runIndexed(workers, n, func(i int) error {
+			err := runIndexed(context.Background(), workers, n, func(i int) error {
 				ran[i].Store(true)
 				if failAt[i] {
 					return fmt.Errorf("job %d failed", i)
@@ -117,7 +118,7 @@ func TestRunIndexedAllJobsRunOnSuccess(t *testing.T) {
 	for _, workers := range []int{0, 1, 3, 100} {
 		const n = 41
 		ran := make([]atomic.Bool, n)
-		if err := runIndexed(workers, n, func(i int) error {
+		if err := runIndexed(context.Background(), workers, n, func(i int) error {
 			ran[i].Store(true)
 			return nil
 		}); err != nil {
@@ -129,7 +130,7 @@ func TestRunIndexedAllJobsRunOnSuccess(t *testing.T) {
 			}
 		}
 	}
-	if err := runIndexed(4, 0, func(int) error { return errors.New("never") }); err != nil {
+	if err := runIndexed(context.Background(), 4, 0, func(int) error { return errors.New("never") }); err != nil {
 		t.Errorf("zero jobs: %v", err)
 	}
 }
@@ -138,7 +139,7 @@ func TestRunIndexedAllJobsRunOnSuccess(t *testing.T) {
 // for two users and asserts the same (lowest-index) user surfaces in
 // the error at every worker count.
 func TestGridFirstErrorDeterministicAcrossWorkers(t *testing.T) {
-	plan, err := NewCohortPlan(smallConfig())
+	plan, err := NewCohortPlan(context.Background(), smallConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +164,7 @@ func TestGridFirstErrorDeterministicAcrossWorkers(t *testing.T) {
 	for _, par := range parallelisms() {
 		plan.cfg.Parallelism = par
 		plan.keeps = map[pricing.InstanceType][]KeepStat{} // reset cache so baselines re-run under the hook
-		_, err := plan.RunGrid([]Cell{{Name: "probe", Policy: policy, Engine: plan.engineConfig()}})
+		_, err := plan.RunGrid(context.Background(), []Cell{{Name: "probe", Policy: policy, Engine: plan.engineConfig()}})
 		if err == nil {
 			t.Fatalf("parallelism %d: injected failure not surfaced", par)
 		}
@@ -194,7 +195,7 @@ func TestSweepKeepBaselineHoisted(t *testing.T) {
 
 	cfg := smallConfig()
 	values := []float64{0.25, 0.5, 0.75}
-	if _, err := SweepFraction(cfg, values); err != nil {
+	if _, err := SweepFraction(context.Background(), cfg, values); err != nil {
 		t.Fatal(err)
 	}
 	users := 3 * cfg.PerGroup
@@ -220,7 +221,7 @@ func TestSensitivityRunsOneBaselinePerCard(t *testing.T) {
 	cfg := smallConfig()
 	discounts := []float64{0.2, 0.5, 0.8}
 	fractions := []float64{0.25, 0.75}
-	if _, err := Sensitivity(cfg, discounts, fractions); err != nil {
+	if _, err := Sensitivity(context.Background(), cfg, discounts, fractions); err != nil {
 		t.Fatal(err)
 	}
 	users := 3 * cfg.PerGroup
@@ -236,7 +237,7 @@ func TestSensitivityRunsOneBaselinePerCard(t *testing.T) {
 // market fee.
 func TestKeepBaselineIndependentOfSellingParams(t *testing.T) {
 	cfg := smallConfig()
-	plan, err := NewCohortPlan(cfg)
+	plan, err := NewCohortPlan(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -266,37 +267,37 @@ func TestKeepBaselineIndependentOfSellingParams(t *testing.T) {
 // behavior change).
 func TestPlanReuseMatchesFreshRuns(t *testing.T) {
 	cfg := smallConfig()
-	plan, err := NewCohortPlan(cfg)
+	plan, err := NewCohortPlan(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	gotSweep, err := plan.SweepFraction([]float64{0.25, 0.75})
+	gotSweep, err := plan.SweepFraction(context.Background(), []float64{0.25, 0.75})
 	if err != nil {
 		t.Fatal(err)
 	}
-	wantSweep, err := SweepFraction(cfg, []float64{0.25, 0.75})
+	wantSweep, err := SweepFraction(context.Background(), cfg, []float64{0.25, 0.75})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !reflect.DeepEqual(gotSweep, wantSweep) {
 		t.Errorf("plan sweep %+v != fresh sweep %+v", gotSweep, wantSweep)
 	}
-	gotGrid, err := plan.Sensitivity([]float64{0.4, 0.8}, []float64{0.25, 0.75})
+	gotGrid, err := plan.Sensitivity(context.Background(), []float64{0.4, 0.8}, []float64{0.25, 0.75})
 	if err != nil {
 		t.Fatal(err)
 	}
-	wantGrid, err := Sensitivity(cfg, []float64{0.4, 0.8}, []float64{0.25, 0.75})
+	wantGrid, err := Sensitivity(context.Background(), cfg, []float64{0.4, 0.8}, []float64{0.25, 0.75})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !reflect.DeepEqual(gotGrid, wantGrid) {
 		t.Errorf("plan grid %+v != fresh grid %+v", gotGrid, wantGrid)
 	}
-	res, err := plan.Cohort()
+	res, err := plan.Cohort(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := RunCohort(cfg)
+	want, err := RunCohort(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -307,14 +308,14 @@ func TestPlanReuseMatchesFreshRuns(t *testing.T) {
 
 // TestRunGridValidation covers the executor's edge cases.
 func TestRunGridValidation(t *testing.T) {
-	plan, err := NewCohortPlan(smallConfig())
+	plan, err := NewCohortPlan(context.Background(), smallConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := plan.RunGrid(nil); err == nil {
+	if _, err := plan.RunGrid(context.Background(), nil); err == nil {
 		t.Error("empty cell list accepted")
 	}
-	if _, err := plan.RunGrid([]Cell{{Name: "nil policy", Engine: plan.engineConfig()}}); err == nil {
+	if _, err := plan.RunGrid(context.Background(), []Cell{{Name: "nil policy", Engine: plan.engineConfig()}}); err == nil {
 		t.Error("nil policy accepted")
 	}
 	if plan.Len() != 3*plan.Config().PerGroup {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -24,7 +25,7 @@ type SensitivityGrid struct {
 // run per (cell, user), fanned out over the plan's worker pool. The
 // reservation plans and the Keep-Reserved baseline are the plan's
 // cached copies, so repeated grids on one plan cost only the cells.
-func (p *CohortPlan) Sensitivity(discounts, fractions []float64) (SensitivityGrid, error) {
+func (p *CohortPlan) Sensitivity(ctx context.Context, discounts, fractions []float64) (SensitivityGrid, error) {
 	if len(discounts) == 0 || len(fractions) == 0 {
 		return SensitivityGrid{}, fmt.Errorf("experiments: empty sensitivity axes")
 	}
@@ -44,7 +45,7 @@ func (p *CohortPlan) Sensitivity(discounts, fractions []float64) (SensitivityGri
 			})
 		}
 	}
-	grid, err := p.RunGrid(cells)
+	grid, err := p.RunGrid(ctx, cells)
 	if err != nil {
 		return SensitivityGrid{}, err
 	}
@@ -65,15 +66,15 @@ func (p *CohortPlan) Sensitivity(discounts, fractions []float64) (SensitivityGri
 // Sensitivity runs the full a-by-k grid on one cohort. Reservation
 // plans are computed once (they do not depend on a or k); each cell
 // replays the cohort's selling runs.
-func Sensitivity(cfg Config, discounts, fractions []float64) (SensitivityGrid, error) {
+func Sensitivity(ctx context.Context, cfg Config, discounts, fractions []float64) (SensitivityGrid, error) {
 	if len(discounts) == 0 || len(fractions) == 0 {
 		return SensitivityGrid{}, fmt.Errorf("experiments: empty sensitivity axes")
 	}
-	plan, err := NewCohortPlan(cfg)
+	plan, err := NewCohortPlan(ctx, cfg)
 	if err != nil {
 		return SensitivityGrid{}, err
 	}
-	return plan.Sensitivity(discounts, fractions)
+	return plan.Sensitivity(ctx, discounts, fractions)
 }
 
 // RenderSensitivity renders the grid as a table (rows a, columns k).

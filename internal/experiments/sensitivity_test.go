@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -9,7 +10,7 @@ func TestSensitivity(t *testing.T) {
 	cfg := smallConfig()
 	discounts := []float64{0.2, 0.8}
 	fractions := []float64{0.25, 0.75}
-	grid, err := Sensitivity(cfg, discounts, fractions)
+	grid, err := Sensitivity(context.Background(), cfg, discounts, fractions)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,18 +40,18 @@ func TestSensitivity(t *testing.T) {
 
 func TestSensitivityValidation(t *testing.T) {
 	cfg := smallConfig()
-	if _, err := Sensitivity(cfg, nil, []float64{0.5}); err == nil {
+	if _, err := Sensitivity(context.Background(), cfg, nil, []float64{0.5}); err == nil {
 		t.Error("empty discounts accepted")
 	}
-	if _, err := Sensitivity(cfg, []float64{0.5}, nil); err == nil {
+	if _, err := Sensitivity(context.Background(), cfg, []float64{0.5}, nil); err == nil {
 		t.Error("empty fractions accepted")
 	}
-	if _, err := Sensitivity(cfg, []float64{0.5}, []float64{2}); err == nil {
+	if _, err := Sensitivity(context.Background(), cfg, []float64{0.5}, []float64{2}); err == nil {
 		t.Error("invalid fraction accepted")
 	}
 	bad := cfg
 	bad.Hours = 0
-	if _, err := Sensitivity(bad, []float64{0.5}, []float64{0.5}); err == nil {
+	if _, err := Sensitivity(context.Background(), bad, []float64{0.5}, []float64{0.5}); err == nil {
 		t.Error("bad config accepted")
 	}
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -22,8 +23,8 @@ type SweepPoint struct {
 
 // sweepCells runs one grid cell per swept value and folds each cell
 // into a SweepPoint.
-func (p *CohortPlan) sweepCells(values []float64, cells []Cell) ([]SweepPoint, error) {
-	grid, err := p.RunGrid(cells)
+func (p *CohortPlan) sweepCells(ctx context.Context, values []float64, cells []Cell) ([]SweepPoint, error) {
+	grid, err := p.RunGrid(ctx, cells)
 	if err != nil {
 		return nil, err
 	}
@@ -42,7 +43,7 @@ func (p *CohortPlan) sweepCells(values []float64, cells []Cell) ([]SweepPoint, e
 // and evaluates all values on the shared plan. When valueIsDiscount is
 // set, the swept value also replaces the engine's selling discount
 // (income side).
-func (p *CohortPlan) sweepOver(values []float64, valueIsDiscount bool, mk func(Config, float64) (simulate.SellingPolicy, error)) ([]SweepPoint, error) {
+func (p *CohortPlan) sweepOver(ctx context.Context, values []float64, valueIsDiscount bool, mk func(Config, float64) (simulate.SellingPolicy, error)) ([]SweepPoint, error) {
 	cells := make([]Cell, 0, len(values))
 	for _, v := range values {
 		policy, err := mk(p.cfg, v)
@@ -55,28 +56,28 @@ func (p *CohortPlan) sweepOver(values []float64, valueIsDiscount bool, mk func(C
 		}
 		cells = append(cells, Cell{Name: fmt.Sprintf("value=%v", v), Policy: policy, Engine: engCfg})
 	}
-	return p.sweepCells(values, cells)
+	return p.sweepCells(ctx, values, cells)
 }
 
 // SweepFraction evaluates the generalized A_{kT} across checkpoint
 // fractions on the plan's cohort.
-func (p *CohortPlan) SweepFraction(fractions []float64) ([]SweepPoint, error) {
-	return p.sweepOver(fractions, false, func(c Config, k float64) (simulate.SellingPolicy, error) {
+func (p *CohortPlan) SweepFraction(ctx context.Context, fractions []float64) ([]SweepPoint, error) {
+	return p.sweepOver(ctx, fractions, false, func(c Config, k float64) (simulate.SellingPolicy, error) {
 		return core.NewThreshold(c.Instance, c.SellingDiscount, k)
 	})
 }
 
 // SweepDiscount evaluates A_{3T/4} across selling discounts a on the
 // plan's cohort.
-func (p *CohortPlan) SweepDiscount(discounts []float64) ([]SweepPoint, error) {
-	return p.sweepOver(discounts, true, func(c Config, a float64) (simulate.SellingPolicy, error) {
+func (p *CohortPlan) SweepDiscount(ctx context.Context, discounts []float64) ([]SweepPoint, error) {
+	return p.sweepOver(ctx, discounts, true, func(c Config, a float64) (simulate.SellingPolicy, error) {
 		return core.NewA3T4(c.Instance, a)
 	})
 }
 
 // SweepMarketFee evaluates A_{3T/4} across marketplace fees on the
 // plan's cohort.
-func (p *CohortPlan) SweepMarketFee(fees []float64) ([]SweepPoint, error) {
+func (p *CohortPlan) SweepMarketFee(ctx context.Context, fees []float64) ([]SweepPoint, error) {
 	cells := make([]Cell, 0, len(fees))
 	for _, fee := range fees {
 		policy, err := core.NewA3T4(p.cfg.Instance, p.cfg.SellingDiscount)
@@ -87,36 +88,36 @@ func (p *CohortPlan) SweepMarketFee(fees []float64) ([]SweepPoint, error) {
 		engCfg.MarketFee = fee
 		cells = append(cells, Cell{Name: fmt.Sprintf("fee=%v", fee), Policy: policy, Engine: engCfg})
 	}
-	return p.sweepCells(fees, cells)
+	return p.sweepCells(ctx, fees, cells)
 }
 
 // SweepFraction evaluates the generalized A_{kT} across checkpoint
 // fractions — the paper's future-work direction of selling at an
 // arbitrary time spot.
-func SweepFraction(cfg Config, fractions []float64) ([]SweepPoint, error) {
-	plan, err := NewCohortPlan(cfg)
+func SweepFraction(ctx context.Context, cfg Config, fractions []float64) ([]SweepPoint, error) {
+	plan, err := NewCohortPlan(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return plan.SweepFraction(fractions)
+	return plan.SweepFraction(ctx, fractions)
 }
 
 // SweepDiscount evaluates A_{3T/4} across selling discounts a.
-func SweepDiscount(cfg Config, discounts []float64) ([]SweepPoint, error) {
-	plan, err := NewCohortPlan(cfg)
+func SweepDiscount(ctx context.Context, cfg Config, discounts []float64) ([]SweepPoint, error) {
+	plan, err := NewCohortPlan(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return plan.SweepDiscount(discounts)
+	return plan.SweepDiscount(ctx, discounts)
 }
 
 // SweepMarketFee evaluates A_{3T/4} across marketplace fees.
-func SweepMarketFee(cfg Config, fees []float64) ([]SweepPoint, error) {
-	plan, err := NewCohortPlan(cfg)
+func SweepMarketFee(ctx context.Context, cfg Config, fees []float64) ([]SweepPoint, error) {
+	plan, err := NewCohortPlan(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return plan.SweepMarketFee(fees)
+	return plan.SweepMarketFee(ctx, fees)
 }
 
 // RenderSweep renders sweep points as a small table.

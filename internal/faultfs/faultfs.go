@@ -1,0 +1,224 @@
+// Package faultfs is a deterministic fault-injecting fs.FS for testing
+// degradation paths. It wraps an inner filesystem and serves most files
+// untouched, while files selected for a fault fail to open, error
+// mid-read, truncate silently, or carry a corrupted row — the failure
+// modes real marketplace/usage-log corpora exhibit (partial downloads,
+// interrupted gzip streams, mangled rows). Fault placement is chosen by
+// seed, so a test naming a seed reproduces byte-identical faults on
+// every run and every platform.
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"math/rand"
+	"sort"
+)
+
+// ErrInjected is the error every injected open/read failure wraps, so
+// tests can assert a failure came from the substrate rather than the
+// code under test.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// Kind enumerates the fault modes.
+type Kind int
+
+const (
+	// KindOpenError makes Open fail with ErrInjected.
+	KindOpenError Kind = iota
+	// KindReadError serves the first half of the file, then fails the
+	// read with ErrInjected — an I/O error mid-stream.
+	KindReadError
+	// KindTruncate serves the first half of the file and then reports
+	// EOF — a silently truncated download. For a .gz file this yields a
+	// truncated gzip stream; for a plain CSV, a mid-row cut.
+	KindTruncate
+	// KindCorruptRow overwrites a span in the middle of the file with a
+	// garbage row. A plain CSV gains an unparseable line; a gzip stream
+	// fails its CRC or decode.
+	KindCorruptRow
+)
+
+// String names the kind for test output.
+func (k Kind) String() string {
+	switch k {
+	case KindOpenError:
+		return "open-error"
+	case KindReadError:
+		return "read-error"
+	case KindTruncate:
+		return "truncate"
+	case KindCorruptRow:
+		return "corrupt-row"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// corruptRow is the span KindCorruptRow splices into the file: its own
+// line, with no comma, so a CSV parser rejects it on arity no matter
+// where it lands.
+const corruptRow = "\n!faultfs-corrupt-row!\n"
+
+// FS is a fault-injecting filesystem. The zero value is not usable;
+// call New. Configure faults with Inject or InjectN before handing the
+// FS to the code under test; FS is safe for concurrent reads once
+// configured.
+type FS struct {
+	inner  fs.FS
+	faults map[string]Kind
+}
+
+// New wraps inner with an empty fault set.
+func New(inner fs.FS) *FS {
+	return &FS{inner: inner, faults: make(map[string]Kind)}
+}
+
+// Inject assigns a fault to one file (a path relative to the FS root).
+func (f *FS) Inject(name string, kind Kind) { f.faults[name] = kind }
+
+// Faults returns a copy of the current fault assignment.
+func (f *FS) Faults() map[string]Kind {
+	out := make(map[string]Kind, len(f.faults))
+	for name, kind := range f.faults {
+		out[name] = kind
+	}
+	return out
+}
+
+// InjectN picks n regular files in the root of the inner filesystem —
+// deterministically from seed — and assigns them the given kinds
+// round-robin. It returns the faulted names sorted, so tests can
+// assert exactly which files must be skipped. InjectN fails when the
+// root holds fewer than n regular files.
+func (f *FS) InjectN(seed int64, n int, kinds ...Kind) ([]string, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("faultfs: n = %d, want positive", n)
+	}
+	if len(kinds) == 0 {
+		return nil, fmt.Errorf("faultfs: no fault kinds given")
+	}
+	entries, err := fs.ReadDir(f.inner, ".")
+	if err != nil {
+		return nil, fmt.Errorf("faultfs: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) < n {
+		return nil, fmt.Errorf("faultfs: %d faults requested but only %d files", n, len(names))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(len(names))
+	picked := make([]string, n)
+	for i := 0; i < n; i++ {
+		picked[i] = names[perm[i]]
+	}
+	sort.Strings(picked)
+	for i, name := range picked {
+		f.faults[name] = kinds[i%len(kinds)]
+	}
+	return picked, nil
+}
+
+// Open implements fs.FS. Non-faulted names pass through to the inner
+// filesystem, so directory reads and clean files behave exactly as the
+// wrapped FS does.
+func (f *FS) Open(name string) (fs.File, error) {
+	kind, faulted := f.faults[name]
+	if !faulted {
+		return f.inner.Open(name)
+	}
+	if kind == KindOpenError {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: ErrInjected}
+	}
+	inner, err := f.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	data, err := io.ReadAll(inner)
+	closeErr := inner.Close()
+	if err == nil {
+		err = closeErr
+	}
+	if err != nil {
+		return nil, &fs.PathError{Op: "read", Path: name, Err: err}
+	}
+	info, err := fs.Stat(f.inner, name)
+	if err != nil {
+		return nil, err
+	}
+	ff := &faultFile{name: name, info: info}
+	switch kind {
+	case KindReadError:
+		ff.data = data[:len(data)/2]
+		ff.errAfter = &fs.PathError{Op: "read", Path: name, Err: ErrInjected}
+	case KindTruncate:
+		ff.data = data[:len(data)/2]
+	case KindCorruptRow:
+		ff.data = spliceCorruptRow(data)
+	default:
+		return nil, fmt.Errorf("faultfs: %s: unknown fault kind %d", name, int(kind))
+	}
+	return ff, nil
+}
+
+// spliceCorruptRow overwrites bytes around the midpoint with
+// corruptRow, preserving length so the corruption is in-band rather
+// than a truncation. The splice point backs off from the midpoint when
+// needed so the whole garbage row lands inside the file; a file
+// shorter than the row is replaced by it.
+func spliceCorruptRow(data []byte) []byte {
+	if len(data) <= len(corruptRow) {
+		return []byte(corruptRow)
+	}
+	out := append([]byte(nil), data...)
+	mid := len(out) / 2
+	if mid > len(out)-len(corruptRow) {
+		mid = len(out) - len(corruptRow)
+	}
+	copy(out[mid:], corruptRow)
+	return out
+}
+
+// faultFile serves a transformed byte slice, failing with errAfter (if
+// set) once the bytes run out.
+type faultFile struct {
+	name     string
+	info     fs.FileInfo
+	data     []byte
+	off      int
+	errAfter error
+	closed   bool
+}
+
+func (f *faultFile) Stat() (fs.FileInfo, error) { return f.info, nil }
+
+func (f *faultFile) Read(p []byte) (int, error) {
+	if f.closed {
+		return 0, &fs.PathError{Op: "read", Path: f.name, Err: fs.ErrClosed}
+	}
+	if f.off >= len(f.data) {
+		if f.errAfter != nil {
+			return 0, f.errAfter
+		}
+		return 0, io.EOF
+	}
+	n := copy(p, f.data[f.off:])
+	f.off += n
+	return n, nil
+}
+
+func (f *faultFile) Close() error {
+	if f.closed {
+		return &fs.PathError{Op: "close", Path: f.name, Err: fs.ErrClosed}
+	}
+	f.closed = true
+	return nil
+}

@@ -1,0 +1,166 @@
+package faultfs
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/fstest"
+)
+
+func corpus(n int) fstest.MapFS {
+	m := fstest.MapFS{}
+	for i := 0; i < n; i++ {
+		name := string(rune('a'+i)) + ".csv"
+		m[name] = &fstest.MapFile{Data: []byte("hour,instances\n0,5\n1,6\n2,7\n3,8\n")}
+	}
+	return m
+}
+
+func TestPassThrough(t *testing.T) {
+	inner := corpus(3)
+	f := New(inner)
+	data, err := fs.ReadFile(f, "a.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := inner["a.csv"].Data; !reflect.DeepEqual(data, want) {
+		t.Errorf("pass-through read = %q, want %q", data, want)
+	}
+	if err := fstest.TestFS(f, "a.csv", "b.csv", "c.csv"); err != nil {
+		t.Errorf("clean FS fails fstest: %v", err)
+	}
+}
+
+func TestKindOpenError(t *testing.T) {
+	f := New(corpus(2))
+	f.Inject("a.csv", KindOpenError)
+	_, err := f.Open("a.csv")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	var pe *fs.PathError
+	if !errors.As(err, &pe) || pe.Path != "a.csv" {
+		t.Errorf("err = %v, want *fs.PathError naming a.csv", err)
+	}
+	if _, err := fs.ReadFile(f, "b.csv"); err != nil {
+		t.Errorf("non-faulted sibling failed: %v", err)
+	}
+}
+
+func TestKindReadError(t *testing.T) {
+	inner := corpus(1)
+	f := New(inner)
+	f.Inject("a.csv", KindReadError)
+	file, err := f.Open("a.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer file.Close()
+	data, err := io.ReadAll(file)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("ReadAll err = %v, want ErrInjected", err)
+	}
+	if want := inner["a.csv"].Data; len(data) != len(want)/2 {
+		t.Errorf("read %d bytes before the injected error, want %d", len(data), len(want)/2)
+	}
+}
+
+func TestKindTruncate(t *testing.T) {
+	inner := corpus(1)
+	f := New(inner)
+	f.Inject("a.csv", KindTruncate)
+	data, err := fs.ReadFile(f, "a.csv")
+	if err != nil {
+		t.Fatalf("truncation must be silent, got %v", err)
+	}
+	want := inner["a.csv"].Data
+	if len(data) != len(want)/2 || !reflect.DeepEqual(data, want[:len(want)/2]) {
+		t.Errorf("truncated read = %q, want first half of %q", data, want)
+	}
+}
+
+func TestKindCorruptRow(t *testing.T) {
+	inner := corpus(1)
+	f := New(inner)
+	f.Inject("a.csv", KindCorruptRow)
+	data, err := fs.ReadFile(f, "a.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != len(inner["a.csv"].Data) {
+		t.Errorf("corruption changed length: %d != %d", len(data), len(inner["a.csv"].Data))
+	}
+	if !strings.Contains(string(data), "!faultfs-corrupt-row!") {
+		t.Errorf("corrupt row not spliced: %q", data)
+	}
+}
+
+func TestInjectNDeterministic(t *testing.T) {
+	const seed, n = 42, 4
+	a := New(corpus(10))
+	gotA, err := a.InjectN(seed, n, KindTruncate, KindCorruptRow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := New(corpus(10))
+	gotB, err := b.InjectN(seed, n, KindTruncate, KindCorruptRow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotA, gotB) {
+		t.Errorf("same seed picked different files: %v vs %v", gotA, gotB)
+	}
+	if len(gotA) != n || !reflect.DeepEqual(a.Faults(), b.Faults()) {
+		t.Errorf("fault maps differ: %v vs %v", a.Faults(), b.Faults())
+	}
+	if !sortedUnique(gotA) {
+		t.Errorf("picked names not sorted and unique: %v", gotA)
+	}
+	c := New(corpus(10))
+	gotC, err := c.InjectN(seed+1, n, KindTruncate, KindCorruptRow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(gotA, gotC) {
+		t.Logf("seeds %d and %d picked the same files (possible, but suspicious): %v", seed, seed+1, gotA)
+	}
+}
+
+func sortedUnique(names []string) bool {
+	for i := 1; i < len(names); i++ {
+		if names[i] <= names[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestInjectNErrors(t *testing.T) {
+	f := New(corpus(3))
+	if _, err := f.InjectN(1, 4, KindTruncate); err == nil {
+		t.Error("n above file count accepted")
+	}
+	if _, err := f.InjectN(1, 0, KindTruncate); err == nil {
+		t.Error("n = 0 accepted")
+	}
+	if _, err := f.InjectN(1, 1); err == nil {
+		t.Error("empty kind list accepted")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for kind, want := range map[Kind]string{
+		KindOpenError:  "open-error",
+		KindReadError:  "read-error",
+		KindTruncate:   "truncate",
+		KindCorruptRow: "corrupt-row",
+		Kind(99):       "Kind(99)",
+	} {
+		if got := kind.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(kind), got, want)
+		}
+	}
+}

@@ -1,23 +1,108 @@
 package gtrace
 
 import (
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
-	"path/filepath"
 	"sort"
 	"strings"
 
 	"rimarket/internal/workload"
 )
 
+// ErrorPolicy selects how the directory loaders react to a file that
+// cannot be read or parsed.
+type ErrorPolicy int
+
+const (
+	// Strict fails the whole load on the first unreadable or malformed
+	// file — the right posture for curated datasets, and the historical
+	// behavior of LoadEC2LogDir.
+	Strict ErrorPolicy = iota
+	// BestEffort skips unreadable, corrupt or truncated files (up to
+	// LoadOptions.FailureBudget) and records them in the LoadReport, so
+	// one bad file in a directory of real usage logs degrades the run
+	// per-file rather than per-run.
+	BestEffort
+)
+
+// String renders the policy as its riexp flag spelling.
+func (p ErrorPolicy) String() string {
+	if p == BestEffort {
+		return "best-effort"
+	}
+	return "strict"
+}
+
+// LoadOptions configures a directory load.
+type LoadOptions struct {
+	// Policy is the error policy; the zero value is Strict.
+	Policy ErrorPolicy
+	// FailureBudget caps how many files BestEffort may skip before the
+	// load fails anyway; 0 or negative means unlimited. Ignored under
+	// Strict.
+	FailureBudget int
+}
+
+// SkippedFile records one file a best-effort load gave up on.
+type SkippedFile struct {
+	// File is the file name relative to the loaded directory.
+	File string
+	// Err is why it was skipped.
+	Err error
+}
+
+// LoadReport is the structured outcome of a directory load: which
+// files produced traces and which were skipped, with reasons. Callers
+// surface Skipped to the user (riexp prints a partial-ingestion
+// warning and exits 3) instead of silently dropping data.
+type LoadReport struct {
+	// Loaded names the files that produced traces, in load order.
+	Loaded []string
+	// Skipped lists the files a best-effort load gave up on, in
+	// directory order; always empty under Strict.
+	Skipped []SkippedFile
+}
+
+// Partial reports whether any file was skipped.
+func (r *LoadReport) Partial() bool { return r != nil && len(r.Skipped) > 0 }
+
 // LoadEC2LogDir reads every EC2-usage-log file (.csv or .csv.gz) in a
-// directory into demand traces, sorted by file name. Users can point
-// the experiment harness at a directory of real usage logs — like the
-// 36 EC2 log files the paper cites — instead of the synthetic cohort.
+// directory into demand traces, sorted by file name, under the Strict
+// policy. Users can point the experiment harness at a directory of
+// real usage logs — like the 36 EC2 log files the paper cites —
+// instead of the synthetic cohort.
 func LoadEC2LogDir(dir string) ([]workload.Trace, error) {
-	entries, err := os.ReadDir(dir)
+	traces, _, err := LoadEC2LogDirOpts(dir, LoadOptions{})
+	return traces, err
+}
+
+// LoadEC2LogDirOpts is LoadEC2LogDir with an explicit error policy,
+// returning the load report alongside the traces.
+func LoadEC2LogDirOpts(dir string, opts LoadOptions) ([]workload.Trace, *LoadReport, error) {
+	if _, err := os.Stat(dir); err != nil {
+		return nil, nil, fmt.Errorf("gtrace: %w", err)
+	}
+	return LoadEC2LogFS(os.DirFS(dir), opts)
+}
+
+// LoadEC2LogFS loads every EC2-usage-log file in the root of fsys.
+// Taking an fs.FS keeps the degradation paths testable: the faultfs
+// package wraps a real or in-memory filesystem with injected open
+// errors, short reads and corrupt rows, and this loader must turn each
+// of them into a Strict failure or a BestEffort skip — never a crash
+// or a silent half-read trace.
+//
+// Directory-level problems are never skippable: an unreadable root
+// returns its error, a root with no trace files returns ErrNoTraces,
+// and two files resolving to the same user return *DuplicateUserError
+// under either policy. Per-file failures are wrapped in *ParseError
+// naming the file (and row, when the parser got that far).
+func LoadEC2LogFS(fsys fs.FS, opts LoadOptions) ([]workload.Trace, *LoadReport, error) {
+	entries, err := fs.ReadDir(fsys, ".")
 	if err != nil {
-		return nil, fmt.Errorf("gtrace: %w", err)
+		return nil, nil, fmt.Errorf("gtrace: %w", err)
 	}
 	var names []string
 	for _, e := range entries {
@@ -30,30 +115,61 @@ func LoadEC2LogDir(dir string) ([]workload.Trace, error) {
 		}
 	}
 	if len(names) == 0 {
-		return nil, fmt.Errorf("gtrace: no .csv or .csv.gz trace files in %s", dir)
+		return nil, nil, ErrNoTraces
 	}
 	sort.Strings(names)
 
+	report := &LoadReport{}
 	traces := make([]workload.Trace, 0, len(names))
+	owners := make(map[string]string, len(names)) // user -> file that claimed it
 	for _, name := range names {
-		path := filepath.Join(dir, name)
-		f, err := os.Open(path)
+		tr, err := loadOneLog(fsys, name)
 		if err != nil {
-			return nil, fmt.Errorf("gtrace: %w", err)
+			if opts.Policy == BestEffort {
+				report.Skipped = append(report.Skipped, SkippedFile{File: name, Err: err})
+				if opts.FailureBudget > 0 && len(report.Skipped) > opts.FailureBudget {
+					return nil, report, fmt.Errorf("gtrace: failure budget of %d exceeded: %w", opts.FailureBudget, err)
+				}
+				continue
+			}
+			return nil, report, err
 		}
-		tr, err := ReadEC2LogAuto(f)
-		closeErr := f.Close()
-		if err != nil {
-			return nil, fmt.Errorf("gtrace: %s: %w", name, err)
+		if prev, dup := owners[tr.User]; dup {
+			return nil, report, &DuplicateUserError{User: tr.User, Files: [2]string{prev, name}}
 		}
-		if closeErr != nil {
-			return nil, fmt.Errorf("gtrace: %s: %w", name, closeErr)
-		}
-		if tr.User == "ec2-log" {
-			// Files without a "# user:" header get named after the file.
-			tr.User = strings.TrimSuffix(strings.TrimSuffix(name, ".gz"), ".csv")
-		}
+		owners[tr.User] = name
+		report.Loaded = append(report.Loaded, name)
 		traces = append(traces, tr)
 	}
-	return traces, nil
+	if len(traces) == 0 {
+		return nil, report, fmt.Errorf("all %d trace files skipped: %w", len(names), ErrNoTraces)
+	}
+	return traces, report, nil
+}
+
+// loadOneLog reads one trace file, wrapping any failure — open, read,
+// gunzip or parse — in a *ParseError naming the file.
+func loadOneLog(fsys fs.FS, name string) (workload.Trace, error) {
+	f, err := fsys.Open(name)
+	if err != nil {
+		return workload.Trace{}, &ParseError{File: name, Err: err}
+	}
+	tr, err := ReadEC2LogAuto(f)
+	closeErr := f.Close()
+	if err == nil {
+		err = closeErr
+	}
+	if err != nil {
+		var perr *ParseError
+		if errors.As(err, &perr) && perr.File == "" {
+			perr.File = name
+			return workload.Trace{}, err
+		}
+		return workload.Trace{}, &ParseError{File: name, Err: err}
+	}
+	if tr.User == "ec2-log" {
+		// Files without a "# user:" header get named after the file.
+		tr.User = strings.TrimSuffix(strings.TrimSuffix(name, ".gz"), ".csv")
+	}
+	return tr, nil
 }

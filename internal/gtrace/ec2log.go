@@ -32,7 +32,8 @@ const MaxLogHours = 100 * 365 * 24
 
 // ReadEC2Log parses one EC2 usage-log stream into a demand trace.
 // Hours may be sparse and out of order; missing hours have zero demand.
-// Hour indices above MaxLogHours are rejected.
+// Hour indices above MaxLogHours are rejected. Malformed rows surface
+// as *ParseError carrying the 1-based line number.
 func ReadEC2Log(r io.Reader) (workload.Trace, error) {
 	sc := bufio.NewScanner(r)
 	user := "ec2-log"
@@ -59,21 +60,21 @@ func ReadEC2Log(r io.Reader) (workload.Trace, error) {
 		}
 		parts := strings.Split(text, ",")
 		if len(parts) != 2 {
-			return workload.Trace{}, fmt.Errorf("gtrace: ec2 log line %d: %q is not hour,instances", line, text)
+			return workload.Trace{}, &ParseError{Row: line, Err: fmt.Errorf("%q is not hour,instances", text)}
 		}
 		hour, err := strconv.Atoi(strings.TrimSpace(parts[0]))
 		if err != nil {
-			return workload.Trace{}, fmt.Errorf("gtrace: ec2 log line %d: hour: %w", line, err)
+			return workload.Trace{}, &ParseError{Row: line, Err: fmt.Errorf("hour: %w", err)}
 		}
 		count, err := strconv.Atoi(strings.TrimSpace(parts[1]))
 		if err != nil {
-			return workload.Trace{}, fmt.Errorf("gtrace: ec2 log line %d: instances: %w", line, err)
+			return workload.Trace{}, &ParseError{Row: line, Err: fmt.Errorf("instances: %w", err)}
 		}
 		if hour < 0 || count < 0 {
-			return workload.Trace{}, fmt.Errorf("gtrace: ec2 log line %d: negative value", line)
+			return workload.Trace{}, &ParseError{Row: line, Err: fmt.Errorf("negative value")}
 		}
 		if hour > MaxLogHours {
-			return workload.Trace{}, fmt.Errorf("gtrace: ec2 log line %d: hour %d beyond the %d-hour limit", line, hour, MaxLogHours)
+			return workload.Trace{}, &ParseError{Row: line, Err: fmt.Errorf("hour %d beyond the %d-hour limit", hour, MaxLogHours)}
 		}
 		demand[hour] = count
 		if hour > maxHour {

@@ -9,8 +9,10 @@ package gtrace
 import (
 	"bytes"
 	"compress/gzip"
+	"errors"
 	"strings"
 	"testing"
+	"testing/fstest"
 )
 
 // gzipped compresses s so seeds can exercise the auto-gunzip path.
@@ -30,15 +32,18 @@ func gzipped(tb testing.TB, s string) []byte {
 func FuzzReadEC2Log(f *testing.F) {
 	valid := "# user: app-7\nhour,instances\n0,12\n1,14\n5,3\n"
 	f.Add([]byte(valid))
-	f.Add([]byte("hour,instances\n"))     // header only: empty trace, no error
-	f.Add([]byte("0,1\n99999999999,5\n")) // hostile hour index: must error, not allocate
-	f.Add([]byte("0,1\n1,-3\n"))          // negative count
-	f.Add([]byte("not,a,log\n"))          // wrong arity
-	f.Add([]byte("12\n"))                 // missing column
-	f.Add([]byte(""))                     // empty stream
-	f.Add(gzipped(f, valid))              // gzip-compressed valid log
-	f.Add(gzipped(f, valid)[:10])         // truncated gzip stream
-	f.Add([]byte{0x1f, 0x8b})             // bare gzip magic
+	f.Add([]byte("hour,instances\n"))        // header only: empty trace, no error
+	f.Add([]byte("0,1\n99999999999,5\n"))    // hostile hour index: must error, not allocate
+	f.Add([]byte("0,1\n1,-3\n"))             // negative count
+	f.Add([]byte("not,a,log\n"))             // wrong arity
+	f.Add([]byte("12\n"))                    // missing column
+	f.Add([]byte(""))                        // empty stream
+	f.Add(gzipped(f, valid))                 // gzip-compressed valid log
+	f.Add(gzipped(f, valid)[:10])            // truncated gzip stream
+	f.Add([]byte{0x1f, 0x8b})                // bare gzip magic
+	f.Add([]byte("hour,instances\n0,5\n1,")) // row cut mid-write (partial download)
+	gz := gzipped(f, valid)
+	f.Add(gz[:len(gz)-6]) // gzip cut mid-deflate-stream, past the header
 	f.Add([]byte("# user: x\nhour,instances\n" + strings.Repeat("0,1\n", 100)))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		tr, err := ReadEC2LogAuto(bytes.NewReader(data))
@@ -78,6 +83,40 @@ func FuzzReadTaskEvents(f *testing.F) {
 		}
 		if len(events) == 0 {
 			t.Error("nil error with zero events (want ErrNoEvents)")
+		}
+	})
+}
+
+// FuzzLoadEC2LogFS drives the directory loader — the layer riexp
+// -tracedir sits on — with one arbitrary file under both error
+// policies. Whatever the bytes, the loader must return a coherent
+// (traces, report, err) triple: strict either loads the file or fails,
+// best-effort either loads it or records exactly one skip and reports
+// ErrNoTraces; nothing panics.
+func FuzzLoadEC2LogFS(f *testing.F) {
+	valid := "# user: app-7\nhour,instances\n0,12\n1,14\n5,3\n"
+	f.Add([]byte(valid))
+	f.Add([]byte("hour,instances\n0,5\n1,")) // mid-row truncation
+	f.Add(gzipped(f, valid))                 // valid gzip (magic-detected despite .csv name)
+	gz := gzipped(f, valid)
+	f.Add(gz[:len(gz)-6]) // truncated gzip stream
+	f.Add([]byte(""))     // empty file
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fsys := fstest.MapFS{"f.csv": &fstest.MapFile{Data: data}}
+		for _, policy := range []ErrorPolicy{Strict, BestEffort} {
+			traces, report, err := LoadEC2LogFS(fsys, LoadOptions{Policy: policy})
+			if err != nil {
+				if len(traces) != 0 {
+					t.Errorf("%v: error %v alongside %d traces", policy, err, len(traces))
+				}
+				if policy == BestEffort && !errors.Is(err, ErrNoTraces) {
+					t.Errorf("best-effort single-file load failed with %v, want ErrNoTraces chain", err)
+				}
+				continue
+			}
+			if len(traces) != 1 || len(report.Loaded) != 1 || report.Partial() {
+				t.Errorf("%v: clean load returned %d traces, report %+v", policy, len(traces), report)
+			}
 		}
 	})
 }

@@ -39,6 +39,8 @@
 package rimarket
 
 import (
+	"context"
+
 	"rimarket/internal/analysis"
 	"rimarket/internal/core"
 	"rimarket/internal/experiments"
@@ -363,12 +365,26 @@ func DefaultConfig() ExperimentConfig { return experiments.DefaultConfig() }
 func TestScaleConfig() ExperimentConfig { return experiments.TestScaleConfig() }
 
 // RunCohort executes the full evaluation pipeline.
-func RunCohort(cfg ExperimentConfig) (*CohortResult, error) { return experiments.RunCohort(cfg) }
+func RunCohort(cfg ExperimentConfig) (*CohortResult, error) {
+	return experiments.RunCohort(context.Background(), cfg)
+}
+
+// RunCohortContext is RunCohort with cancellation: cancelling ctx
+// drains in-flight engine runs and returns an error satisfying
+// errors.Is(err, context.Canceled).
+func RunCohortContext(ctx context.Context, cfg ExperimentConfig) (*CohortResult, error) {
+	return experiments.RunCohort(ctx, cfg)
+}
 
 // RunTraces executes the evaluation pipeline on externally supplied
 // traces (e.g. real usage logs loaded with LoadEC2LogDir).
 func RunTraces(cfg ExperimentConfig, traces []Trace) (*CohortResult, error) {
-	return experiments.RunTraces(cfg, traces)
+	return experiments.RunTraces(context.Background(), cfg, traces)
+}
+
+// RunTracesContext is RunTraces with cancellation.
+func RunTracesContext(ctx context.Context, cfg ExperimentConfig, traces []Trace) (*CohortResult, error) {
+	return experiments.RunTraces(ctx, cfg, traces)
 }
 
 // LoadEC2LogDir reads every EC2-usage-log file (.csv/.csv.gz) in a

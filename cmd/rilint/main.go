@@ -1,0 +1,72 @@
+// Command rilint runs the repo's custom invariant analyzers (see
+// DESIGN.md §4.3) over the packages matched by its arguments —
+// `./...` by default. It is the mechanical enforcement of the rules
+// the differential tests and CLI contract otherwise only catch after
+// the fact: float determinism in the engines, context threading in
+// the drivers, %w error chains, the internal/cli exit-code
+// vocabulary, and the no-panic containment rule.
+//
+// Usage:
+//
+//	rilint [-C dir] [-analyzers] [patterns...]
+//
+// Exit codes follow the shared vocabulary: 0 when the tree is clean,
+// 1 when findings are reported (or the load fails), 2 on usage
+// errors. A reviewed, sanctioned violation is silenced in source with
+//
+//	//rilint:allow <analyzer> -- <justification>
+//
+// on the offending line or the line above; the justification is
+// mandatory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"rimarket/internal/cli"
+	"rimarket/internal/rilint"
+	"rimarket/internal/rilint/analyzers"
+)
+
+func main() {
+	err := run(os.Args[1:], os.Stdout, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rilint:", err)
+	}
+	os.Exit(cli.ExitCode(err))
+}
+
+func run(args []string, w, stderr io.Writer) error {
+	fs := flag.NewFlagSet("rilint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("C", ".", "directory to resolve package patterns in (a module root or below)")
+	list := fs.Bool("analyzers", false, "print the analyzer catalog and exit")
+	if err := fs.Parse(args); err != nil {
+		return cli.Usage(err)
+	}
+	suite := analyzers.All()
+	if *list {
+		for _, a := range suite {
+			fmt.Fprintf(w, "%-16s %s\n", a.Name, a.Doc)
+		}
+		return nil
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, err := rilint.Run(*dir, patterns, suite)
+	if err != nil {
+		return err
+	}
+	for _, d := range diags {
+		fmt.Fprintln(w, d)
+	}
+	if len(diags) > 0 {
+		return fmt.Errorf("%d finding(s); fix them or annotate with //rilint:allow <name> -- <why>", len(diags))
+	}
+	return nil
+}

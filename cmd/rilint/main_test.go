@@ -1,0 +1,151 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rimarket/internal/cli"
+)
+
+// writeViolatingModule builds a synthetic module with one violation
+// per analyzer, so the smoke test proves the whole suite fires
+// end-to-end through the real loader.
+func writeViolatingModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module scratch\n\ngo 1.22\n",
+		"internal/core/core.go": `package core
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Sum(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func Jitter() float64 { return rand.Float64() }
+
+func Stamp() time.Time { return time.Now() }
+`,
+		"internal/lib/lib.go": `package lib
+
+import (
+	"context"
+	"fmt"
+	"os"
+)
+
+func Root() context.Context { return context.Background() }
+
+func Flatten(err error) error { return fmt.Errorf("failed: %v", err) }
+
+func Die() { os.Exit(1) }
+
+func Explode() { panic("boom") }
+`,
+	}
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestRunFlagsSyntheticViolations(t *testing.T) {
+	dir := writeViolatingModule(t)
+	var out, errOut bytes.Buffer
+	err := run([]string{"-C", dir, "./..."}, &out, &errOut)
+	if err == nil {
+		t.Fatalf("rilint reported a clean tree for the violating module; output:\n%s", out.String())
+	}
+	for _, name := range []string{"floatdet", "ctxrule", "errwrap", "exitdiscipline", "nopanic"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("no %s finding in output:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestFixturesExitNonzero(t *testing.T) {
+	// Each analyzer's want-comment fixture is a violating module: the
+	// full suite must report findings (exit nonzero) on every one.
+	for _, name := range []string{"floatdet", "ctxrule", "errwrap", "exitdiscipline", "nopanic"} {
+		t.Run(name, func(t *testing.T) {
+			dir, err := filepath.Abs(filepath.Join("..", "..", "internal", "rilint", "analyzers", "testdata", "src", name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var out, errOut bytes.Buffer
+			err = run([]string{"-C", dir, "./..."}, &out, &errOut)
+			if err == nil {
+				t.Fatalf("suite reported the %s fixture clean", name)
+			}
+			if code := cli.ExitCode(err); code != cli.ExitError {
+				t.Errorf("fixture findings map to exit %d, want %d", code, cli.ExitError)
+			}
+			if !strings.Contains(out.String(), name+":") {
+				t.Errorf("no %s finding on its own fixture:\n%s", name, out.String())
+			}
+		})
+	}
+}
+
+func TestRunCleanOnRealTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-C", root, "./..."}, &out, &errOut); err != nil {
+		t.Fatalf("rilint on the real tree: %v\n%s", err, out.String())
+	}
+}
+
+func TestAnalyzerCatalogListing(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-analyzers"}, &out, &errOut); err != nil {
+		t.Fatalf("-analyzers: %v", err)
+	}
+	for _, name := range []string{"floatdet", "ctxrule", "errwrap", "exitdiscipline", "nopanic"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("catalog listing is missing %s:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestUsageErrorExitsUsage(t *testing.T) {
+	var out, errOut bytes.Buffer
+	err := run([]string{"-no-such-flag"}, &out, &errOut)
+	if err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+	if code := cli.ExitCode(err); code != cli.ExitUsage {
+		t.Errorf("flag misuse maps to exit code %d, want %d", code, cli.ExitUsage)
+	}
+}
+
+func TestFindingsExitError(t *testing.T) {
+	dir := writeViolatingModule(t)
+	var out, errOut bytes.Buffer
+	err := run([]string{"-C", dir, "./..."}, &out, &errOut)
+	if code := cli.ExitCode(err); code != cli.ExitError {
+		t.Errorf("findings map to exit code %d, want %d", code, cli.ExitError)
+	}
+}

@@ -74,5 +74,6 @@ func ExitCode(err error) int {
 // a second signal kills the process through Go's default handling
 // (stop restores it once the context is cancelled).
 func SignalContext() (context.Context, context.CancelFunc) {
+	//rilint:allow ctxrule -- SignalContext mints the binaries' one process-root context; every library path receives it as a parameter.
 	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 }

@@ -169,6 +169,7 @@ func StandardLinuxUSEast() *Catalog {
 	if err != nil {
 		// The catalog is a compile-time constant; a validation failure is
 		// a programming error in this file, not a runtime condition.
+		//rilint:allow nopanic -- init-time validation of compiled-in data; unreachable once the literal below is correct.
 		panic(fmt.Sprintf("pricing: built-in catalog invalid: %v", err))
 	}
 	return c
@@ -179,6 +180,7 @@ func StandardLinuxUSEast() *Catalog {
 func D2XLarge() InstanceType {
 	it, err := StandardLinuxUSEast().Lookup("d2.xlarge")
 	if err != nil {
+		//rilint:allow nopanic -- the running-example card is part of the compiled-in catalog; absence is a programming error, not a runtime condition.
 		panic(fmt.Sprintf("pricing: d2.xlarge missing from built-in catalog: %v", err))
 	}
 	return it

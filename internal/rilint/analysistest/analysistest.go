@@ -1,0 +1,144 @@
+// Package analysistest runs a rilint analyzer over a fixture module
+// and checks its diagnostics against `// want` comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture is a self-contained module under testdata/src/<name>/
+// whose module path is `rimarket`, so that path-scoped analyzers see
+// the same import-path suffixes as in the real tree. Expectations are
+// written on the line the diagnostic lands on:
+//
+//	total += p // want `float accumulation inside range over map`
+//
+// Each `want` takes one or more quoted regular expressions; every
+// diagnostic on the line must match a distinct expectation and vice
+// versa. Suppression annotations are honored before matching, so a
+// fixture line carrying //rilint:allow and no want comment is the
+// escape-hatch test.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"rimarket/internal/rilint"
+)
+
+// wantRE matches the expectation marker anywhere in a source line, so
+// it works in trailing comments and inside annotation comments alike.
+var wantRE = regexp.MustCompile(`// want (.*)$`)
+
+// expectation is one unmatched want pattern at a file:line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+// Run loads the fixture module at dir, checks it with a (plus the
+// framework's annotation hygiene), and reports every mismatch between
+// diagnostics and want comments as a test error.
+func Run(t *testing.T, dir string, a *rilint.Analyzer, patterns ...string) {
+	t.Helper()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := rilint.Load(dir, patterns)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("fixture %s matched no packages", dir)
+	}
+	diags, err := rilint.Check(pkgs, []*rilint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("checking fixture %s: %v", dir, err)
+	}
+
+	wants, err := collectWants(pkgs)
+	if err != nil {
+		t.Fatalf("parsing want comments in %s: %v", dir, err)
+	}
+
+	for _, d := range diags {
+		if !claimWant(wants, d) {
+			t.Errorf("%s: unexpected diagnostic: %s: %s", d.Pos, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if w != nil {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// claimWant consumes the first unclaimed expectation on the
+// diagnostic's line that matches its message.
+func claimWant(wants []*expectation, d rilint.Diagnostic) bool {
+	for i, w := range wants {
+		if w == nil || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+			continue
+		}
+		if w.re.MatchString(d.Message) {
+			wants[i] = nil
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants scans every analyzed source file for want comments.
+func collectWants(pkgs []*rilint.Package) ([]*expectation, error) {
+	seen := map[string]bool{}
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			name := pkg.Fset.Position(f.Pos()).Filename
+			if seen[name] {
+				continue
+			}
+			seen[name] = true
+			fileWants, err := scanFile(name)
+			if err != nil {
+				return nil, err
+			}
+			wants = append(wants, fileWants...)
+		}
+	}
+	return wants, nil
+}
+
+func scanFile(name string) ([]*expectation, error) {
+	data, err := os.ReadFile(name)
+	if err != nil {
+		return nil, err
+	}
+	var wants []*expectation
+	for i, line := range strings.Split(string(data), "\n") {
+		m := wantRE.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		rest := strings.TrimSpace(m[1])
+		for rest != "" {
+			quoted, err := strconv.QuotedPrefix(rest)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: malformed want pattern %q: %w", name, i+1, rest, err)
+			}
+			pattern, err := strconv.Unquote(quoted)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: unquoting %q: %w", name, i+1, quoted, err)
+			}
+			re, err := regexp.Compile(pattern)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: compiling want regexp: %w", name, i+1, err)
+			}
+			wants = append(wants, &expectation{file: name, line: i + 1, re: re})
+			rest = strings.TrimSpace(rest[len(quoted):])
+		}
+	}
+	return wants, nil
+}

@@ -1,0 +1,90 @@
+// Package analyzers holds the rilint invariant checkers. Each
+// analyzer encodes one repo-wide rule that the differential tests,
+// the bench gate, or the CLI contract otherwise only catch after the
+// fact; DESIGN.md §4.3 is the human-readable catalog.
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"rimarket/internal/rilint"
+)
+
+// All returns the full analyzer suite in catalog order.
+func All() []*rilint.Analyzer {
+	return []*rilint.Analyzer{
+		Floatdet,
+		Ctxrule,
+		Errwrap,
+		Exitdiscipline,
+		Nopanic,
+	}
+}
+
+// pathHasSuffix reports whether an import path ends with one of the
+// given repo-relative suffixes (on a path-segment boundary). Matching
+// by suffix instead of full path keeps the analyzers honest in
+// analysistest fixtures, whose modules mirror the repo layout under a
+// different module name.
+func pathHasSuffix(path string, suffixes ...string) bool {
+	for _, s := range suffixes {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeFunc resolves a call expression to the package-level function
+// or method it statically invokes, or nil.
+func calleeFunc(pass *rilint.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.ObjectOf(id).(*types.Func)
+	return fn
+}
+
+// isPkgFunc reports whether fn is the package-level function
+// pkgPath.name (not a method).
+func isPkgFunc(fn *types.Func, pkgPath, name string) bool {
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return false
+	}
+	return fn.Pkg().Path() == pkgPath && fn.Name() == name
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// errorInterface is the built-in error interface type.
+var errorInterface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// implementsError reports whether t satisfies the error interface
+// (directly or through its pointer method set).
+func implementsError(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Implements(t, errorInterface) ||
+		types.Implements(types.NewPointer(t), errorInterface)
+}

@@ -1,0 +1,62 @@
+package analyzers_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"rimarket/internal/rilint/analysistest"
+	"rimarket/internal/rilint/analyzers"
+)
+
+// fixture returns the self-contained module for one analyzer's
+// want-comment suite.
+func fixture(t *testing.T, name string) string {
+	t.Helper()
+	abs, err := filepath.Abs(filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return abs
+}
+
+func TestFloatdet(t *testing.T) {
+	analysistest.Run(t, fixture(t, "floatdet"), analyzers.Floatdet)
+}
+
+func TestCtxrule(t *testing.T) {
+	analysistest.Run(t, fixture(t, "ctxrule"), analyzers.Ctxrule)
+}
+
+func TestErrwrap(t *testing.T) {
+	analysistest.Run(t, fixture(t, "errwrap"), analyzers.Errwrap)
+}
+
+func TestExitdiscipline(t *testing.T) {
+	analysistest.Run(t, fixture(t, "exitdiscipline"), analyzers.Exitdiscipline)
+}
+
+func TestNopanic(t *testing.T) {
+	analysistest.Run(t, fixture(t, "nopanic"), analyzers.Nopanic)
+}
+
+func TestAllCatalog(t *testing.T) {
+	all := analyzers.All()
+	if len(all) < 5 {
+		t.Fatalf("analyzer catalog has %d entries, want at least 5", len(all))
+	}
+	seen := map[string]bool{}
+	for _, a := range all {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v missing name, doc, or run function", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	for _, name := range []string{"floatdet", "ctxrule", "errwrap", "exitdiscipline", "nopanic"} {
+		if !seen[name] {
+			t.Errorf("catalog is missing analyzer %q", name)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"rimarket/internal/rilint"
+)
+
+// ctxPkgs are the packages whose exported API fans work out over the
+// worker pool: every entry point must be cancellable from the caller.
+var ctxPkgs = []string{"internal/experiments"}
+
+// Ctxrule enforces the context-threading contract PR 3 established:
+//
+//   - library packages (anything not package main) never mint their
+//     own root context with context.Background() or context.TODO() —
+//     the root context belongs to the binary, and a buried Background
+//     silently detaches work from SIGINT/SIGTERM cancellation;
+//   - in the experiment-driver packages, an exported function that
+//     spawns work (starts a goroutine, or calls anything whose first
+//     parameter is a context.Context) must itself take a
+//     context.Context as its first parameter;
+//   - module-wide, a context.Context parameter is always first.
+var Ctxrule = &rilint.Analyzer{
+	Name: "ctxrule",
+	Doc:  "library code must thread context.Context: no Background()/TODO() outside main packages, ctx first in experiment-driver entry points",
+	Run:  runCtxrule,
+}
+
+func runCtxrule(pass *rilint.Pass) error {
+	isMain := pass.Pkg.Name() == "main"
+	driverPkg := pathHasSuffix(pass.Pkg.Path(), ctxPkgs...)
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if isMain {
+					return true
+				}
+				fn := calleeFunc(pass, n)
+				if isPkgFunc(fn, "context", "Background") || isPkgFunc(fn, "context", "TODO") {
+					pass.Reportf(n.Pos(),
+						"library code calls context.%s: it detaches work from the caller's cancellation; accept a ctx parameter instead", fn.Name())
+				}
+			case *ast.FuncDecl:
+				checkCtxSignature(pass, n, driverPkg)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkCtxSignature(pass *rilint.Pass, decl *ast.FuncDecl, driverPkg bool) {
+	if decl.Name == nil || !decl.Name.IsExported() || decl.Body == nil {
+		return
+	}
+	obj, ok := pass.ObjectOf(decl.Name).(*types.Func)
+	if !ok {
+		return
+	}
+	sig := obj.Type().(*types.Signature)
+
+	ctxIndex := -1
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			ctxIndex = i
+			break
+		}
+	}
+	if ctxIndex > 0 {
+		pass.Reportf(decl.Name.Pos(),
+			"exported %s takes context.Context at position %d; by repo convention ctx is always the first parameter", decl.Name.Name, ctxIndex)
+		return
+	}
+	if ctxIndex == 0 || !driverPkg {
+		return
+	}
+
+	// Driver package, no ctx parameter: flag if the body spawns work.
+	if reason := spawnsWork(pass, decl.Body); reason != "" {
+		pass.Reportf(decl.Name.Pos(),
+			"exported %s %s but does not take context.Context as its first parameter; grid and cohort work must be cancellable", decl.Name.Name, reason)
+	}
+}
+
+// spawnsWork reports how a function body fans out work: it starts a
+// goroutine, or calls something that itself demands a context (the
+// mechanical signature of handing work to the runner).
+func spawnsWork(pass *rilint.Pass, body *ast.BlockStmt) string {
+	reason := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			reason = "starts a goroutine"
+			return false
+		case *ast.CallExpr:
+			sig, ok := pass.TypeOf(n.Fun).(*types.Signature)
+			if ok && sig.Params().Len() > 0 && isContextType(sig.Params().At(0).Type()) {
+				reason = "calls context-taking code"
+				return false
+			}
+		}
+		return true
+	})
+	return reason
+}

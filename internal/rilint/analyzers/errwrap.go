@@ -1,0 +1,108 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"rimarket/internal/rilint"
+)
+
+// Errwrap enforces the error-chain contract the CLI exit-code mapping
+// depends on: cli.ExitCode classifies failures with errors.Is /
+// errors.As, which only see through chains built with %w and Unwrap.
+//
+//   - fmt.Errorf given an error argument must wrap it with %w, not
+//     flatten it with %v/%s — flattening silently breaks ErrPartial
+//     and UsageError classification downstream;
+//   - an exported error type that carries a wrapped cause (an
+//     error-typed field) must define Unwrap so errors.Is can traverse
+//     it.
+var Errwrap = &rilint.Analyzer{
+	Name: "errwrap",
+	Doc:  "fmt.Errorf with an error argument must use %w; exported error types carrying a cause must define Unwrap",
+	Run:  runErrwrap,
+}
+
+func runErrwrap(pass *rilint.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if ok {
+				checkErrorfWrap(pass, call)
+			}
+			return true
+		})
+	}
+	checkUnwrapMethods(pass)
+	return nil
+}
+
+func checkErrorfWrap(pass *rilint.Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass, call)
+	if !isPkgFunc(fn, "fmt", "Errorf") || len(call.Args) < 2 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok {
+		return // format string not a literal; nothing to verify
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil || strings.Contains(format, "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		if implementsError(pass.TypeOf(arg)) {
+			pass.Reportf(call.Pos(),
+				"fmt.Errorf flattens an error argument without %%w: the cause disappears from the errors.Is/As chain that cli.ExitCode classifies")
+			return
+		}
+	}
+}
+
+// checkUnwrapMethods flags exported error types with an error-typed
+// field but no Unwrap method.
+func checkUnwrapMethods(pass *rilint.Pass) {
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || !tn.Exported() || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok || !implementsError(named) {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		wraps := false
+		for i := 0; i < st.NumFields(); i++ {
+			ft := st.Field(i).Type()
+			if types.Identical(ft, errorInterface) || implementsError(ft) {
+				wraps = true
+				break
+			}
+		}
+		if !wraps || hasUnwrap(named) {
+			continue
+		}
+		pass.Reportf(tn.Pos(),
+			"exported error type %s carries a wrapped cause but defines no Unwrap method; errors.Is/As cannot see through it", name)
+	}
+}
+
+func hasUnwrap(named *types.Named) bool {
+	for _, t := range []types.Type{named, types.NewPointer(named)} {
+		obj, _, _ := types.LookupFieldOrMethod(t, true, named.Obj().Pkg(), "Unwrap")
+		if fn, ok := obj.(*types.Func); ok {
+			sig := fn.Type().(*types.Signature)
+			if sig.Params().Len() == 0 && sig.Results().Len() == 1 {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,97 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strings"
+
+	"rimarket/internal/rilint"
+)
+
+// cliPkg is the path suffix of the package owning the exit-code
+// vocabulary (0 ok, 1 error, 2 usage, 3 partial).
+const cliPkg = "internal/cli"
+
+// Exitdiscipline pins process termination to one place and one
+// vocabulary:
+//
+//   - os.Exit and log.Fatal*/log.Panic* may appear only in the
+//     main.go of a package main — library code returns errors and
+//     lets the binary decide;
+//   - an os.Exit argument must come from internal/cli: either the
+//     cli.ExitCode(err) classifier or one of the package's Exit*
+//     constants, so scripts can branch on documented status codes.
+var Exitdiscipline = &rilint.Analyzer{
+	Name: "exitdiscipline",
+	Doc:  "os.Exit/log.Fatal only in a main package's main.go, and exit codes only from the internal/cli vocabulary",
+	Run:  runExitdiscipline,
+}
+
+func runExitdiscipline(pass *rilint.Pass) error {
+	for _, f := range pass.Files {
+		fileName := filepath.Base(pass.Fset.Position(f.Pos()).Filename)
+		inMainFile := pass.Pkg.Name() == "main" && fileName == "main.go"
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() != nil {
+				return true
+			}
+			switch {
+			case fn.Pkg().Path() == "os" && fn.Name() == "Exit":
+				if !inMainFile {
+					pass.Reportf(call.Pos(),
+						"os.Exit outside a main package's main.go: library code returns an error and lets the binary map it with cli.ExitCode")
+					return true
+				}
+				checkExitVocabulary(pass, call)
+			case fn.Pkg().Path() == "log" && (strings.HasPrefix(fn.Name(), "Fatal") || strings.HasPrefix(fn.Name(), "Panic")):
+				if !inMainFile {
+					pass.Reportf(call.Pos(),
+						"log.%s outside a main package's main.go: it exits the process from library code; return an error instead", fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkExitVocabulary requires the os.Exit argument to be derived
+// from internal/cli: cli.ExitCode(...) or a cli constant.
+func checkExitVocabulary(pass *rilint.Pass, call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	arg := ast.Unparen(call.Args[0])
+
+	if inner, ok := arg.(*ast.CallExpr); ok {
+		if fn := calleeFunc(pass, inner); fn != nil && fn.Pkg() != nil &&
+			pathHasSuffix(fn.Pkg().Path(), cliPkg) {
+			return
+		}
+	}
+	var id *ast.Ident
+	switch a := arg.(type) {
+	case *ast.Ident:
+		id = a
+	case *ast.SelectorExpr:
+		id = a.Sel
+	}
+	if id != nil {
+		if c, ok := pass.ObjectOf(id).(*types.Const); ok &&
+			c.Pkg() != nil && pathHasSuffix(c.Pkg().Path(), cliPkg) {
+			return
+		}
+	}
+	pass.Reportf(call.Pos(),
+		"os.Exit code must come from the internal/cli vocabulary (cli.ExitCode(err) or a cli.Exit* constant), not an ad-hoc value")
+}

@@ -1,0 +1,155 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"rimarket/internal/rilint"
+)
+
+// floatPkgs are the packages whose float accounting must be
+// bit-identical across runs and worker counts: the cost engines that
+// the differential suite and the bench gate pin.
+var floatPkgs = []string{"internal/core", "internal/simulate"}
+
+// Floatdet forbids the three classic sources of run-to-run float
+// drift inside the deterministic simulation packages:
+//
+//   - float accumulation inside a range over a map (iteration order
+//     is randomized, and float addition does not commute in rounding);
+//   - math/rand package-level functions, which draw from the global,
+//     process-seeded source;
+//   - wall-clock reads (time.Now / Since / Until), which leak real
+//     time into simulated accounting.
+var Floatdet = &rilint.Analyzer{
+	Name: "floatdet",
+	Doc:  "forbid nondeterminism sources (map-order float accumulation, global rand, wall clock) in internal/core and internal/simulate",
+	Run:  runFloatdet,
+}
+
+func runFloatdet(pass *rilint.Pass) error {
+	if !pathHasSuffix(pass.Pkg.Path(), floatPkgs...) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkFloatdetCall(pass, n)
+			case *ast.RangeStmt:
+				checkMapRangeAccumulation(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkFloatdetCall(pass *rilint.Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		switch fn.Name() {
+		case "Now", "Since", "Until":
+			pass.Reportf(call.Pos(),
+				"wall-clock read time.%s in deterministic simulation code; thread simulated hours instead", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		// Constructors (New, NewSource, NewZipf, ...) build the seeded
+		// private sources the engines are required to use; everything
+		// else at package level draws from the shared global source.
+		if len(fn.Name()) >= 3 && fn.Name()[:3] == "New" {
+			return
+		}
+		pass.Reportf(call.Pos(),
+			"rand.%s draws from the process-global source; use a seeded *rand.Rand so runs are reproducible", fn.Name())
+	}
+}
+
+// checkMapRangeAccumulation flags float accumulation whose result
+// depends on map iteration order: compound assignments (+=, -=, *=,
+// /=) to a float lvalue inside the body of a range over a map, and
+// the spelled-out x = x + ... form of the same thing.
+func checkMapRangeAccumulation(pass *rilint.Pass, rng *ast.RangeStmt) {
+	t := pass.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch assign.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			for _, lhs := range assign.Lhs {
+				if isFloatExpr(pass, lhs) {
+					pass.Reportf(assign.Pos(),
+						"float accumulation inside range over map: iteration order is randomized, so rounding differs run to run; iterate a sorted slice of keys")
+					return true
+				}
+			}
+		case token.ASSIGN:
+			for i, lhs := range assign.Lhs {
+				if i >= len(assign.Rhs) || !isFloatExpr(pass, lhs) {
+					continue
+				}
+				if exprMentions(assign.Rhs[i], lhs) {
+					pass.Reportf(assign.Pos(),
+						"float accumulation inside range over map: iteration order is randomized, so rounding differs run to run; iterate a sorted slice of keys")
+					return true
+				}
+			}
+		}
+		return true
+	})
+}
+
+func isFloatExpr(pass *rilint.Pass, e ast.Expr) bool {
+	t := pass.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// exprMentions reports whether rhs contains a subexpression
+// syntactically equal to lvalue (an ident / selector / index chain).
+func exprMentions(rhs, lvalue ast.Expr) bool {
+	found := false
+	ast.Inspect(rhs, func(n ast.Node) bool {
+		if e, ok := n.(ast.Expr); ok && sameLvalue(e, lvalue) {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+func sameLvalue(a, b ast.Expr) bool {
+	switch a := ast.Unparen(a).(type) {
+	case *ast.Ident:
+		b, ok := ast.Unparen(b).(*ast.Ident)
+		return ok && a.Name == b.Name
+	case *ast.SelectorExpr:
+		b, ok := ast.Unparen(b).(*ast.SelectorExpr)
+		return ok && a.Sel.Name == b.Sel.Name && sameLvalue(a.X, b.X)
+	case *ast.IndexExpr:
+		b, ok := ast.Unparen(b).(*ast.IndexExpr)
+		return ok && sameLvalue(a.X, b.X) && sameLvalue(a.Index, b.Index)
+	}
+	return false
+}

@@ -1,0 +1,47 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"rimarket/internal/rilint"
+)
+
+// Nopanic bans panic in library code. The experiment runner converts
+// worker panics into structured *JobPanicError values under the
+// lowest-index-first-error rule — a panic that escapes anywhere else
+// tears down the whole process and bypasses that containment. The
+// sanctioned exceptions (init-time validation of compiled-in data)
+// carry a `//rilint:allow nopanic -- <why>` annotation, which is the
+// designated allowlist mechanism.
+var Nopanic = &rilint.Analyzer{
+	Name: "nopanic",
+	Doc:  "no panic in non-main, non-test library code; sanctioned sites carry a //rilint:allow nopanic annotation",
+	Run:  runNopanic,
+}
+
+func runNopanic(pass *rilint.Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			// A shadowing function named panic is not the builtin.
+			if _, builtin := pass.ObjectOf(id).(*types.Builtin); !builtin {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"panic in library code escapes the worker pool's containment (JobPanicError); return an error, or annotate a sanctioned init-time check")
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,10 @@
+// Command tool shows that main packages own the root context: the
+// Background/TODO ban does not apply to them.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = ctx
+}

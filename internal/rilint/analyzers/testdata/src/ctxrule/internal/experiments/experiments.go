@@ -1,0 +1,48 @@
+// Package experiments is the ctxrule fixture's driver package: its
+// exported entry points spawn work, so they must take ctx first.
+package experiments
+
+import "context"
+
+func process(ctx context.Context) error { return ctx.Err() }
+
+// Run is the well-formed driver: ctx first, threaded through.
+func Run(ctx context.Context) error { return process(ctx) }
+
+// RunAll spawns a goroutine without accepting a context.
+func RunAll() { // want `exported RunAll starts a goroutine`
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}
+
+// Drive hands work to context-taking code without accepting one,
+// which forces it to mint a root context in library code.
+func Drive() error { // want `exported Drive calls context-taking code`
+	return process(context.TODO()) // want `library code calls context.TODO`
+}
+
+// Misplaced buries the context in the middle of the signature.
+func Misplaced(n int, ctx context.Context) error { // want `takes context.Context at position 1`
+	_ = n
+	return process(ctx)
+}
+
+// Render spawns nothing: exempt.
+func Render() string { return "ok" }
+
+// helper is unexported: the signature rule is about exported API.
+func helper() {
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}
+
+// Sanctioned demonstrates the escape hatch on the signature rule.
+//
+//rilint:allow ctxrule -- fixture: sanctioned back-compat entry point exercising the annotation escape hatch.
+func Sanctioned() {
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}

@@ -1,0 +1,24 @@
+// Package other is ordinary library code: the Background/TODO ban is
+// module-wide, but the spawn-signature rule does not apply here.
+package other
+
+import "context"
+
+// Root mints a root context in library code.
+func Root() context.Context {
+	return context.Background() // want `library code calls context.Background`
+}
+
+// Sanctioned demonstrates the escape hatch.
+func Sanctioned() context.Context {
+	//rilint:allow ctxrule -- fixture: sanctioned root context exercising the annotation escape hatch.
+	return context.Background()
+}
+
+// Spawn starts a goroutine in a non-driver package: the signature
+// rule is scoped to the experiment drivers, so this is clean.
+func Spawn() {
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}

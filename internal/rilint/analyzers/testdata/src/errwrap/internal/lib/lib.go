@@ -1,0 +1,68 @@
+// Package lib is the errwrap fixture: %w discipline for fmt.Errorf
+// and Unwrap discipline for exported error types.
+package lib
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errBase = errors.New("base")
+
+// Flatten loses the cause: errors.Is can no longer see errBase.
+func Flatten() error {
+	return fmt.Errorf("run failed: %v", errBase) // want `fmt.Errorf flattens an error argument`
+}
+
+// Wrap preserves the chain: clean.
+func Wrap() error {
+	return fmt.Errorf("run failed: %w", errBase)
+}
+
+// NoErrorArgs formats plain data: clean.
+func NoErrorArgs(n int) error {
+	return fmt.Errorf("bad count %d", n)
+}
+
+// Stringified passes a string, not an error: the flattening was
+// explicit at the call site, so errwrap stays quiet.
+func Stringified() error {
+	return fmt.Errorf("run failed: %s", errBase.Error())
+}
+
+// SanctionedFlatten demonstrates the escape hatch.
+func SanctionedFlatten() error {
+	//rilint:allow errwrap -- fixture: sanctioned flattening exercising the annotation escape hatch.
+	return fmt.Errorf("run failed: %v", errBase)
+}
+
+// LoadError carries a cause but hides it from errors.Is/As.
+type LoadError struct { // want `exported error type LoadError carries a wrapped cause`
+	Path string
+	Err  error
+}
+
+func (e *LoadError) Error() string { return e.Path + ": " + e.Err.Error() }
+
+// ParseError carries a cause and exposes it: clean.
+type ParseError struct {
+	Row int
+	Err error
+}
+
+func (e *ParseError) Error() string { return fmt.Sprintf("row %d: %v", e.Row, e.Err) }
+func (e *ParseError) Unwrap() error { return e.Err }
+
+// FlatError carries no cause: nothing to unwrap, clean.
+type FlatError struct{ Msg string }
+
+func (e *FlatError) Error() string { return e.Msg }
+
+// SanctionedError demonstrates the escape hatch on the type rule.
+//
+//rilint:allow errwrap -- fixture: sanctioned opaque error type exercising the annotation escape hatch.
+type SanctionedError struct {
+	Err error
+}
+
+func (e *SanctionedError) Error() string { return e.Err.Error() }

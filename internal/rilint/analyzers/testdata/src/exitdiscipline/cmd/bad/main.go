@@ -1,0 +1,8 @@
+// Command bad exits with ad-hoc codes instead of the vocabulary.
+package main
+
+import "os"
+
+func main() {
+	os.Exit(3) // want `os.Exit code must come from the internal/cli vocabulary`
+}

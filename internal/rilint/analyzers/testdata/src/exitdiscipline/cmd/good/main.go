@@ -1,0 +1,21 @@
+// Command good terminates only through the cli vocabulary: clean.
+package main
+
+import (
+	"errors"
+	"log"
+	"os"
+
+	"rimarket/internal/cli"
+)
+
+func main() {
+	if err := run(); err != nil {
+		os.Exit(cli.ExitCode(err))
+	}
+	// log.Fatal is permitted in a main package's main.go.
+	log.Fatal("unreachable")
+	os.Exit(cli.ExitOK)
+}
+
+func run() error { return errors.New("always fails") }

@@ -1,0 +1,18 @@
+// Package cli is the fixture's stub of the shared exit-code
+// vocabulary; exitdiscipline recognizes it by its import-path suffix.
+package cli
+
+// Exit codes shared by every binary.
+const (
+	ExitOK    = 0
+	ExitError = 1
+	ExitUsage = 2
+)
+
+// ExitCode maps a run function's error to the process exit code.
+func ExitCode(err error) int {
+	if err != nil {
+		return ExitError
+	}
+	return ExitOK
+}

@@ -1,0 +1,28 @@
+// Package lib is library code: it must return errors, never exit.
+package lib
+
+import (
+	"log"
+	"os"
+)
+
+// Die exits the process from library code.
+func Die() {
+	os.Exit(1) // want `os.Exit outside a main package's main.go`
+}
+
+// DieLoud exits through the logger.
+func DieLoud() {
+	log.Fatal("boom") // want `log.Fatal outside a main package's main.go`
+}
+
+// DiePanicky exits through log.Panicf.
+func DiePanicky() {
+	log.Panicf("boom %d", 1) // want `log.Panicf outside a main package's main.go`
+}
+
+// Sanctioned demonstrates the escape hatch.
+func Sanctioned() {
+	//rilint:allow exitdiscipline -- fixture: sanctioned direct exit exercising the annotation escape hatch.
+	os.Exit(1)
+}

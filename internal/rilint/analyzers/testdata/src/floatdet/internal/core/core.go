@@ -1,0 +1,77 @@
+// Package core is the floatdet fixture: it sits on a scoped import
+// path (…/internal/core), so every nondeterminism source below must
+// be flagged unless annotated.
+package core
+
+import (
+	"math/rand"
+	"time"
+)
+
+// MapOrderSum accumulates floats in map iteration order.
+func MapOrderSum(prices map[string]float64) float64 {
+	var total float64
+	for _, p := range prices {
+		total += p // want `float accumulation inside range over map`
+	}
+	return total
+}
+
+// SpelledOutSum is the x = x + y form of the same accumulation.
+func SpelledOutSum(prices map[string]float64) float64 {
+	total := 0.0
+	for _, p := range prices {
+		total = total + p // want `float accumulation inside range over map`
+	}
+	return total
+}
+
+// SortedSum ranges over a slice: deterministic, clean.
+func SortedSum(keys []string, prices map[string]float64) float64 {
+	var total float64
+	for _, k := range keys {
+		total += prices[k]
+	}
+	return total
+}
+
+// CountUsers accumulates an int in map order: order-independent,
+// clean.
+func CountUsers(prices map[string]float64) int {
+	n := 0
+	for range prices {
+		n += 1
+	}
+	return n
+}
+
+// GlobalJitter draws from the process-global source.
+func GlobalJitter() float64 {
+	return rand.Float64() // want `rand.Float64 draws from the process-global source`
+}
+
+// SeededJitter builds a private seeded source: clean.
+func SeededJitter(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+// Stamp reads the wall clock.
+func Stamp() time.Time {
+	return time.Now() // want `wall-clock read time.Now`
+}
+
+// Elapsed reads the wall clock through Since.
+func Elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `wall-clock read time.Since`
+}
+
+// SanctionedSum demonstrates the escape hatch: annotated, silenced.
+func SanctionedSum(prices map[string]float64) float64 {
+	var total float64
+	for _, p := range prices {
+		//rilint:allow floatdet -- fixture: sanctioned accumulation exercising the annotation escape hatch.
+		total += p
+	}
+	return total
+}

@@ -1,0 +1,20 @@
+// Package stats sits outside floatdet's scope (only internal/core
+// and internal/simulate are pinned): the same patterns are clean
+// here.
+package stats
+
+import "time"
+
+// MapOrderSum would be flagged in a scoped package.
+func MapOrderSum(xs map[string]float64) float64 {
+	var total float64
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// Stamp would be flagged in a scoped package.
+func Stamp() time.Time {
+	return time.Now()
+}

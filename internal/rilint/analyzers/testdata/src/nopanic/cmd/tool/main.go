@@ -1,0 +1,7 @@
+// Command tool shows the rule is scoped to library code: a main
+// package may panic (the binary owns its own crash).
+package main
+
+func main() {
+	panic("mains may crash themselves")
+}

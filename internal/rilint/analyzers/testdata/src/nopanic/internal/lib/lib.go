@@ -1,0 +1,31 @@
+// Package lib is the nopanic fixture: library panics escape the
+// worker pool's containment and are banned without an annotation.
+package lib
+
+// Explode panics from library code.
+func Explode() {
+	panic("boom") // want `panic in library code`
+}
+
+// Sanctioned demonstrates the allowlist annotation.
+func Sanctioned() {
+	//rilint:allow nopanic -- fixture: sanctioned init-time check exercising the annotation escape hatch.
+	panic("sanctioned")
+}
+
+// Malformed shows that an annotation without a justification both
+// fails to suppress and is itself reported.
+func Malformed() {
+	//rilint:allow nopanic // want `allow annotation needs`
+	panic("still flagged") // want `panic in library code`
+}
+
+// recoverOnly uses recover, which is always fine.
+func recoverOnly() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = nil
+		}
+	}()
+	return nil
+}

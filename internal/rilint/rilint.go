@@ -1,0 +1,198 @@
+// Package rilint is the repo's custom static-analysis framework: a
+// stdlib-only reimplementation of the go/analysis driver shape
+// (Analyzer / Pass / Diagnostic) plus a package loader built on
+// `go list -export` and the gc export-data importer.
+//
+// Why not golang.org/x/tools/go/analysis directly: the module carries
+// no external dependencies, and the build environment cannot fetch
+// any. The API below mirrors x/tools closely enough that migrating an
+// analyzer to the real framework is a mechanical edit (swap the Pass
+// type, keep the Run body); see DESIGN.md §4.3.
+//
+// Analyzers report invariant violations as Diagnostics. A violation a
+// human has reviewed and sanctioned is silenced in source with an
+// annotation comment on the offending line or the line above:
+//
+//	//rilint:allow <name>[,<name>...] -- <justification>
+//
+// The justification is mandatory: an annotation without one does not
+// suppress anything and is itself reported, so the escape hatch
+// cannot be used silently.
+package rilint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant checker. It mirrors
+// x/tools/go/analysis.Analyzer: Name appears in diagnostics and in
+// allow annotations, Doc is the human catalog entry, and Run is
+// invoked once per loaded package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// A Pass is one analyzer's view of one package: syntax, type
+// information, and a sink for diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the static type of e, or nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if t, ok := p.TypesInfo.Types[e]; ok {
+		return t.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := p.ObjectOf(id); obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// ObjectOf returns the object an identifier uses or defines, or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if obj := p.TypesInfo.Uses[id]; obj != nil {
+		return obj
+	}
+	return p.TypesInfo.Defs[id]
+}
+
+// A Diagnostic is one reported violation, positioned in the original
+// source.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// AllowPrefix introduces a suppression annotation comment.
+const AllowPrefix = "rilint:allow"
+
+// allowKey identifies one (file, line, analyzer) suppression grant.
+type allowKey struct {
+	file string
+	line int
+	name string
+}
+
+// parseAllows walks a package's comments and returns the set of
+// suppression grants plus diagnostics for malformed annotations. A
+// valid annotation covers its own line and the next line, so it works
+// both as a trailing comment and on the line above the violation.
+func parseAllows(fset *token.FileSet, files []*ast.File) (map[allowKey]bool, []Diagnostic) {
+	allows := map[allowKey]bool{}
+	var malformed []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, AllowPrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				body := strings.TrimPrefix(text, AllowPrefix)
+				names, reason, ok := strings.Cut(body, " -- ")
+				if !ok || strings.TrimSpace(reason) == "" || strings.TrimSpace(names) == "" {
+					malformed = append(malformed, Diagnostic{
+						Analyzer: "rilint",
+						Pos:      pos,
+						Message:  "allow annotation needs `//rilint:allow <name> -- <justification>`; nothing is suppressed",
+					})
+					continue
+				}
+				for _, name := range strings.Split(names, ",") {
+					name = strings.TrimSpace(name)
+					if name == "" {
+						continue
+					}
+					allows[allowKey{pos.Filename, pos.Line, name}] = true
+					allows[allowKey{pos.Filename, pos.Line + 1, name}] = true
+				}
+			}
+		}
+	}
+	return allows, malformed
+}
+
+// Check runs every analyzer over every package and returns the
+// surviving diagnostics, sorted by position. Suppressed diagnostics
+// are dropped; malformed annotations are reported once per package.
+func Check(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		allows, malformed := parseAllows(pkg.Fset, pkg.Files)
+		out = append(out, malformed...)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				report: func(d Diagnostic) {
+					if allows[allowKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] {
+						return
+					}
+					out = append(out, d)
+				},
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("rilint: analyzer %s on %s: %w", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}
+
+// Run loads the packages matched by patterns under dir and checks
+// them with every analyzer. This is the entry point cmd/rilint and
+// the analysistest harness share.
+func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	pkgs, err := Load(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	return Check(pkgs, analyzers)
+}

@@ -1,0 +1,92 @@
+package rilint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseAllowsFromSrc(t *testing.T, src string) (map[allowKey]bool, []Diagnostic) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return parseAllows(fset, []*ast.File{f})
+}
+
+func TestParseAllowsGrants(t *testing.T) {
+	allows, malformed := parseAllowsFromSrc(t, `package p
+
+func f() {
+	//rilint:allow nopanic -- justified here.
+	panic("x")
+}
+`)
+	if len(malformed) != 0 {
+		t.Fatalf("unexpected malformed annotations: %v", malformed)
+	}
+	// The annotation on line 4 covers lines 4 and 5.
+	for _, line := range []int{4, 5} {
+		if !allows[allowKey{"src.go", line, "nopanic"}] {
+			t.Errorf("line %d not covered by the annotation", line)
+		}
+	}
+	if allows[allowKey{"src.go", 6, "nopanic"}] {
+		t.Error("annotation leaked past the following line")
+	}
+	if allows[allowKey{"src.go", 4, "floatdet"}] {
+		t.Error("annotation granted an analyzer it did not name")
+	}
+}
+
+func TestParseAllowsMultipleNames(t *testing.T) {
+	allows, malformed := parseAllowsFromSrc(t, `package p
+
+//rilint:allow nopanic, errwrap -- one reason for two analyzers.
+var X = 1
+`)
+	if len(malformed) != 0 {
+		t.Fatalf("unexpected malformed annotations: %v", malformed)
+	}
+	for _, name := range []string{"nopanic", "errwrap"} {
+		if !allows[allowKey{"src.go", 3, name}] {
+			t.Errorf("annotation did not grant %q", name)
+		}
+	}
+}
+
+func TestParseAllowsRequiresJustification(t *testing.T) {
+	for _, src := range []string{
+		"package p\n\n//rilint:allow nopanic\nvar X = 1\n",
+		"package p\n\n//rilint:allow nopanic -- \nvar X = 1\n",
+		"package p\n\n//rilint:allow -- reason with no analyzer name.\nvar X = 1\n",
+	} {
+		allows, malformed := parseAllowsFromSrc(t, src)
+		if len(allows) != 0 {
+			t.Errorf("malformed annotation granted suppressions: %q", src)
+		}
+		if len(malformed) != 1 {
+			t.Errorf("want exactly one malformed diagnostic for %q, got %v", src, malformed)
+			continue
+		}
+		if !strings.Contains(malformed[0].Message, "justification") {
+			t.Errorf("malformed diagnostic should demand a justification, got %q", malformed[0].Message)
+		}
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{
+		Analyzer: "nopanic",
+		Pos:      token.Position{Filename: "lib.go", Line: 7, Column: 2},
+		Message:  "panic in library code",
+	}
+	want := "lib.go:7:2: nopanic: panic in library code"
+	if got := d.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

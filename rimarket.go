@@ -364,8 +364,11 @@ func DefaultConfig() ExperimentConfig { return experiments.DefaultConfig() }
 // TestScaleConfig returns the fast scaled-down experiment settings.
 func TestScaleConfig() ExperimentConfig { return experiments.TestScaleConfig() }
 
-// RunCohort executes the full evaluation pipeline.
+// RunCohort executes the full evaluation pipeline. It is the
+// non-cancellable convenience form; use RunCohortContext to wire in
+// SIGINT/SIGTERM or timeouts.
 func RunCohort(cfg ExperimentConfig) (*CohortResult, error) {
+	//rilint:allow ctxrule -- documented back-compat facade for pre-PR3 callers; the cancellable form is RunCohortContext.
 	return experiments.RunCohort(context.Background(), cfg)
 }
 
@@ -379,6 +382,7 @@ func RunCohortContext(ctx context.Context, cfg ExperimentConfig) (*CohortResult,
 // RunTraces executes the evaluation pipeline on externally supplied
 // traces (e.g. real usage logs loaded with LoadEC2LogDir).
 func RunTraces(cfg ExperimentConfig, traces []Trace) (*CohortResult, error) {
+	//rilint:allow ctxrule -- documented back-compat facade for pre-PR3 callers; the cancellable form is RunTracesContext.
 	return experiments.RunTraces(context.Background(), cfg, traces)
 }
 

@@ -10,6 +10,11 @@
 #   scripts/bench.sh             # writes BENCH_2.json
 #   COUNT=10 scripts/bench.sh    # more repeats, tighter minima
 #   OUT=/tmp/b.json scripts/bench.sh   # write elsewhere for comparison
+#
+# The benchgate helper is ordinary module code (rimarket/scripts/benchgate):
+# it is built by `go build ./...`, linted by `scripts/lint.sh` and the
+# rilint suite, and maps its exit codes through internal/cli (0 within
+# tolerance / baseline written, 1 regression or bad input, 2 usage).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

@@ -15,18 +15,27 @@
 //
 // With -count > 1 the minimum over repeats is used on both sides,
 // which is the standard way to damp scheduler noise.
+//
+// Exit codes follow the shared internal/cli vocabulary: 0 when the
+// run is within tolerance (or the baseline was written), 1 on a
+// regression or on bad input (unreadable baseline, no benchmark lines
+// on stdin), 2 on command-line misuse.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
 	"sort"
 	"strconv"
 	"strings"
+
+	"rimarket/internal/cli"
 )
 
 // Entry is one benchmark's recorded costs. GOMAXPROCS suffixes are
@@ -45,14 +54,18 @@ type Baseline struct {
 	Benchmarks []Entry `json:"benchmarks"`
 }
 
+// errRegression marks a benchmark run beyond tolerance; it maps to
+// the plain failure exit code.
+var errRegression = errors.New("regression beyond tolerance")
+
 var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
 
 // parseBench reads `go test -bench` output and returns per-benchmark
 // minima over repeated runs.
-func parseBench(f *os.File) ([]Entry, error) {
+func parseBench(r io.Reader) ([]Entry, error) {
 	byName := map[string]*Entry{}
 	var order []string
-	sc := bufio.NewScanner(f)
+	sc := bufio.NewScanner(r)
 	for sc.Scan() {
 		line := sc.Text()
 		if !strings.HasPrefix(line, "Benchmark") {
@@ -99,7 +112,7 @@ func parseBench(f *os.File) ([]Entry, error) {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("benchgate: reading bench output: %w", err)
 	}
 	out := make([]Entry, 0, len(order))
 	for _, name := range order {
@@ -109,23 +122,33 @@ func parseBench(f *os.File) ([]Entry, error) {
 }
 
 func main() {
-	baselinePath := flag.String("baseline", "BENCH_2.json", "baseline JSON path")
-	update := flag.Bool("update", false, "write the parsed results as the new baseline instead of checking")
-	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional regression in allocs/op (and time/op unless -time-tolerance is set)")
-	timeTolerance := flag.Float64("time-tolerance", -1,
-		"allowed fractional regression in time/op; defaults to -tolerance. Allocs are deterministic, wall time is not: on shared CI runners give time extra headroom — it still catches algorithmic regressions, which cost integer factors, not percents")
-	note := flag.String("note", "Engine benchmark baseline; refresh with scripts/bench.sh (see EXPERIMENTS.md).",
-		"note stored in the baseline on -update")
-	flag.Parse()
-
-	current, err := parseBench(os.Stdin)
+	err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+	}
+	os.Exit(cli.ExitCode(err))
+}
+
+func run(args []string, stdin io.Reader, w, stderr io.Writer) error {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	baselinePath := fs.String("baseline", "BENCH_2.json", "baseline JSON path")
+	update := fs.Bool("update", false, "write the parsed results as the new baseline instead of checking")
+	tolerance := fs.Float64("tolerance", 0.20, "allowed fractional regression in allocs/op (and time/op unless -time-tolerance is set)")
+	timeTolerance := fs.Float64("time-tolerance", -1,
+		"allowed fractional regression in time/op; defaults to -tolerance. Allocs are deterministic, wall time is not: on shared CI runners give time extra headroom — it still catches algorithmic regressions, which cost integer factors, not percents")
+	note := fs.String("note", "Engine benchmark baseline; refresh with scripts/bench.sh (see EXPERIMENTS.md).",
+		"note stored in the baseline on -update")
+	if err := fs.Parse(args); err != nil {
+		return cli.Usage(err)
+	}
+
+	current, err := parseBench(stdin)
+	if err != nil {
+		return err
 	}
 	if len(current) == 0 {
-		fmt.Fprintln(os.Stderr, "benchgate: no benchmark lines on stdin")
-		os.Exit(2)
+		return errors.New("no benchmark lines on stdin")
 	}
 
 	if *update {
@@ -133,31 +156,27 @@ func main() {
 		doc := Baseline{Note: *note, Tolerance: *tolerance, Benchmarks: current}
 		buf, err := json.MarshalIndent(doc, "", "  ")
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			return fmt.Errorf("encoding baseline: %w", err)
 		}
 		buf = append(buf, '\n')
 		if err := os.WriteFile(*baselinePath, buf, 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			return fmt.Errorf("writing baseline: %w", err)
 		}
-		fmt.Printf("benchgate: wrote %d benchmarks to %s\n", len(current), *baselinePath)
-		return
+		fmt.Fprintf(w, "benchgate: wrote %d benchmarks to %s\n", len(current), *baselinePath)
+		return nil
 	}
 
 	raw, err := os.ReadFile(*baselinePath)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return fmt.Errorf("reading baseline: %w", err)
 	}
 	var base Baseline
 	if err := json.Unmarshal(raw, &base); err != nil {
-		fmt.Fprintf(os.Stderr, "benchgate: %s: %v\n", *baselinePath, err)
-		os.Exit(2)
+		return fmt.Errorf("%s: %w", *baselinePath, err)
 	}
 	tol := *tolerance
 	explicitTol := false
-	flag.Visit(func(f *flag.Flag) {
+	fs.Visit(func(f *flag.Flag) {
 		if f.Name == "tolerance" {
 			explicitTol = true
 		}
@@ -183,7 +202,7 @@ func main() {
 	for _, b := range base.Benchmarks {
 		c, ok := curByName[b.Name]
 		if !ok {
-			fmt.Printf("MISSING  %s: in baseline but not in this run\n", b.Name)
+			fmt.Fprintf(w, "MISSING  %s: in baseline but not in this run\n", b.Name)
 			failed = true
 			continue
 		}
@@ -193,12 +212,12 @@ func main() {
 			status = "REGRESS "
 			failed = true
 		}
-		fmt.Printf("%s %s: time/op %.0f -> %.0f ns (%+.1f%%)\n",
+		fmt.Fprintf(w, "%s %s: time/op %.0f -> %.0f ns (%+.1f%%)\n",
 			status, b.Name, b.NsPerOp, c.NsPerOp, 100*(timeRatio-1))
 		if b.AllocsPerOp > 0 || c.AllocsPerOp > 0 {
 			allocRatio := (c.AllocsPerOp + 1) / (b.AllocsPerOp + 1) // +1: tolerate zero baselines
 			if allocRatio > 1+tol {
-				fmt.Printf("REGRESS  %s: allocs/op %.0f -> %.0f (%+.1f%%)\n",
+				fmt.Fprintf(w, "REGRESS  %s: allocs/op %.0f -> %.0f (%+.1f%%)\n",
 					b.Name, b.AllocsPerOp, c.AllocsPerOp, 100*(allocRatio-1))
 				failed = true
 			}
@@ -206,14 +225,14 @@ func main() {
 	}
 	for _, c := range current {
 		if _, ok := baseByName[c.Name]; !ok {
-			fmt.Printf("NEW      %s: not in baseline; refresh with scripts/bench.sh\n", c.Name)
+			fmt.Fprintf(w, "NEW      %s: not in baseline; refresh with scripts/bench.sh\n", c.Name)
 		}
 	}
 	if failed {
-		fmt.Printf("benchgate: regression beyond tolerance (time %.0f%%, allocs %.0f%%) vs %s\n",
-			100*timeTol, 100*tol, *baselinePath)
-		os.Exit(1)
+		return fmt.Errorf("%w (time %.0f%%, allocs %.0f%%) vs %s",
+			errRegression, 100*timeTol, 100*tol, *baselinePath)
 	}
-	fmt.Printf("benchgate: %d benchmarks within tolerance (time %.0f%%, allocs %.0f%%) of %s\n",
+	fmt.Fprintf(w, "benchgate: %d benchmarks within tolerance (time %.0f%%, allocs %.0f%%) of %s\n",
 		len(base.Benchmarks), 100*timeTol, 100*tol, *baselinePath)
+	return nil
 }

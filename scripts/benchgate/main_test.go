@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rimarket/internal/cli"
+)
+
+const benchOutput = "goos: linux\n" +
+	"BenchmarkEngineRun/1y-8 \t     100\t   1000 ns/op\t   50 B/op\t   2 allocs/op\n" +
+	"BenchmarkEngineRun/1y-8 \t     100\t   1200 ns/op\t   50 B/op\t   2 allocs/op\n" +
+	"PASS\n"
+
+func TestParseBenchTakesMinimum(t *testing.T) {
+	entries, err := parseBench(strings.NewReader(benchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("got %d entries, want 1", len(entries))
+	}
+	e := entries[0]
+	if e.Name != "BenchmarkEngineRun/1y" {
+		t.Errorf("GOMAXPROCS suffix not stripped: %q", e.Name)
+	}
+	if e.NsPerOp != 1000 {
+		t.Errorf("min over repeats: ns/op = %v, want 1000", e.NsPerOp)
+	}
+}
+
+func TestRunUpdateThenCheck(t *testing.T) {
+	baseline := filepath.Join(t.TempDir(), "base.json")
+	var out, errOut bytes.Buffer
+	err := run([]string{"-update", "-baseline", baseline},
+		strings.NewReader(benchOutput), &out, &errOut)
+	if err != nil {
+		t.Fatalf("update: %v", err)
+	}
+	if _, err := os.Stat(baseline); err != nil {
+		t.Fatalf("baseline not written: %v", err)
+	}
+
+	out.Reset()
+	err = run([]string{"-baseline", baseline}, strings.NewReader(benchOutput), &out, &errOut)
+	if err != nil {
+		t.Fatalf("identical run should be within tolerance: %v\n%s", err, out.String())
+	}
+
+	// A 9x time and alloc regression must fail with the plain error
+	// exit code.
+	regressed := strings.ReplaceAll(benchOutput, "1000 ns/op", "9000 ns/op")
+	regressed = strings.ReplaceAll(regressed, "1200 ns/op", "9000 ns/op")
+	regressed = strings.ReplaceAll(regressed, "2 allocs/op", "18 allocs/op")
+	out.Reset()
+	err = run([]string{"-baseline", baseline}, strings.NewReader(regressed), &out, &errOut)
+	if err == nil {
+		t.Fatalf("regression accepted:\n%s", out.String())
+	}
+	if code := cli.ExitCode(err); code != cli.ExitError {
+		t.Errorf("regression maps to exit %d, want %d", code, cli.ExitError)
+	}
+}
+
+func TestRunExitCodes(t *testing.T) {
+	var out, errOut bytes.Buffer
+	err := run([]string{"-no-such-flag"}, strings.NewReader(""), &out, &errOut)
+	if code := cli.ExitCode(err); code != cli.ExitUsage {
+		t.Errorf("flag misuse maps to exit %d, want %d", code, cli.ExitUsage)
+	}
+
+	err = run(nil, strings.NewReader("no benchmarks here\n"), &out, &errOut)
+	if err == nil {
+		t.Fatal("empty bench output accepted")
+	}
+	if code := cli.ExitCode(err); code != cli.ExitError {
+		t.Errorf("empty input maps to exit %d, want %d", code, cli.ExitError)
+	}
+
+	err = run([]string{"-baseline", filepath.Join(t.TempDir(), "missing.json")},
+		strings.NewReader(benchOutput), &out, &errOut)
+	if err == nil {
+		t.Fatal("missing baseline accepted")
+	}
+	if code := cli.ExitCode(err); code != cli.ExitError {
+		t.Errorf("missing baseline maps to exit %d, want %d", code, cli.ExitError)
+	}
+}

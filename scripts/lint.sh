@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Run the repo's full lint pass locally with the same checks and
+# flags as the CI `lint` job (.github/workflows/ci.yml):
+#
+#   gofmt       fail on any unformatted file (including testdata fixtures)
+#   go vet      the stock analyzers
+#   rilint      the repo's custom invariant suite (DESIGN.md §4.3)
+#   staticcheck honnef.co staticcheck, if installed
+#   govulncheck known-vulnerability scan, if installed
+#
+# staticcheck and govulncheck are optional locally: this environment
+# may not have them installed and the repo vendors no tools. CI
+# installs the pinned versions below, so a clean CI run is the source
+# of truth for those two. Install them locally with:
+#
+#   go install honnef.co/go/tools/cmd/staticcheck@$STATICCHECK_VERSION
+#   go install golang.org/x/vuln/cmd/govulncheck@$GOVULNCHECK_VERSION
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Pinned tool versions; keep in sync with .github/workflows/ci.yml.
+STATICCHECK_VERSION="${STATICCHECK_VERSION:-2023.1.7}"
+GOVULNCHECK_VERSION="${GOVULNCHECK_VERSION:-v1.1.3}"
+
+fail=0
+
+echo "==> gofmt"
+unformatted="$(gofmt -l .)"
+if [[ -n "$unformatted" ]]; then
+	echo "gofmt: needs formatting:" >&2
+	echo "$unformatted" >&2
+	fail=1
+fi
+
+echo "==> bash -n scripts/*.sh"
+for sh in scripts/*.sh; do
+	bash -n "$sh" || fail=1
+done
+
+echo "==> go vet ./..."
+go vet ./... || fail=1
+
+echo "==> rilint ./..."
+go run ./cmd/rilint ./... || fail=1
+
+echo "==> staticcheck ./..."
+if command -v staticcheck >/dev/null 2>&1; then
+	staticcheck ./... || fail=1
+else
+	echo "staticcheck not installed; skipping (CI pins $STATICCHECK_VERSION)" >&2
+fi
+
+echo "==> govulncheck ./..."
+if command -v govulncheck >/dev/null 2>&1; then
+	govulncheck ./... || fail=1
+else
+	echo "govulncheck not installed; skipping (CI pins $GOVULNCHECK_VERSION)" >&2
+fi
+
+if [[ "$fail" -ne 0 ]]; then
+	echo "lint: FAILED" >&2
+	exit 1
+fi
+echo "lint: ok"

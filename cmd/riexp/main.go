@@ -31,6 +31,7 @@ import (
 	"rimarket/internal/core"
 	"rimarket/internal/experiments"
 	"rimarket/internal/gtrace"
+	"rimarket/internal/obs"
 	"rimarket/internal/pricing"
 )
 
@@ -44,24 +45,39 @@ func main() {
 	os.Exit(cli.ExitCode(err))
 }
 
+// params is the parsed riexp command line; the flag set collapses to
+// this struct so the observed part of the run (runParsed) is separable
+// from flag parsing and the obs session bracketing it.
+type params struct {
+	exp, scale         string
+	perGroup           int
+	seed               int64
+	discount, fee      float64
+	term, par          int
+	traceDir, traceErr string
+	traceBud           int
+	jsonOut, csvOut    string
+}
+
 func run(ctx context.Context, args []string, w, stderr io.Writer) error {
 	fs := flag.NewFlagSet("riexp", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	var (
-		exp      = fs.String("exp", "all", "experiment to run (table1|table2|table3|fig2|fig3a|fig3b|fig3c|fig4a|fig4b|fig4c|bounds|sweep-k|sweep-a|sweep-fee|extensions|market|sensitivity|audit|resell|all)")
-		scale    = fs.String("scale", "test", "experiment scale: test (fast) or full (paper: 300 users, 1-year horizon)")
-		perGroup = fs.Int("pergroup", 0, "override users per fluctuation group")
-		seed     = fs.Int64("seed", 0, "override cohort seed")
-		discount = fs.Float64("a", 0, "override selling discount a in (0, 1]")
-		fee      = fs.Float64("fee", 0, "marketplace fee in [0, 1) applied to sale income")
-		term     = fs.Int("term", 1, "reservation term in years (1 or 3)")
-		par      = fs.Int("parallelism", 0, "worker goroutines evaluating users and grid cells; 0 means GOMAXPROCS (results are identical at any setting)")
-		traceDir = fs.String("tracedir", "", "run on real EC2-usage-log files (.csv/.csv.gz) from this directory instead of the synthetic cohort")
-		traceErr = fs.String("trace-errors", "strict", "error policy for -tracedir files: strict (fail on the first bad file) or best-effort (skip bad files, warn, exit 3)")
-		traceBud = fs.Int("trace-error-budget", 0, "max files best-effort may skip before failing anyway; 0 means unlimited")
-		jsonOut  = fs.String("json", "", "also write the full cohort result as JSON to this file")
-		csvOut   = fs.String("csv", "", "also write per-user costs as CSV to this file")
-	)
+	var p params
+	fs.StringVar(&p.exp, "exp", "all", "experiment to run (table1|table2|table3|fig2|fig3a|fig3b|fig3c|fig4a|fig4b|fig4c|bounds|sweep-k|sweep-a|sweep-fee|extensions|market|sensitivity|audit|resell|all)")
+	fs.StringVar(&p.scale, "scale", "test", "experiment scale: test (fast) or full (paper: 300 users, 1-year horizon)")
+	fs.IntVar(&p.perGroup, "pergroup", 0, "override users per fluctuation group")
+	fs.Int64Var(&p.seed, "seed", 0, "override cohort seed")
+	fs.Float64Var(&p.discount, "a", 0, "override selling discount a in (0, 1]")
+	fs.Float64Var(&p.fee, "fee", 0, "marketplace fee in [0, 1) applied to sale income")
+	fs.IntVar(&p.term, "term", 1, "reservation term in years (1 or 3)")
+	fs.IntVar(&p.par, "parallelism", 0, "worker goroutines evaluating users and grid cells; 0 means GOMAXPROCS (results are identical at any setting)")
+	fs.StringVar(&p.traceDir, "tracedir", "", "run on real EC2-usage-log files (.csv/.csv.gz) from this directory instead of the synthetic cohort")
+	fs.StringVar(&p.traceErr, "trace-errors", "strict", "error policy for -tracedir files: strict (fail on the first bad file) or best-effort (skip bad files, warn, exit 3)")
+	fs.IntVar(&p.traceBud, "trace-error-budget", 0, "max files best-effort may skip before failing anyway; 0 means unlimited")
+	fs.StringVar(&p.jsonOut, "json", "", "also write the full cohort result as JSON to this file")
+	fs.StringVar(&p.csvOut, "csv", "", "also write per-user costs as CSV to this file")
+	var obsFlags cli.ObsFlags
+	obsFlags.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return err
@@ -69,30 +85,41 @@ func run(ctx context.Context, args []string, w, stderr io.Writer) error {
 		return cli.Usage(err)
 	}
 
+	// The session brackets the whole parsed run: its metrics ride ctx
+	// into the drivers, and Finish writes the manifest with the run's
+	// outcome — including usage errors from bad flag values below.
+	sess, err := obsFlags.Start("riexp", args, stderr)
+	if err != nil {
+		return err
+	}
+	return sess.Finish(runParsed(sess.Context(ctx), p, sess, w, stderr))
+}
+
+func runParsed(ctx context.Context, p params, sess *cli.ObsSession, w, stderr io.Writer) error {
 	var loadOpts gtrace.LoadOptions
-	switch *traceErr {
+	switch p.traceErr {
 	case "strict":
 		loadOpts.Policy = gtrace.Strict
 	case "best-effort":
 		loadOpts.Policy = gtrace.BestEffort
 	default:
-		return cli.Usagef("unknown -trace-errors policy %q (want strict or best-effort)", *traceErr)
+		return cli.Usagef("unknown -trace-errors policy %q (want strict or best-effort)", p.traceErr)
 	}
-	if *traceBud < 0 {
-		return cli.Usagef("-trace-error-budget %d must be non-negative", *traceBud)
+	if p.traceBud < 0 {
+		return cli.Usagef("-trace-error-budget %d must be non-negative", p.traceBud)
 	}
-	loadOpts.FailureBudget = *traceBud
+	loadOpts.FailureBudget = p.traceBud
 
 	var cfg experiments.Config
-	switch *scale {
+	switch p.scale {
 	case "test":
 		cfg = experiments.TestScaleConfig()
 	case "full":
 		cfg = experiments.DefaultConfig()
 	default:
-		return cli.Usagef("unknown scale %q (want test or full)", *scale)
+		return cli.Usagef("unknown scale %q (want test or full)", p.scale)
 	}
-	switch *term {
+	switch p.term {
 	case 1:
 		// The default 1-year card is already in place.
 	case 3:
@@ -100,7 +127,7 @@ func run(ctx context.Context, args []string, w, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
-		if *scale == "test" {
+		if p.scale == "test" {
 			// Apply the same 6x shrink as TestScaleConfig, preserving
 			// alpha and theta.
 			three.PeriodHours /= 6
@@ -109,19 +136,26 @@ func run(ctx context.Context, args []string, w, stderr io.Writer) error {
 		cfg.Instance = three
 		cfg.Hours = three.PeriodHours
 	default:
-		return cli.Usagef("unsupported term %d (want 1 or 3)", *term)
+		return cli.Usagef("unsupported term %d (want 1 or 3)", p.term)
 	}
-	if *perGroup > 0 {
-		cfg.PerGroup = *perGroup
+	if p.perGroup > 0 {
+		cfg.PerGroup = p.perGroup
 	}
-	if *seed != 0 {
-		cfg.Seed = *seed
+	if p.seed != 0 {
+		cfg.Seed = p.seed
 	}
-	if *discount != 0 {
-		cfg.SellingDiscount = *discount
+	if p.discount != 0 {
+		cfg.SellingDiscount = p.discount
 	}
-	cfg.MarketFee = *fee
-	cfg.Parallelism = *par
+	cfg.MarketFee = p.fee
+	cfg.Parallelism = p.par
+
+	// Record the resolved experiment parameters (not just the raw argv)
+	// in the run manifest: this is the provenance a result file needs.
+	if mf := sess.Manifest(); mf != nil {
+		mf.Seed = cfg.Seed
+		mf.Config = cfg
+	}
 
 	// Table I always reports the real (unscaled) price card — the test
 	// scale shrinks the period and upfront proportionally for speed, but
@@ -130,17 +164,17 @@ func run(ctx context.Context, args []string, w, stderr io.Writer) error {
 	if err != nil {
 		table1Card = cfg.Instance
 	}
-	if *exp == "table1" {
+	if p.exp == "table1" {
 		fmt.Fprint(w, experiments.Table1(table1Card))
 		return nil
 	}
-	if *exp == "bounds" {
+	if p.exp == "bounds" {
 		return printBounds(w, cfg)
 	}
-	if sweep, ok := map[string]bool{"sweep-k": true, "sweep-a": true, "sweep-fee": true}[*exp]; ok && sweep {
-		return printSweep(ctx, w, cfg, *exp)
+	if sweep, ok := map[string]bool{"sweep-k": true, "sweep-a": true, "sweep-fee": true}[p.exp]; ok && sweep {
+		return printSweep(ctx, w, cfg, p.exp)
 	}
-	if *exp == "resell" {
+	if p.exp == "resell" {
 		rows, err := experiments.HourResellComparison(ctx, cfg, []float64{0.1, 0.25, 0.5, 0.75, 1.0})
 		if err != nil {
 			return err
@@ -148,7 +182,7 @@ func run(ctx context.Context, args []string, w, stderr io.Writer) error {
 		fmt.Fprint(w, experiments.RenderHourResell(rows))
 		return nil
 	}
-	if *exp == "audit" {
+	if p.exp == "audit" {
 		var results []experiments.AuditResult
 		for _, k := range []float64{core.Fraction3T4, core.FractionT2, core.FractionT4} {
 			r, err := experiments.RatioAudit(ctx, cfg, k)
@@ -160,7 +194,7 @@ func run(ctx context.Context, args []string, w, stderr io.Writer) error {
 		fmt.Fprint(w, experiments.RenderAudit(results))
 		return nil
 	}
-	if *exp == "sensitivity" {
+	if p.exp == "sensitivity" {
 		grid, err := experiments.Sensitivity(ctx, cfg,
 			[]float64{0.2, 0.4, 0.6, 0.8, 1.0},
 			[]float64{0.125, 0.25, 0.5, 0.75, 0.875})
@@ -170,7 +204,7 @@ func run(ctx context.Context, args []string, w, stderr io.Writer) error {
 		fmt.Fprint(w, experiments.RenderSensitivity(grid))
 		return nil
 	}
-	if *exp == "market" {
+	if p.exp == "market" {
 		points, err := experiments.MarketSession(ctx, cfg, []float64{0.05, 0.2, 1, 5})
 		if err != nil {
 			return err
@@ -178,7 +212,7 @@ func run(ctx context.Context, args []string, w, stderr io.Writer) error {
 		fmt.Fprint(w, experiments.RenderMarket(points))
 		return nil
 	}
-	if *exp == "extensions" {
+	if p.exp == "extensions" {
 		rows, err := experiments.Extensions(ctx, cfg)
 		if err != nil {
 			return err
@@ -189,12 +223,15 @@ func run(ctx context.Context, args []string, w, stderr io.Writer) error {
 
 	var res *experiments.CohortResult
 	var report *gtrace.LoadReport
-	if *traceDir != "" {
-		traces, rep, err := gtrace.LoadEC2LogDirOpts(*traceDir, loadOpts)
+	if p.traceDir != "" {
+		traces, rep, err := gtrace.LoadEC2LogDirOpts(p.traceDir, loadOpts)
 		if err != nil {
-			return fmt.Errorf("%s: %w", *traceDir, err)
+			return fmt.Errorf("%s: %w", p.traceDir, err)
 		}
 		report = rep
+		if mf := sess.Manifest(); mf != nil {
+			mf.Trace = traceIngest(report)
+		}
 		if report.Partial() {
 			fmt.Fprintf(stderr, "riexp: warning: partial ingestion: %d of %d trace files skipped:\n",
 				len(report.Skipped), len(report.Skipped)+len(report.Loaded))
@@ -213,10 +250,10 @@ func run(ctx context.Context, args []string, w, stderr io.Writer) error {
 			return err
 		}
 	}
-	if err := exportResult(res, *jsonOut, *csvOut); err != nil {
+	if err := exportResult(res, p.jsonOut, p.csvOut); err != nil {
 		return err
 	}
-	if err := printExperiment(w, cfg, table1Card, res, *exp); err != nil {
+	if err := printExperiment(w, cfg, table1Card, res, p.exp); err != nil {
 		return err
 	}
 	if report.Partial() {
@@ -224,6 +261,19 @@ func run(ctx context.Context, args []string, w, stderr io.Writer) error {
 			len(report.Skipped), len(report.Skipped)+len(report.Loaded), cli.ErrPartial)
 	}
 	return nil
+}
+
+// traceIngest converts a gtrace load report to the manifest's
+// dependency-free mirror (obs deliberately does not import gtrace).
+func traceIngest(report *gtrace.LoadReport) *obs.TraceIngest {
+	if report == nil {
+		return nil
+	}
+	ti := &obs.TraceIngest{Loaded: report.Loaded}
+	for _, sk := range report.Skipped {
+		ti.Skipped = append(ti.Skipped, obs.SkippedFile{File: sk.File, Err: sk.Err.Error()})
+	}
+	return ti
 }
 
 // printExperiment renders the cohort-backed experiments.

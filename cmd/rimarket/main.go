@@ -22,13 +22,17 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	if err := runStderr(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "rimarket:", err)
 		os.Exit(cli.ExitCode(err))
 	}
 }
 
-func run(args []string, w io.Writer) error {
+// run keeps the historical test entry point; observability notices
+// (pprof address) are discarded without a stderr.
+func run(args []string, w io.Writer) error { return runStderr(args, w, io.Discard) }
+
+func runStderr(args []string, w, stderr io.Writer) error {
 	fs := flag.NewFlagSet("rimarket", flag.ContinueOnError)
 	var (
 		sellers  = fs.Int("sellers", 12, "number of sellers listing one reservation each")
@@ -37,22 +41,34 @@ func run(args []string, w io.Writer) error {
 		fee      = fs.Float64("fee", marketplace.AmazonFee, "marketplace service fee")
 		seed     = fs.Int64("seed", 7, "seed for discounts and buyer demand")
 	)
+	var obsFlags cli.ObsFlags
+	obsFlags.RegisterBasic(fs)
 	if err := fs.Parse(args); err != nil {
 		return cli.Usage(err)
 	}
-	it, err := pricing.StandardLinuxUSEast().Lookup(*instance)
+	return obsFlags.Run("rimarket", args, stderr, func(sess *cli.ObsSession) error {
+		if mf := sess.Manifest(); mf != nil {
+			mf.Seed = *seed
+		}
+		return session(w, *sellers, *buyers, *instance, *fee, *seed)
+	})
+}
+
+// session runs one marketplace demonstration.
+func session(w io.Writer, sellers, buyers int, instance string, fee float64, seed int64) error {
+	it, err := pricing.StandardLinuxUSEast().Lookup(instance)
 	if err != nil {
 		return err
 	}
-	m, err := marketplace.New(marketplace.WithFee(*fee))
+	m, err := marketplace.New(marketplace.WithFee(fee))
 	if err != nil {
 		return err
 	}
-	rng := rand.New(rand.NewSource(*seed))
+	rng := rand.New(rand.NewSource(seed))
 
 	fmt.Fprintf(w, "listing %d reservations of %s (R = $%.0f, T = %d h)\n",
-		*sellers, it.Name, it.Upfront, it.PeriodHours)
-	for i := 0; i < *sellers; i++ {
+		sellers, it.Name, it.Upfront, it.PeriodHours)
+	for i := 0; i < sellers; i++ {
 		seller := fmt.Sprintf("seller-%02d", i)
 		remaining := it.PeriodHours / 4 * (1 + rng.Intn(3)) // T/4, T/2 or 3T/4 left
 		discount := 0.5 + rng.Float64()*0.5
@@ -66,7 +82,7 @@ func run(args []string, w io.Writer) error {
 	}
 
 	fmt.Fprintf(w, "\nbuyers arrive (lowest ask sells first):\n")
-	for i := 0; i < *buyers; i++ {
+	for i := 0; i < buyers; i++ {
 		buyer := fmt.Sprintf("buyer-%02d", i)
 		want := 1 + rng.Intn(3)
 		sales, err := m.Buy(buyer, it.Name, want)

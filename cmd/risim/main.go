@@ -27,13 +27,17 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	if err := runStderr(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "risim:", err)
 		os.Exit(cli.ExitCode(err))
 	}
 }
 
-func run(args []string, w io.Writer) error {
+// run keeps the historical test entry point; observability notices
+// (pprof address) are discarded without a stderr.
+func run(args []string, w io.Writer) error { return runStderr(args, w, io.Discard) }
+
+func runStderr(args []string, w, stderr io.Writer) error {
 	fs := flag.NewFlagSet("risim", flag.ContinueOnError)
 	var (
 		tracePath = fs.String("trace", "", "EC2-usage-log CSV to simulate (hour,instances)")
@@ -47,20 +51,32 @@ func run(args []string, w io.Writer) error {
 		fee       = fs.Float64("fee", 0, "marketplace fee in [0, 1)")
 		seed      = fs.Int64("seed", 1, "seed for synthetic demand and random behavior")
 	)
+	var obsFlags cli.ObsFlags
+	obsFlags.RegisterBasic(fs)
 	if err := fs.Parse(args); err != nil {
 		return cli.Usage(err)
 	}
+	return obsFlags.Run("risim", args, stderr, func(sess *cli.ObsSession) error {
+		return simulateCmd(w, sess, *tracePath, *synthetic, *hours, *instance, *behavior, *discount, *extra, *dump, *fee, *seed)
+	})
+}
 
-	it, err := pricing.StandardLinuxUSEast().Lookup(*instance)
+// simulateCmd is the parsed risim run, bracketed by the obs session.
+func simulateCmd(w io.Writer, sess *cli.ObsSession, tracePath, synthetic string, hours int, instance, behavior string, discount float64, extra, dump string, fee float64, seed int64) error {
+	if mf := sess.Manifest(); mf != nil {
+		mf.Seed = seed
+	}
+
+	it, err := pricing.StandardLinuxUSEast().Lookup(instance)
 	if err != nil {
 		return err
 	}
-	horizon := *hours
+	horizon := hours
 	if horizon <= 0 {
 		horizon = it.PeriodHours
 	}
 
-	tr, err := loadTrace(*tracePath, *synthetic, horizon, *seed)
+	tr, err := loadTrace(tracePath, synthetic, horizon, seed)
 	if err != nil {
 		return err
 	}
@@ -73,7 +89,7 @@ func run(args []string, w io.Writer) error {
 		tr.Demand = padded
 	}
 
-	planner, err := plannerFor(*behavior, it, *seed)
+	planner, err := plannerFor(behavior, it, seed)
 	if err != nil {
 		return err
 	}
@@ -89,25 +105,25 @@ func run(args []string, w io.Writer) error {
 	fmt.Fprintf(w, "user %s: %d hours, peak demand %d, sigma/mu %.2f (%v)\n",
 		tr.User, tr.Len(), tr.MaxDemand(), tr.FluctuationRatio(), workload.Classify(tr))
 	fmt.Fprintf(w, "instance %s: p=$%.4g/h, R=$%.4g, alpha=%.3f, T=%dh; behavior %s reserved %d\n",
-		it.Name, it.OnDemandHourly, it.Upfront, it.Alpha(), it.PeriodHours, *behavior, reserved)
+		it.Name, it.OnDemandHourly, it.Upfront, it.Alpha(), it.PeriodHours, behavior, reserved)
 
 	if horizon <= it.PeriodHours/4 {
 		fmt.Fprintf(w, "note: horizon %d h is not past the earliest checkpoint (T/4 = %d h); no selling decision can occur — raise -hours or pick a shorter-period instance\n",
 			horizon, it.PeriodHours/4)
 	}
 
-	policies, err := allPolicies(it, *discount)
+	policies, err := allPolicies(it, discount)
 	if err != nil {
 		return err
 	}
-	if *extra != "" {
-		np, err := extraPolicy(*extra, it, *discount, *seed)
+	if extra != "" {
+		np, err := extraPolicy(extra, it, discount, seed)
 		if err != nil {
 			return err
 		}
 		policies = append(policies, np)
 	}
-	cfg := simulate.Config{Instance: it, SellingDiscount: *discount, MarketFee: *fee}
+	cfg := simulate.Config{Instance: it, SellingDiscount: discount, MarketFee: fee, Metrics: sess.Engine()}
 	var keepCost float64
 	fmt.Fprintf(w, "\n%-18s %12s %12s %10s %8s\n", "policy", "total cost", "vs keep", "on-demand", "sold")
 	for _, np := range policies {
@@ -115,8 +131,8 @@ func run(args []string, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		if *dump != "" && np.name == "A_{3T/4}" {
-			if err := dumpHours(*dump, res); err != nil {
+		if dump != "" && np.name == "A_{3T/4}" {
+			if err := dumpHours(dump, res); err != nil {
 				return err
 			}
 		}

@@ -23,26 +23,30 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	if err := runStderr(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "ritrace:", err)
 		os.Exit(cli.ExitCode(err))
 	}
 }
 
-func run(args []string, w io.Writer) error {
+// run keeps the historical test entry point; observability notices
+// (pprof address) are discarded without a stderr.
+func run(args []string, w io.Writer) error { return runStderr(args, w, io.Discard) }
+
+func runStderr(args []string, w, stderr io.Writer) error {
 	if len(args) == 0 {
 		return cli.Usagef("usage: ritrace <gen|gen-gtrace|inspect|convert> [flags]")
 	}
 	cmd, rest := args[0], args[1:]
 	switch cmd {
 	case "gen":
-		return genCohort(rest, w)
+		return genCohort(rest, w, stderr)
 	case "gen-gtrace":
-		return genGTrace(rest, w)
+		return genGTrace(rest, w, stderr)
 	case "inspect":
-		return inspect(rest, w)
+		return inspect(rest, w, stderr)
 	case "convert":
-		return convert(rest, w)
+		return convert(rest, w, stderr)
 	default:
 		return cli.Usagef("unknown subcommand %q", cmd)
 	}
@@ -55,141 +59,163 @@ func cohortFlags(fs *flag.FlagSet) (perGroup *int, hours *int, seed *int64) {
 	return perGroup, hours, seed
 }
 
-func genCohort(args []string, w io.Writer) error {
+func genCohort(args []string, w, stderr io.Writer) error {
 	fs := flag.NewFlagSet("gen", flag.ContinueOnError)
 	out := fs.String("out", ".", "output directory for EC2-usage-log files")
 	perGroup, hours, seed := cohortFlags(fs)
+	var obsFlags cli.ObsFlags
+	obsFlags.RegisterBasic(fs)
 	if err := fs.Parse(args); err != nil {
 		return cli.Usage(err)
 	}
-	traces, err := workload.NewCohort(workload.CohortConfig{PerGroup: *perGroup, Hours: *hours, Seed: *seed})
-	if err != nil {
-		return err
-	}
-	if err := os.MkdirAll(*out, 0o755); err != nil {
-		return err
-	}
-	for _, tr := range traces {
-		path := filepath.Join(*out, tr.User+".csv")
-		f, err := os.Create(path)
+	return obsFlags.Run("ritrace", args, stderr, func(sess *cli.ObsSession) error {
+		if mf := sess.Manifest(); mf != nil {
+			mf.Seed = *seed
+		}
+		traces, err := workload.NewCohort(workload.CohortConfig{PerGroup: *perGroup, Hours: *hours, Seed: *seed})
 		if err != nil {
 			return err
 		}
-		if err := gtrace.WriteEC2Log(f, tr); err != nil {
-			f.Close()
+		if err := os.MkdirAll(*out, 0o755); err != nil {
 			return err
 		}
-		if err := f.Close(); err != nil {
-			return err
+		for _, tr := range traces {
+			path := filepath.Join(*out, tr.User+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := gtrace.WriteEC2Log(f, tr); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
 		}
-	}
-	fmt.Fprintf(w, "wrote %d traces to %s\n", len(traces), *out)
-	return nil
+		fmt.Fprintf(w, "wrote %d traces to %s\n", len(traces), *out)
+		return nil
+	})
 }
 
-func genGTrace(args []string, w io.Writer) error {
+func genGTrace(args []string, w, stderr io.Writer) error {
 	fs := flag.NewFlagSet("gen-gtrace", flag.ContinueOnError)
 	out := fs.String("out", "task_events.csv", "output task-events CSV")
 	compress := fs.Bool("gz", false, "gzip the output (like the real clusterdata files)")
 	perGroup, hours, seed := cohortFlags(fs)
+	var obsFlags cli.ObsFlags
+	obsFlags.RegisterBasic(fs)
 	if err := fs.Parse(args); err != nil {
 		return cli.Usage(err)
 	}
-	traces, err := workload.NewCohort(workload.CohortConfig{PerGroup: *perGroup, Hours: *hours, Seed: *seed})
-	if err != nil {
-		return err
-	}
-	events, err := gtrace.SynthesizeTaskEvents(traces, gtrace.DefaultCapacity)
-	if err != nil {
-		return err
-	}
-	f, err := os.Create(*out)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	write := gtrace.WriteTaskEvents
-	if *compress {
-		write = gtrace.WriteTaskEventsGZ
-	}
-	if err := write(f, events); err != nil {
-		return err
-	}
-	fmt.Fprintf(w, "wrote %d task events for %d users to %s\n", len(events), len(traces), *out)
-	return nil
+	return obsFlags.Run("ritrace", args, stderr, func(sess *cli.ObsSession) error {
+		if mf := sess.Manifest(); mf != nil {
+			mf.Seed = *seed
+		}
+		traces, err := workload.NewCohort(workload.CohortConfig{PerGroup: *perGroup, Hours: *hours, Seed: *seed})
+		if err != nil {
+			return err
+		}
+		events, err := gtrace.SynthesizeTaskEvents(traces, gtrace.DefaultCapacity)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		write := gtrace.WriteTaskEvents
+		if *compress {
+			write = gtrace.WriteTaskEventsGZ
+		}
+		if err := write(f, events); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %d task events for %d users to %s\n", len(events), len(traces), *out)
+		return nil
+	})
 }
 
-func inspect(args []string, w io.Writer) error {
+func inspect(args []string, w, stderr io.Writer) error {
 	fs := flag.NewFlagSet("inspect", flag.ContinueOnError)
 	path := fs.String("trace", "", "EC2-usage-log CSV to inspect")
+	var obsFlags cli.ObsFlags
+	obsFlags.RegisterBasic(fs)
 	if err := fs.Parse(args); err != nil {
 		return cli.Usage(err)
 	}
-	if *path == "" {
-		return fmt.Errorf("pass -trace FILE")
-	}
-	f, err := os.Open(*path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	tr, err := gtrace.ReadEC2LogAuto(f)
-	if err != nil {
-		return err
-	}
-	fl := tr.Floats()
-	fmt.Fprintf(w, "user: %s\nhours: %d\ntotal instance-hours: %d\npeak demand: %d\nmean: %.2f\nsigma/mu: %.2f\ngroup: %v\n",
-		tr.User, tr.Len(), tr.TotalDemand(), tr.MaxDemand(), stats.Mean(fl), tr.FluctuationRatio(), workload.Classify(tr))
-	edges, counts, err := stats.Histogram(fl, 8)
-	if err == nil {
-		fmt.Fprintln(w, "\ndemand histogram:")
-		fmt.Fprint(w, stats.RenderHistogram(edges, counts, 40))
-	}
-	return nil
+	return obsFlags.Run("ritrace", args, stderr, func(sess *cli.ObsSession) error {
+		if *path == "" {
+			return fmt.Errorf("pass -trace FILE")
+		}
+		f, err := os.Open(*path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tr, err := gtrace.ReadEC2LogAuto(f)
+		if err != nil {
+			return err
+		}
+		fl := tr.Floats()
+		fmt.Fprintf(w, "user: %s\nhours: %d\ntotal instance-hours: %d\npeak demand: %d\nmean: %.2f\nsigma/mu: %.2f\ngroup: %v\n",
+			tr.User, tr.Len(), tr.TotalDemand(), tr.MaxDemand(), stats.Mean(fl), tr.FluctuationRatio(), workload.Classify(tr))
+		edges, counts, err := stats.Histogram(fl, 8)
+		if err == nil {
+			fmt.Fprintln(w, "\ndemand histogram:")
+			fmt.Fprint(w, stats.RenderHistogram(edges, counts, 40))
+		}
+		return nil
+	})
 }
 
-func convert(args []string, w io.Writer) error {
+func convert(args []string, w, stderr io.Writer) error {
 	fs := flag.NewFlagSet("convert", flag.ContinueOnError)
 	in := fs.String("in", "", "task-events CSV to convert")
 	out := fs.String("out", ".", "output directory for per-user EC2 logs")
 	cpu := fs.Float64("cpu", gtrace.DefaultCapacity.CPU, "per-instance CPU capacity")
 	mem := fs.Float64("mem", gtrace.DefaultCapacity.Memory, "per-instance memory capacity")
+	var obsFlags cli.ObsFlags
+	obsFlags.RegisterBasic(fs)
 	if err := fs.Parse(args); err != nil {
 		return cli.Usage(err)
 	}
-	if *in == "" {
-		return fmt.Errorf("pass -in FILE")
-	}
-	f, err := os.Open(*in)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	events, err := gtrace.ReadTaskEventsAuto(f)
-	if err != nil {
-		return err
-	}
-	traces, err := gtrace.AggregateByUser(events, gtrace.InstanceCapacity{CPU: *cpu, Memory: *mem, Disk: 1})
-	if err != nil {
-		return err
-	}
-	if err := os.MkdirAll(*out, 0o755); err != nil {
-		return err
-	}
-	for _, tr := range traces {
-		path := filepath.Join(*out, tr.User+".csv")
-		g, err := os.Create(path)
+	return obsFlags.Run("ritrace", args, stderr, func(sess *cli.ObsSession) error {
+		if *in == "" {
+			return fmt.Errorf("pass -in FILE")
+		}
+		f, err := os.Open(*in)
 		if err != nil {
 			return err
 		}
-		if err := gtrace.WriteEC2Log(g, tr); err != nil {
-			g.Close()
+		defer f.Close()
+		events, err := gtrace.ReadTaskEventsAuto(f)
+		if err != nil {
 			return err
 		}
-		if err := g.Close(); err != nil {
+		traces, err := gtrace.AggregateByUser(events, gtrace.InstanceCapacity{CPU: *cpu, Memory: *mem, Disk: 1})
+		if err != nil {
 			return err
 		}
-	}
-	fmt.Fprintf(w, "converted %d events into %d user traces in %s\n", len(events), len(traces), *out)
-	return nil
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			return err
+		}
+		for _, tr := range traces {
+			path := filepath.Join(*out, tr.User+".csv")
+			g, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := gtrace.WriteEC2Log(g, tr); err != nil {
+				g.Close()
+				return err
+			}
+			if err := g.Close(); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(w, "converted %d events into %d user traces in %s\n", len(events), len(traces), *out)
+		return nil
+	})
 }

@@ -1,0 +1,221 @@
+package cli
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"rimarket/internal/obs"
+)
+
+// ObsFlags is the shared observability flag set: every binary that
+// registers it gets the same -metrics/-pprof (and, for long-running
+// commands, -progress) vocabulary, and the same session lifecycle via
+// Start/Finish.
+type ObsFlags struct {
+	// Metrics is the run-manifest output path (-metrics=path.json).
+	Metrics string
+	// Progress enables the stderr progress ticker (-progress).
+	Progress bool
+	// Pprof is the listen address for live profiling (-pprof=addr).
+	Pprof string
+}
+
+// Register installs all three flags on fs.
+func (f *ObsFlags) Register(fs *flag.FlagSet) {
+	f.RegisterBasic(fs)
+	fs.BoolVar(&f.Progress, "progress", false, "print a progress line (cells/sec, ETA) to stderr every 2s")
+}
+
+// RegisterBasic installs -metrics and -pprof only — for commands with
+// no grid fan-out, where a progress ticker has nothing to report.
+func (f *ObsFlags) RegisterBasic(fs *flag.FlagSet) {
+	fs.StringVar(&f.Metrics, "metrics", "", "write a run manifest (flags, seed, counters, timings) to this JSON `path`")
+	fs.StringVar(&f.Pprof, "pprof", "", "serve net/http/pprof on this `address` (e.g. localhost:6060) for live profiling")
+}
+
+// enabled reports whether any observability was requested.
+func (f *ObsFlags) enabled() bool {
+	return f.Metrics != "" || f.Progress || f.Pprof != ""
+}
+
+// progressInterval is how often the -progress ticker prints.
+const progressInterval = 2 * time.Second
+
+// ObsSession is one binary invocation's observability: the metrics
+// its context carries, the manifest written at exit, the progress
+// ticker, and the pprof listener. With no observability flags set the
+// session is inert and Finish just forwards the run error, so commands
+// wire it unconditionally:
+//
+//	sess, err := obsFlags.Start("riexp", args, stderr)
+//	if err != nil { return err }
+//	err = run(sess.Context(ctx), ...)
+//	return sess.Finish(err)
+type ObsSession struct {
+	tool         string
+	metrics      *obs.Metrics
+	manifest     *obs.Manifest
+	manifestPath string
+	stderr       io.Writer
+	progress     *obs.Progress
+
+	pprofLn  net.Listener
+	pprofSrv *http.Server
+
+	tickStop chan struct{}
+	tickDone chan struct{}
+}
+
+// Start opens the session the flags describe. Progress lines go to
+// stderr. A bad -pprof address (unparseable or unbindable) fails here,
+// before any experiment work runs. tool and args are recorded in the
+// manifest verbatim.
+func (f *ObsFlags) Start(tool string, args []string, stderr io.Writer) (*ObsSession, error) {
+	s := &ObsSession{tool: tool, stderr: stderr}
+	if !f.enabled() {
+		return s, nil
+	}
+	s.metrics = obs.New(obs.SystemClock)
+	if f.Metrics != "" {
+		s.manifest = obs.NewManifest(tool, args, obs.SystemClock)
+		s.manifestPath = f.Metrics
+	}
+	if f.Pprof != "" {
+		ln, err := net.Listen("tcp", f.Pprof)
+		if err != nil {
+			return nil, fmt.Errorf("pprof listen on %q: %w", f.Pprof, err)
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		s.pprofLn = ln
+		s.pprofSrv = &http.Server{Handler: mux}
+		srv := s.pprofSrv // local copy: shutdown nils the field concurrently
+		go func() {
+			// Serve returns http.ErrServerClosed when Finish closes the
+			// server; any other error just ends live profiling early.
+			_ = srv.Serve(ln)
+		}()
+		fmt.Fprintf(stderr, "%s: pprof listening on http://%s/debug/pprof/\n", tool, ln.Addr())
+	}
+	if f.Progress {
+		s.progress = obs.NewProgress(s.metrics)
+		s.tickStop = make(chan struct{})
+		s.tickDone = make(chan struct{})
+		go s.tick()
+	}
+	if s.manifest != nil {
+		// Fail fast on an unwritable manifest path: probe by writing the
+		// (not yet finalized) manifest now rather than discovering at the
+		// end of an hour-long grid that the directory does not exist.
+		if err := s.manifest.WriteFile(s.manifestPath); err != nil {
+			s.shutdown()
+			return nil, fmt.Errorf("metrics manifest: %w", err)
+		}
+	}
+	return s, nil
+}
+
+// Run is the one-shot form of Start/Finish for commands with no
+// mid-run manifest filling: it opens the session, runs fn with it, and
+// finishes with fn's error.
+func (f *ObsFlags) Run(tool string, args []string, stderr io.Writer, fn func(sess *ObsSession) error) error {
+	sess, err := f.Start(tool, args, stderr)
+	if err != nil {
+		return err
+	}
+	return sess.Finish(fn(sess))
+}
+
+// tick prints a progress line every progressInterval until stopped.
+// No context here on purpose: the ticker must keep reporting while the
+// pipeline drains a cancellation, and Finish always stops it.
+func (s *ObsSession) tick() {
+	defer close(s.tickDone)
+	t := time.NewTicker(progressInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.tickStop:
+			return
+		case <-t.C:
+			fmt.Fprintf(s.stderr, "%s: %s\n", s.tool, s.progress.Line())
+		}
+	}
+}
+
+// Context returns ctx carrying the session's metrics (ctx unchanged
+// for an inert session).
+func (s *ObsSession) Context(ctx context.Context) context.Context {
+	return obs.WithMetrics(ctx, s.metrics)
+}
+
+// Metrics returns the session's metrics, nil when observability is
+// off.
+func (s *ObsSession) Metrics() *obs.Metrics { return s.metrics }
+
+// Manifest returns the run manifest for the tool to fill (Seed,
+// Config, Trace), or nil when -metrics was not given.
+func (s *ObsSession) Manifest() *obs.Manifest { return s.manifest }
+
+// Engine returns the engine-metrics hook for simulate.Config, nil
+// when observability is off.
+func (s *ObsSession) Engine() *obs.EngineMetrics { return s.metrics.EngineHook() }
+
+// PprofAddr returns the bound pprof address ("" when -pprof is off) —
+// the actual address, so -pprof=localhost:0 is testable.
+func (s *ObsSession) PprofAddr() string {
+	if s.pprofLn == nil {
+		return ""
+	}
+	return s.pprofLn.Addr().String()
+}
+
+// shutdown stops the ticker and pprof server.
+func (s *ObsSession) shutdown() {
+	if s.tickStop != nil {
+		close(s.tickStop)
+		<-s.tickDone
+		s.tickStop = nil
+	}
+	if s.pprofSrv != nil {
+		s.pprofSrv.Close()
+		s.pprofSrv = nil
+	}
+}
+
+// Finish ends the session: stops the ticker (printing one final
+// progress line so short runs still report), shuts down pprof, and
+// finalizes and writes the manifest with the run's outcome. It returns
+// runErr, joined with the manifest write error if that also failed —
+// the run error keeps precedence in ExitCode either way.
+func (s *ObsSession) Finish(runErr error) error {
+	s.shutdown()
+	if s.progress != nil {
+		fmt.Fprintf(s.stderr, "%s: %s\n", s.tool, s.progress.Line())
+	}
+	if s.manifest == nil {
+		return runErr
+	}
+	s.manifest.FillBuildInfo()
+	s.manifest.CaptureMem()
+	errText := ""
+	if runErr != nil {
+		errText = runErr.Error()
+	}
+	s.manifest.Finalize(obs.SystemClock, s.metrics, ExitCode(runErr), errText)
+	if werr := s.manifest.WriteFile(s.manifestPath); werr != nil {
+		return errors.Join(runErr, fmt.Errorf("metrics manifest: %w", werr))
+	}
+	return runErr
+}

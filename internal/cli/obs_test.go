@@ -1,0 +1,189 @@
+package cli
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rimarket/internal/obs"
+)
+
+func TestObsFlagsRegister(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	var f ObsFlags
+	f.Register(fs)
+	if err := fs.Parse([]string{"-metrics", "m.json", "-progress", "-pprof", "localhost:0"}); err != nil {
+		t.Fatal(err)
+	}
+	if f.Metrics != "m.json" || !f.Progress || f.Pprof != "localhost:0" {
+		t.Fatalf("parsed flags = %+v", f)
+	}
+
+	fs2 := flag.NewFlagSet("t", flag.ContinueOnError)
+	fs2.SetOutput(io.Discard)
+	var f2 ObsFlags
+	f2.RegisterBasic(fs2)
+	if err := fs2.Parse([]string{"-progress"}); err == nil {
+		t.Fatal("RegisterBasic should not define -progress")
+	}
+}
+
+func TestObsSessionInert(t *testing.T) {
+	var f ObsFlags
+	sess, err := f.Start("ritest", nil, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if sess.Context(ctx) != ctx {
+		t.Error("inert session should return the context unchanged")
+	}
+	if sess.Metrics() != nil || sess.Manifest() != nil || sess.Engine() != nil || sess.PprofAddr() != "" {
+		t.Error("inert session exposes live components")
+	}
+	sentinel := errors.New("boom")
+	if got := sess.Finish(sentinel); got != sentinel {
+		t.Errorf("Finish = %v, want the run error unchanged", got)
+	}
+}
+
+func TestObsSessionManifest(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "manifest.json")
+	f := ObsFlags{Metrics: path}
+	args := []string{"-experiment", "cohort"}
+	sess, err := f.Start("ritest", args, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The probe write happens at Start, so a crash mid-run still leaves
+	// a (non-finalized) manifest behind.
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("manifest not written at Start: %v", err)
+	}
+
+	m := obs.FromContext(sess.Context(context.Background()))
+	if m == nil {
+		t.Fatal("session context carries no metrics")
+	}
+	m.JobsTotal.Add(10)
+	m.JobsDone.Add(10)
+	sess.Manifest().Seed = 2018
+
+	if err := sess.Finish(nil); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mf obs.Manifest
+	if err := json.Unmarshal(b, &mf); err != nil {
+		t.Fatal(err)
+	}
+	if mf.Tool != "ritest" || mf.Seed != 2018 || mf.Outcome.ExitCode != ExitOK {
+		t.Errorf("manifest = tool %q seed %d exit %d", mf.Tool, mf.Seed, mf.Outcome.ExitCode)
+	}
+	if len(mf.Args) != 2 || mf.Args[0] != "-experiment" {
+		t.Errorf("manifest args = %v", mf.Args)
+	}
+	if mf.GoVersion == "" || mf.Mem == nil {
+		t.Error("finalized manifest missing build info or mem stats")
+	}
+	if mf.Metrics == nil || mf.Metrics.JobsDone != 10 {
+		t.Errorf("manifest metrics = %+v", mf.Metrics)
+	}
+	if mf.End.Before(mf.Start) || mf.WallNs < 0 {
+		t.Errorf("manifest times: start %v end %v wall %d", mf.Start, mf.End, mf.WallNs)
+	}
+}
+
+func TestObsSessionManifestErrorOutcome(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.json")
+	f := ObsFlags{Metrics: path}
+	sess, err := f.Start("ritest", nil, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runErr := fmt.Errorf("trace load: %w", ErrPartial)
+	if got := sess.Finish(runErr); got != runErr {
+		t.Errorf("Finish = %v, want the run error", got)
+	}
+	b, _ := os.ReadFile(path)
+	var mf obs.Manifest
+	if err := json.Unmarshal(b, &mf); err != nil {
+		t.Fatal(err)
+	}
+	if mf.Outcome.ExitCode != ExitPartial || !strings.Contains(mf.Outcome.Error, "partial") {
+		t.Errorf("outcome = %+v, want partial exit with error text", mf.Outcome)
+	}
+}
+
+func TestObsSessionBadManifestPath(t *testing.T) {
+	f := ObsFlags{Metrics: filepath.Join(t.TempDir(), "no", "dir", "m.json")}
+	if _, err := f.Start("ritest", nil, io.Discard); err == nil {
+		t.Fatal("unwritable -metrics path should fail at Start")
+	}
+}
+
+func TestObsSessionPprof(t *testing.T) {
+	f := ObsFlags{Pprof: "127.0.0.1:0"}
+	sess, err := f.Start("ritest", nil, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := sess.PprofAddr()
+	if addr == "" {
+		t.Fatal("pprof session reports no address")
+	}
+	resp, err := http.Get("http://" + addr + "/debug/pprof/")
+	if err != nil {
+		t.Fatalf("pprof index unreachable: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(body, []byte("goroutine")) {
+		t.Errorf("pprof index: status %d body %.80s", resp.StatusCode, body)
+	}
+	if err := sess.Finish(nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + addr + "/debug/pprof/"); err == nil {
+		t.Error("pprof server still serving after Finish")
+	}
+}
+
+func TestObsSessionBadPprofAddr(t *testing.T) {
+	f := ObsFlags{Pprof: "not-a-valid-listen-address:99999"}
+	if _, err := f.Start("ritest", nil, io.Discard); err == nil {
+		t.Fatal("bad -pprof address should fail at Start")
+	}
+}
+
+func TestObsSessionProgress(t *testing.T) {
+	var buf bytes.Buffer
+	f := ObsFlags{Progress: true}
+	sess, err := f.Start("ritest", nil, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sess.Metrics()
+	m.JobsTotal.Add(4)
+	m.JobsDone.Add(4)
+	// Don't wait for the 2s ticker: Finish always prints a final line.
+	if err := sess.Finish(nil); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "ritest: ") || !strings.Contains(out, "jobs 4/4") {
+		t.Errorf("progress output = %q", out)
+	}
+}

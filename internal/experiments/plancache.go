@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"rimarket/internal/core"
+	"rimarket/internal/obs"
 	"rimarket/internal/pricing"
 	"rimarket/internal/purchasing"
 	"rimarket/internal/simulate"
@@ -101,6 +102,8 @@ func PlanTraces(ctx context.Context, cfg Config, traces []workload.Trace) (*Coho
 }
 
 func newPlan(ctx context.Context, cfg Config, traces []workload.Trace) (*CohortPlan, error) {
+	sp := obs.StartSpan(ctx, "plan")
+	defer sp.End()
 	p := &CohortPlan{
 		cfg:   cfg,
 		users: make([]PlannedUser, len(traces)),
@@ -145,16 +148,26 @@ func (p *CohortPlan) Users() []PlannedUser { return p.users }
 // the cache invariant on CohortPlan.keeps). A cancelled or failed
 // computation is never cached.
 func (p *CohortPlan) KeepStats(ctx context.Context, engCfg simulate.Config) ([]KeepStat, error) {
+	m := obs.FromContext(ctx)
 	p.mu.Lock()
 	cached, ok := p.keeps[engCfg.Instance]
 	p.mu.Unlock()
 	if ok {
+		if m != nil {
+			m.BaselineHits.Add(1)
+		}
 		return cached, nil
 	}
+	if m != nil {
+		m.BaselineMisses.Add(1)
+		engCfg.Metrics = m.EngineHook()
+	}
+	sp := obs.StartSpan(ctx, "baseline")
+	defer sp.End()
 	out := make([]KeepStat, len(p.users))
 	err := runIndexed(ctx, p.cfg.Parallelism, len(p.users), func(i int) error {
 		u := &p.users[i]
-		run, err := simulateRun(u.Trace.Demand, u.NewRes, engCfg, core.KeepReserved{})
+		run, _, err := obsRun(m, u.Trace.Demand, u.NewRes, engCfg, core.KeepReserved{})
 		if err != nil {
 			return fmt.Errorf("experiments: user %s: %w", u.Trace.User, err)
 		}

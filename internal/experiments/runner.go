@@ -9,6 +9,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"rimarket/internal/obs"
 	"rimarket/internal/simulate"
 	"rimarket/internal/stats"
 )
@@ -16,6 +17,25 @@ import (
 // simulateRun indirects the cost engine so tests can count or fail
 // invocations; production code always calls the real simulate.Run.
 var simulateRun = simulate.Run
+
+// obsRun is the drivers' timed engine call: one clock pair around
+// simulateRun feeding the run-latency histogram, so the engine itself
+// never reads a clock (floatdet forbids it there). With observability
+// off (nil m) it is exactly simulateRun. Returns the run's wall time
+// in nanoseconds for per-cell attribution.
+func obsRun(m *obs.Metrics, demand, newRes []int, cfg simulate.Config, policy simulate.SellingPolicy) (simulate.Result, int64, error) {
+	if m == nil {
+		res, err := simulateRun(demand, newRes, cfg, policy)
+		return res, 0, err
+	}
+	start := m.Now()
+	res, err := simulateRun(demand, newRes, cfg, policy)
+	ns := m.Now().Sub(start).Nanoseconds()
+	if err == nil {
+		m.EngineRunNs.Observe(ns)
+	}
+	return res, ns, err
+}
 
 // workerCount resolves the Config.Parallelism contract: non-positive
 // means GOMAXPROCS, and there is never more than one worker per job.
@@ -115,6 +135,13 @@ func runIndexedDone(ctx context.Context, parallelism, n int, fn func(i int) erro
 	if n <= 0 {
 		return done, ctx.Err()
 	}
+	// Job accounting is observation only: the counters feed progress
+	// lines and the manifest, never scheduling, so the pool's claiming
+	// order and lowest-index-error rule are untouched.
+	m := obs.FromContext(ctx)
+	if m != nil {
+		m.JobsTotal.Add(int64(n))
+	}
 	workers := workerCount(parallelism, n)
 	errs := make([]error, n)
 	var (
@@ -148,6 +175,9 @@ func runIndexedDone(ctx context.Context, parallelism, n int, fn func(i int) erro
 					}
 				} else {
 					done[i] = true
+					if m != nil {
+						m.JobsDone.Add(1)
+					}
 				}
 			}
 		}()
@@ -225,7 +255,9 @@ func (p *CohortPlan) RunGrid(ctx context.Context, cells []Cell) ([]CellResult, e
 	}
 	users := len(p.users)
 	out := make([]CellResult, len(cells))
+	names := make([]string, len(cells))
 	for i := range out {
+		names[i] = cells[i].Name
 		out[i] = CellResult{
 			Name: cells[i].Name,
 			Cost: make([]float64, users),
@@ -233,13 +265,31 @@ func (p *CohortPlan) RunGrid(ctx context.Context, cells []Cell) ([]CellResult, e
 			Sold: make([]int, users),
 		}
 	}
+	// Observability: time the grid as a span, track per-cell progress,
+	// and hand each cell's engine runs the metrics hook via a config
+	// copy (the Metrics field changes no engine result — pinned by the
+	// differential suite). All of it is inert when the context carries
+	// no metrics.
+	m := obs.FromContext(ctx)
+	sp := obs.StartSpan(ctx, "grid")
+	defer sp.End()
+	tracker := m.StartGrid(names, users)
+	defer tracker.Finish()
+	engs := make([]simulate.Config, len(cells))
+	for i := range cells {
+		engs[i] = cells[i].Engine
+		if m != nil {
+			engs[i].Metrics = m.EngineHook()
+		}
+	}
 	done, err := runIndexedDone(ctx, p.cfg.Parallelism, len(cells)*users, func(j int) error {
 		ci, ui := j/users, j%users
 		u := &p.users[ui]
-		run, err := simulateRun(u.Trace.Demand, u.NewRes, cells[ci].Engine, cells[ci].Policy)
+		run, ns, err := obsRun(m, u.Trace.Demand, u.NewRes, engs[ci], cells[ci].Policy)
 		if err != nil {
 			return fmt.Errorf("experiments: cell %s: user %s: %w", cells[ci].Name, u.Trace.User, err)
 		}
+		tracker.JobDone(ci, ns)
 		cell := &out[ci]
 		cell.Cost[ui] = run.Cost.Total()
 		cell.Sold[ui] = run.SoldCount()

@@ -1,0 +1,36 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is the observability layer's single source of wall time. Every
+// timestamp and duration in this package — spans, grid wall times,
+// progress rates, manifest start/end — flows through a Clock value, so
+// tests substitute a FakeClock and get byte-stable output, and rilint's
+// floatdet analyzer can enforce that nothing else in internal/obs
+// touches the wall clock.
+type Clock func() time.Time
+
+// SystemClock is the real wall clock, and the only sanctioned
+// time.Now reference in this package.
+//
+//rilint:allow floatdet -- the Clock seam itself; every other obs time read goes through it
+var SystemClock Clock = time.Now
+
+// FakeClock returns a deterministic Clock that starts at start and
+// advances by step on every read. It is safe for concurrent use, which
+// matters for progress/manifest tests that read the clock from a
+// ticker goroutine.
+func FakeClock(start time.Time, step time.Duration) Clock {
+	var mu sync.Mutex
+	now := start
+	return func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		t := now
+		now = now.Add(step)
+		return t
+	}
+}

@@ -1,0 +1,24 @@
+package obs
+
+import "context"
+
+// ctxKey is the private context key for a run's *Metrics.
+type ctxKey struct{}
+
+// WithMetrics returns a context carrying m. The experiment drivers
+// pick it up with FromContext, so observability rides the same context
+// that already threads cancellation through the pipeline and no
+// signature outside the drivers changes.
+func WithMetrics(ctx context.Context, m *Metrics) context.Context {
+	if m == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, m)
+}
+
+// FromContext returns the context's *Metrics, or nil when
+// observability is off. Callers treat nil as "record nothing".
+func FromContext(ctx context.Context) *Metrics {
+	m, _ := ctx.Value(ctxKey{}).(*Metrics)
+	return m
+}

@@ -1,0 +1,34 @@
+package obs
+
+import "sync/atomic"
+
+// Counter is a monotone event counter. The zero value is ready to use;
+// Add and Value are lock-free and allocation-free, so counters can sit
+// directly on the worker pool's job path. Counter is used by value
+// inside Metrics — all hooks receive *Metrics (or *EngineMetrics) and
+// nil-check it, which is how "observability off" costs one branch.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a last-write-wins instantaneous value (e.g. the number of
+// in-flight jobs). Like Counter, the zero value is ready and all
+// methods are lock-free.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores n.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the gauge by n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }

@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestGridTracker(t *testing.T) {
+	m := New(FakeClock(time.Unix(100, 0).UTC(), time.Second))
+	tr := m.StartGrid([]string{"keep", "sell"}, 2)
+
+	tr.JobDone(0, 10)
+	tr.JobDone(1, 20)
+	tr.JobDone(0, 30) // completes cell 0
+	if got := m.CellsDone.Value(); got != 1 {
+		t.Fatalf("CellsDone after cell 0 = %d, want 1", got)
+	}
+	tr.JobDone(1, 40) // completes cell 1
+	tr.Finish()
+	tr.Finish() // idempotent
+
+	s := m.Snapshot()
+	if s.CellsTotal != 2 || s.CellsDone != 2 {
+		t.Fatalf("cells %d/%d, want 2/2", s.CellsDone, s.CellsTotal)
+	}
+	if len(s.Cells) != 2 {
+		t.Fatalf("recorded cells = %+v", s.Cells)
+	}
+	keep, sell := s.Cells[0], s.Cells[1]
+	if keep.Name != "keep" || keep.Jobs != 2 || keep.EngineNs != 40 {
+		t.Errorf("keep cell = %+v", keep)
+	}
+	if sell.Name != "sell" || sell.Jobs != 2 || sell.EngineNs != 60 {
+		t.Errorf("sell cell = %+v", sell)
+	}
+	// Clock reads: StartGrid, cell-0 wall, cell-1 wall, at 1s steps.
+	if keep.WallNs != (1 * time.Second).Nanoseconds() {
+		t.Errorf("keep wall = %d", keep.WallNs)
+	}
+	if sell.WallNs != (2 * time.Second).Nanoseconds() {
+		t.Errorf("sell wall = %d", sell.WallNs)
+	}
+}
+
+func TestGridTrackerPartial(t *testing.T) {
+	// A cancelled grid flushes partial job counts with zero wall time
+	// for incomplete cells.
+	m := New(testClock())
+	tr := m.StartGrid([]string{"only"}, 3)
+	tr.JobDone(0, 7)
+	tr.Finish()
+	s := m.Snapshot()
+	if s.CellsDone != 0 {
+		t.Fatalf("CellsDone = %d, want 0", s.CellsDone)
+	}
+	if len(s.Cells) != 1 || s.Cells[0].Jobs != 1 || s.Cells[0].WallNs != 0 {
+		t.Fatalf("cells = %+v", s.Cells)
+	}
+}

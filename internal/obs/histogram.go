@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// histBuckets is the number of power-of-two latency buckets. Bucket i
+// holds observations v (in nanoseconds) with 2^(i-1) < v <= 2^i-ish —
+// precisely, bucket index is bits.Len64(v), so bucket 0 is v==0 and
+// bucket 47 holds everything from ~70 hours up. Power-of-two buckets
+// trade resolution for a fixed-size, allocation-free, lock-free
+// structure: recording is one AddInt64 on a flat array plus two more
+// for count/sum.
+const histBuckets = 48
+
+// Histogram is a fixed-bucket latency histogram safe for concurrent
+// recording and snapshotting. The zero value is ready to use. Like
+// Counter it is embedded by value in Metrics; record through a
+// nil-checked *Metrics.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// bucketIndex maps a nanosecond observation to its bucket.
+func bucketIndex(ns int64) int {
+	if ns <= 0 {
+		return 0
+	}
+	i := bits.Len64(uint64(ns))
+	if i >= histBuckets {
+		return histBuckets - 1
+	}
+	return i
+}
+
+// Observe records one observation of ns nanoseconds. Negative values
+// are clamped to zero (a FakeClock stepping backwards is a test bug,
+// not something to corrupt the distribution with).
+func (h *Histogram) Observe(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(ns)
+	h.buckets[bucketIndex(ns)].Add(1)
+}
+
+// BucketCount is one non-empty histogram bucket in a snapshot:
+// observations v with v <= UpperNs that fell in no lower bucket.
+type BucketCount struct {
+	UpperNs int64 `json:"upper_ns"`
+	Count   int64 `json:"count"`
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram. Buckets
+// are listed sparsely (non-empty only) in increasing UpperNs order.
+type HistogramSnapshot struct {
+	Count   int64         `json:"count"`
+	SumNs   int64         `json:"sum_ns"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// upperBound returns the inclusive upper edge of bucket i.
+func upperBound(i int) int64 {
+	if i == 0 {
+		return 0
+	}
+	if i >= 63 {
+		return int64(1)<<62 + (int64(1)<<62 - 1)
+	}
+	return int64(1)<<i - 1
+}
+
+// Snapshot copies the histogram. Each bucket is read atomically, so a
+// snapshot taken during concurrent recording may be a few observations
+// behind count/sum but never corrupt; after the recorders quiesce it
+// is exact.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.count.Load(), SumNs: h.sum.Load()}
+	for i := 0; i < histBuckets; i++ {
+		if n := h.buckets[i].Load(); n > 0 {
+			s.Buckets = append(s.Buckets, BucketCount{UpperNs: upperBound(i), Count: n})
+		}
+	}
+	return s
+}

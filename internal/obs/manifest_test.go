@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestManifestGolden pins the manifest JSON schema byte-for-byte. The
+// FakeClock normalizes every timestamp and duration, and build info /
+// memory capture are skipped, so the serialization is fully
+// deterministic — any field rename, reorder, or type change shows up
+// as a golden diff and demands a ManifestSchema bump.
+func TestManifestGolden(t *testing.T) {
+	clock := FakeClock(time.Date(2018, 6, 1, 12, 0, 0, 0, time.UTC), time.Minute)
+	m := New(clock)
+	ctx := WithMetrics(context.Background(), m)
+
+	mf := NewManifest("riexp", []string{"-experiment", "cohort", "-seed", "2018"}, clock)
+
+	sp := StartSpan(ctx, "grid")
+	m.JobsTotal.Add(4)
+	tr := m.StartGrid([]string{"keep-reserved", "sell-a3t4"}, 2)
+	for job, engineNs := range []int64{1500, 2500, 900, 4100} {
+		m.JobsDone.Add(1)
+		m.EngineRunNs.Observe(engineNs)
+		m.Engine.RecordRun(720, 3, 1)
+		tr.JobDone(job/2, engineNs)
+	}
+	tr.Finish()
+	sp.End()
+	m.BaselineHits.Add(3)
+	m.BaselineMisses.Add(1)
+
+	mf.Seed = 2018
+	mf.Config = map[string]any{"experiment": "cohort", "pergroup": 5}
+	mf.Trace = &TraceIngest{
+		Loaded:  []string{"u1.csv", "u2.csv"},
+		Skipped: []SkippedFile{{File: "u3.csv", Err: "gzip: invalid header"}},
+	}
+	mf.Finalize(clock, m, 0, "")
+
+	var buf bytes.Buffer
+	if err := mf.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "manifest.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("manifest drifted from golden (run with -update after a deliberate schema change, and bump ManifestSchema):\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestManifestBuildInfoAndMem(t *testing.T) {
+	clock := FakeClock(time.Unix(0, 0).UTC(), time.Second)
+	mf := NewManifest("ritest", nil, clock)
+	mf.FillBuildInfo()
+	if mf.GoVersion == "" {
+		t.Error("FillBuildInfo left GoVersion empty")
+	}
+	mf.CaptureMem()
+	if mf.Mem == nil || mf.Mem.Mallocs == 0 {
+		t.Errorf("CaptureMem recorded nothing: %+v", mf.Mem)
+	}
+	mf.Finalize(clock, nil, 3, "partial trace ingestion")
+	if mf.WallNs != time.Second.Nanoseconds() {
+		t.Errorf("WallNs = %d, want 1s", mf.WallNs)
+	}
+	if mf.Outcome.ExitCode != 3 || mf.Outcome.Error == "" {
+		t.Errorf("outcome = %+v", mf.Outcome)
+	}
+	if mf.Metrics != nil {
+		t.Error("Finalize(nil metrics) should leave Metrics nil")
+	}
+	if mf.Args == nil {
+		t.Error("nil args should normalize to an empty slice for stable JSON")
+	}
+}
+
+func TestManifestWriteFile(t *testing.T) {
+	clock := FakeClock(time.Unix(0, 0).UTC(), time.Second)
+	mf := NewManifest("ritest", []string{}, clock)
+	mf.Finalize(clock, nil, 0, "")
+
+	path := filepath.Join(t.TempDir(), "manifest.json")
+	if err := mf.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Manifest
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatalf("manifest does not round-trip: %v", err)
+	}
+	if back.Schema != ManifestSchema || back.Tool != "ritest" {
+		t.Errorf("round-trip = schema %d tool %q", back.Schema, back.Tool)
+	}
+
+	if err := mf.WriteFile(filepath.Join(t.TempDir(), "no", "such", "dir", "m.json")); err == nil {
+		t.Error("WriteFile into a missing directory should fail")
+	}
+}

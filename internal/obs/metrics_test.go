@@ -1,0 +1,224 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testClock() Clock {
+	return FakeClock(time.Unix(0, 0).UTC(), time.Millisecond)
+}
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	if c.Value() != 0 {
+		t.Fatalf("zero Counter has value %d", c.Value())
+	}
+	c.Add(3)
+	c.Add(4)
+	if got := c.Value(); got != 7 {
+		t.Fatalf("Counter value = %d, want 7", got)
+	}
+
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("Gauge value = %d, want 7", got)
+	}
+	g.Set(2)
+	if got := g.Value(); got != 2 {
+		t.Fatalf("Gauge after Set = %d, want 2", got)
+	}
+}
+
+func TestBucketIndex(t *testing.T) {
+	cases := []struct {
+		ns   int64
+		want int
+	}{
+		{0, 0},
+		{1, 1},
+		{2, 2},
+		{3, 2},
+		{4, 3},
+		{1023, 10},
+		{1024, 11},
+		{1 << 46, 47},
+		{1<<62 + 5, 47}, // clamped to the top bucket
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.ns); got != c.want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.ns, got, c.want)
+		}
+	}
+	// Every bucket's upper bound must land back in that bucket (except
+	// the open-ended top), so snapshot edges are faithful.
+	for i := 1; i < histBuckets-1; i++ {
+		if got := bucketIndex(upperBound(i)); got != i {
+			t.Errorf("bucketIndex(upperBound(%d)) = %d", i, got)
+		}
+		if got := bucketIndex(upperBound(i) + 1); got != i+1 {
+			t.Errorf("bucketIndex(upperBound(%d)+1) = %d, want %d", i, got, i+1)
+		}
+	}
+}
+
+func TestHistogramSnapshot(t *testing.T) {
+	var h Histogram
+	for _, ns := range []int64{0, 1, 5, 5, 1000, -7} {
+		h.Observe(ns)
+	}
+	s := h.Snapshot()
+	if s.Count != 6 {
+		t.Fatalf("Count = %d, want 6", s.Count)
+	}
+	if s.SumNs != 1011 {
+		t.Fatalf("SumNs = %d, want 1011", s.SumNs)
+	}
+	// Sparse buckets: 0 (ns=0 and the clamped -7), 1 (ns=1), 7 (5,5), 10 (1000).
+	want := []BucketCount{{0, 2}, {1, 1}, {7, 2}, {1023, 1}}
+	if len(s.Buckets) != len(want) {
+		t.Fatalf("buckets = %+v, want %+v", s.Buckets, want)
+	}
+	for i, b := range s.Buckets {
+		if b != want[i] {
+			t.Fatalf("bucket[%d] = %+v, want %+v", i, b, want[i])
+		}
+	}
+}
+
+// TestConcurrentSnapshotStress hammers every concurrent structure —
+// counters, the histogram, spans, and a grid tracker — from many
+// goroutines while a reader takes snapshots, then checks the exact
+// final totals. Run under -race this is the satellite stress test for
+// snapshot-on-read safety.
+func TestConcurrentSnapshotStress(t *testing.T) {
+	m := New(testClock())
+	const workers = 8
+	const perWorker = 500
+
+	tracker := m.StartGrid([]string{"a", "b"}, workers*perWorker/2)
+	stop := make(chan struct{})
+	var snaps sync.WaitGroup
+	snaps.Add(1)
+	go func() {
+		defer snaps.Done()
+		var last int64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := m.Snapshot()
+			if s.JobsDone < last {
+				t.Errorf("JobsDone went backwards: %d then %d", last, s.JobsDone)
+				return
+			}
+			last = s.JobsDone
+			if s.EngineRunNs.Count < 0 {
+				t.Errorf("negative histogram count %d", s.EngineRunNs.Count)
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				m.JobsDone.Add(1)
+				m.EngineRunNs.Observe(int64(i))
+				m.recordSpan(fmt.Sprintf("phase%d", w%3), time.Duration(i))
+				tracker.JobDone(w%2, int64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	snaps.Wait()
+	tracker.Finish()
+
+	s := m.Snapshot()
+	total := int64(workers * perWorker)
+	if s.JobsDone != total {
+		t.Errorf("JobsDone = %d, want %d", s.JobsDone, total)
+	}
+	if s.EngineRunNs.Count != total {
+		t.Errorf("histogram count = %d, want %d", s.EngineRunNs.Count, total)
+	}
+	var bucketSum, spanCount int64
+	for _, b := range s.EngineRunNs.Buckets {
+		bucketSum += b.Count
+	}
+	if bucketSum != total {
+		t.Errorf("bucket sum = %d, want %d", bucketSum, total)
+	}
+	for _, sp := range s.Spans {
+		spanCount += sp.Count
+	}
+	if spanCount != total {
+		t.Errorf("span count sum = %d, want %d", spanCount, total)
+	}
+	if len(s.Cells) != 2 {
+		t.Fatalf("cells = %+v, want 2 entries", s.Cells)
+	}
+	if got := s.Cells[0].Jobs + s.Cells[1].Jobs; got != total {
+		t.Errorf("cell job sum = %d, want %d", got, total)
+	}
+	if s.CellsDone != 2 || s.CellsTotal != 2 {
+		t.Errorf("cells done/total = %d/%d, want 2/2", s.CellsDone, s.CellsTotal)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	// Everything the pipeline calls with observability off must accept
+	// nil receivers / inert values without panicking.
+	var m *Metrics
+	if m.Snapshot() != nil {
+		t.Error("nil Metrics snapshot should be nil")
+	}
+	var e *EngineMetrics
+	e.RecordRun(100, 5, 2)
+	var tr *GridTracker
+	tr = m.StartGrid([]string{"x"}, 1)
+	if tr != nil {
+		t.Error("StartGrid on nil Metrics should return nil")
+	}
+	tr.JobDone(0, 1)
+	tr.Finish()
+	if p := NewProgress(nil); p != nil || p.Line() != "" {
+		t.Error("nil Progress should render nothing")
+	}
+	Span{}.End()
+}
+
+func TestEngineMetricsRecordRun(t *testing.T) {
+	var e EngineMetrics
+	e.RecordRun(720, 10, 3)
+	e.RecordRun(24, 1, 0)
+	if e.Runs.Value() != 2 || e.Hours.Value() != 744 || e.Instances.Value() != 11 || e.Sold.Value() != 3 {
+		t.Errorf("EngineMetrics = runs %d hours %d inst %d sold %d",
+			e.Runs.Value(), e.Hours.Value(), e.Instances.Value(), e.Sold.Value())
+	}
+}
+
+func TestSnapshotDeterministicOrder(t *testing.T) {
+	m := New(testClock())
+	m.recordSpan("zeta", 5)
+	m.recordSpan("alpha", 7)
+	m.recordSpan("zeta", 1)
+	s := m.Snapshot()
+	if len(s.Spans) != 2 || s.Spans[0].Name != "alpha" || s.Spans[1].Name != "zeta" {
+		t.Fatalf("spans not sorted by name: %+v", s.Spans)
+	}
+	z := s.Spans[1]
+	if z.Count != 2 || z.TotalNs != 6 || z.MinNs != 1 || z.MaxNs != 5 {
+		t.Fatalf("zeta span = %+v", z)
+	}
+}

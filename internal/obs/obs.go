@@ -1,0 +1,209 @@
+// Package obs is the reproduction's zero-dependency observability
+// layer: allocation-free atomic counters and fixed-bucket latency
+// histograms for the experiment pipeline's hot paths, a context-first
+// Span API for coarse phase timing, a grid tracker for cells×users
+// fan-outs, a progress renderer, and a run-manifest writer that
+// records what produced a result file (flags, seeds, build info,
+// per-cell stats) as deterministic JSON.
+//
+// The package's one invariant, pinned by the differential suite in
+// internal/experiments: enabling observability must not perturb
+// experiment results. Everything here only *reads* the pipeline —
+// metrics are monotone counters fed by atomic adds, timing flows
+// through the sanctioned Clock seam (clock.go), and nothing in this
+// package feeds back into cohort synthesis, reservation planning or
+// the cost engine. Disabled is the default: a nil *Metrics makes
+// every hook a nil-check and return, so the unobserved pipeline pays
+// nothing.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Metrics is the root of one run's counters, histograms, spans and
+// grid stats. The fixed counter fields are safe for concurrent use by
+// the worker pool (atomic, allocation-free); spans and cell stats go
+// through a mutex because they are recorded at phase granularity, far
+// off the hot path. A nil *Metrics is valid everywhere and means
+// observability is off.
+type Metrics struct {
+	clock Clock
+
+	// Engine is filled by simulate.Run's end-of-run hook when the
+	// engine Config carries a pointer to it.
+	Engine EngineMetrics
+
+	// JobsTotal and JobsDone count worker-pool jobs: every job admitted
+	// to a fan-out and every job that ran to completion without error.
+	JobsTotal Counter
+	JobsDone  Counter
+
+	// BaselineHits and BaselineMisses count Keep-Reserved baseline
+	// cache lookups in the cohort plan.
+	BaselineHits   Counter
+	BaselineMisses Counter
+
+	// CellsTotal and CellsDone count grid cells admitted and fully
+	// completed across every RunGrid call of the run.
+	CellsTotal Counter
+	CellsDone  Counter
+
+	// EngineRunNs is the wall-time distribution of individual engine
+	// runs, timed at the experiment-driver call sites (the engine
+	// itself never reads a clock).
+	EngineRunNs Histogram
+
+	mu    sync.Mutex
+	spans map[string]*SpanStat
+	cells []CellStat
+}
+
+// New returns a Metrics instance reading time from clock. Pass
+// SystemClock in binaries and a FakeClock in tests.
+func New(clock Clock) *Metrics {
+	return &Metrics{clock: clock, spans: make(map[string]*SpanStat)}
+}
+
+// Now reads the metrics' clock. It is the only way observability code
+// outside this package should obtain the time.
+func (m *Metrics) Now() time.Time { return m.clock() }
+
+// EngineHook returns the engine-metrics target to inject into
+// simulate.Config, or nil when m is nil — so drivers can write
+// cfg.Metrics = m.EngineHook() without guarding.
+func (m *Metrics) EngineHook() *EngineMetrics {
+	if m == nil {
+		return nil
+	}
+	return &m.Engine
+}
+
+// recordSpan folds one completed span into the per-name totals.
+func (m *Metrics) recordSpan(name string, d time.Duration) {
+	ns := d.Nanoseconds()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.spans[name]
+	if !ok {
+		s = &SpanStat{Name: name, MinNs: ns}
+		m.spans[name] = s
+	}
+	s.Count++
+	s.TotalNs += ns
+	if ns < s.MinNs {
+		s.MinNs = ns
+	}
+	if ns > s.MaxNs {
+		s.MaxNs = ns
+	}
+}
+
+// recordCells appends one grid's per-cell stats, in cell order.
+func (m *Metrics) recordCells(cells []CellStat) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cells = append(m.cells, cells...)
+}
+
+// SpanStat is the aggregated timing of one span name.
+type SpanStat struct {
+	Name    string `json:"name"`
+	Count   int64  `json:"count"`
+	TotalNs int64  `json:"total_ns"`
+	MinNs   int64  `json:"min_ns"`
+	MaxNs   int64  `json:"max_ns"`
+}
+
+// CellStat is one grid cell's observed cost: how many (cell, user)
+// jobs completed, the summed wall time of its engine runs, and the
+// wall time from grid start to the cell's completion. Per-cell
+// allocation attribution is deliberately absent: cells share one
+// worker pool, so heap deltas cannot be assigned to a cell; the
+// manifest's MemSnapshot and the bench gate's allocs/op cover that
+// axis instead.
+type CellStat struct {
+	Name     string `json:"name"`
+	Jobs     int64  `json:"jobs"`
+	EngineNs int64  `json:"engine_ns"`
+	WallNs   int64  `json:"wall_ns"`
+}
+
+// Snapshot is a point-in-time copy of every metric, in the fixed field
+// order the manifest serializes. Concurrent snapshots are safe: each
+// counter is read atomically, so a snapshot taken mid-run is monotone
+// with respect to earlier snapshots, though not a consistent cut
+// across counters. A snapshot taken after the pipeline quiesces is
+// exact.
+type Snapshot struct {
+	EngineRuns      int64             `json:"engine_runs"`
+	EngineHours     int64             `json:"engine_hours"`
+	EngineInstances int64             `json:"engine_instances"`
+	EngineSold      int64             `json:"engine_sold"`
+	JobsTotal       int64             `json:"jobs_total"`
+	JobsDone        int64             `json:"jobs_done"`
+	BaselineHits    int64             `json:"baseline_hits"`
+	BaselineMisses  int64             `json:"baseline_misses"`
+	CellsTotal      int64             `json:"cells_total"`
+	CellsDone       int64             `json:"cells_done"`
+	EngineRunNs     HistogramSnapshot `json:"engine_run_ns"`
+	Spans           []SpanStat        `json:"spans,omitempty"`
+	Cells           []CellStat        `json:"cells,omitempty"`
+}
+
+// Snapshot captures the current metric values. Spans are sorted by
+// name and cells appear in recording order, so serializing a snapshot
+// of a deterministic run yields deterministic JSON. Returns nil for a
+// nil receiver.
+func (m *Metrics) Snapshot() *Snapshot {
+	if m == nil {
+		return nil
+	}
+	s := &Snapshot{
+		EngineRuns:      m.Engine.Runs.Value(),
+		EngineHours:     m.Engine.Hours.Value(),
+		EngineInstances: m.Engine.Instances.Value(),
+		EngineSold:      m.Engine.Sold.Value(),
+		JobsTotal:       m.JobsTotal.Value(),
+		JobsDone:        m.JobsDone.Value(),
+		BaselineHits:    m.BaselineHits.Value(),
+		BaselineMisses:  m.BaselineMisses.Value(),
+		CellsTotal:      m.CellsTotal.Value(),
+		CellsDone:       m.CellsDone.Value(),
+		EngineRunNs:     m.EngineRunNs.Snapshot(),
+	}
+	m.mu.Lock()
+	for _, sp := range m.spans {
+		s.Spans = append(s.Spans, *sp)
+	}
+	s.Cells = append(s.Cells, m.cells...)
+	m.mu.Unlock()
+	sort.Slice(s.Spans, func(i, j int) bool { return s.Spans[i].Name < s.Spans[j].Name })
+	return s
+}
+
+// EngineMetrics is the cost engine's end-of-run hook target: four
+// atomic adds per completed run, no clock reads, no allocations. A
+// nil receiver (the default engine Config) records nothing.
+type EngineMetrics struct {
+	// Runs counts completed simulate.Run calls.
+	Runs Counter
+	// Hours, Instances and Sold accumulate each run's simulated hours,
+	// reserved instances, and instances sold.
+	Hours     Counter
+	Instances Counter
+	Sold      Counter
+}
+
+// RecordRun books one completed engine run.
+func (e *EngineMetrics) RecordRun(hours, instances, sold int) {
+	if e == nil {
+		return
+	}
+	e.Runs.Add(1)
+	e.Hours.Add(int64(hours))
+	e.Instances.Add(int64(instances))
+	e.Sold.Add(int64(sold))
+}

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"fmt"
+	"time"
+)
+
+// Progress renders one-line throughput summaries of a run's metrics
+// for a stderr ticker: cells and jobs done/total, jobs per second, and
+// a remaining-time estimate from the mean observed job rate. It holds
+// no state beyond the start time, so concurrent Line calls are as safe
+// as concurrent snapshots.
+type Progress struct {
+	m     *Metrics
+	start time.Time
+}
+
+// NewProgress starts a progress view over m. Returns nil when m is
+// nil; a nil Progress renders nothing.
+func NewProgress(m *Metrics) *Progress {
+	if m == nil {
+		return nil
+	}
+	return &Progress{m: m, start: m.Now()}
+}
+
+// Line renders the current progress snapshot, e.g.
+//
+//	cells 3/6 jobs 95/180 9500.0 jobs/s eta 9ms
+//
+// The ETA extrapolates the mean job rate since start; before any job
+// completes (or when the total is unknown) it is omitted. Returns ""
+// on a nil receiver.
+func (p *Progress) Line() string {
+	if p == nil {
+		return ""
+	}
+	elapsed := p.m.Now().Sub(p.start)
+	cellsDone, cellsTotal := p.m.CellsDone.Value(), p.m.CellsTotal.Value()
+	jobsDone, jobsTotal := p.m.JobsDone.Value(), p.m.JobsTotal.Value()
+	line := fmt.Sprintf("cells %d/%d jobs %d/%d", cellsDone, cellsTotal, jobsDone, jobsTotal)
+	if elapsed > 0 && jobsDone > 0 {
+		rate := float64(jobsDone) / elapsed.Seconds()
+		line += fmt.Sprintf(" %.1f jobs/s", rate)
+		if remaining := jobsTotal - jobsDone; remaining > 0 && rate > 0 {
+			eta := time.Duration(float64(remaining) / rate * float64(time.Second)).Round(time.Millisecond)
+			line += fmt.Sprintf(" eta %s", eta)
+		}
+	}
+	return line
+}

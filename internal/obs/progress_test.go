@@ -1,0 +1,39 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestProgressLine(t *testing.T) {
+	m := New(FakeClock(time.Unix(0, 0).UTC(), time.Second))
+	p := NewProgress(m)
+
+	// No jobs yet: counts only, no rate or ETA.
+	line := p.Line()
+	if line != "cells 0/0 jobs 0/0" {
+		t.Fatalf("empty progress line = %q", line)
+	}
+
+	m.CellsTotal.Add(6)
+	m.CellsDone.Add(3)
+	m.JobsTotal.Add(180)
+	m.JobsDone.Add(90)
+	line = p.Line()
+	if !strings.HasPrefix(line, "cells 3/6 jobs 90/180") {
+		t.Fatalf("progress line = %q", line)
+	}
+	// Two clock reads since NewProgress at 1s steps → elapsed 2s →
+	// 45 jobs/s → 90 remaining → eta 2s.
+	if !strings.Contains(line, "45.0 jobs/s") || !strings.Contains(line, "eta 2s") {
+		t.Fatalf("progress line rate/eta = %q", line)
+	}
+
+	// Everything done: no ETA.
+	m.JobsDone.Add(90)
+	line = p.Line()
+	if strings.Contains(line, "eta") {
+		t.Fatalf("finished run still shows eta: %q", line)
+	}
+}

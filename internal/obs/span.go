@@ -1,0 +1,41 @@
+package obs
+
+import (
+	"context"
+	"time"
+)
+
+// Span times one named phase of a run (cohort planning, a grid, a
+// baseline fill). It is a value type — StartSpan and End allocate
+// nothing — and a Span started with observability off (no Metrics in
+// the context) is inert: End is a single branch.
+//
+// Spans aggregate by name rather than forming a trace tree: the
+// pipeline's phases are few and coarse, and per-name count/total/
+// min/max is what the manifest needs.
+type Span struct {
+	m     *Metrics
+	name  string
+	start time.Time
+}
+
+// StartSpan begins a span named name using the context's Metrics.
+// Context-first by convention (enforced for internal/obs by rilint's
+// ctxrule): spans follow the pipeline's cancellation context, never a
+// stashed one.
+func StartSpan(ctx context.Context, name string) Span {
+	m := FromContext(ctx)
+	if m == nil {
+		return Span{}
+	}
+	return Span{m: m, name: name, start: m.Now()}
+}
+
+// End records the span's duration. Safe to call on an inert span; call
+// at most once (deferred, in practice).
+func (s Span) End() {
+	if s.m == nil {
+		return
+	}
+	s.m.recordSpan(s.name, s.m.Now().Sub(s.start))
+}

@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestSpanThroughContext(t *testing.T) {
+	m := New(testClock())
+	ctx := WithMetrics(context.Background(), m)
+	if got := FromContext(ctx); got != m {
+		t.Fatal("FromContext did not return the attached Metrics")
+	}
+
+	sp := StartSpan(ctx, "plan")
+	sp.End()
+	s := m.Snapshot()
+	if len(s.Spans) != 1 || s.Spans[0].Name != "plan" {
+		t.Fatalf("spans = %+v", s.Spans)
+	}
+	// The fake clock steps 1ms per read; StartSpan and End each read once.
+	if got := s.Spans[0].TotalNs; got != time.Millisecond.Nanoseconds() {
+		t.Fatalf("span duration = %dns, want 1ms", got)
+	}
+}
+
+func TestSpanWithoutMetrics(t *testing.T) {
+	ctx := context.Background()
+	if FromContext(ctx) != nil {
+		t.Fatal("FromContext on a bare context should be nil")
+	}
+	if ctx2 := WithMetrics(ctx, nil); ctx2 != ctx {
+		t.Fatal("WithMetrics(nil) should return the context unchanged")
+	}
+	sp := StartSpan(ctx, "ignored")
+	sp.End() // must not panic
+}
+
+func TestSpanAllocs(t *testing.T) {
+	m := New(testClock())
+	ctx := WithMetrics(context.Background(), m)
+	// The span value itself must not escape; only the first recordSpan
+	// for a new name allocates its aggregate. Warm the name first.
+	StartSpan(ctx, "warm").End()
+	got := testing.AllocsPerRun(100, func() {
+		StartSpan(ctx, "warm").End()
+	})
+	if got != 0 {
+		t.Errorf("warm span allocates %.1f per op, want 0", got)
+	}
+	off := testing.AllocsPerRun(100, func() {
+		StartSpan(context.Background(), "off").End()
+	})
+	if off != 0 {
+		t.Errorf("disabled span allocates %.1f per op, want 0", off)
+	}
+}

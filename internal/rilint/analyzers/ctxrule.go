@@ -8,8 +8,10 @@ import (
 )
 
 // ctxPkgs are the packages whose exported API fans work out over the
-// worker pool: every entry point must be cancellable from the caller.
-var ctxPkgs = []string{"internal/experiments"}
+// worker pool, or rides the context (obs metrics travel via
+// WithMetrics/FromContext): every entry point must be cancellable —
+// and observable — from the caller.
+var ctxPkgs = []string{"internal/experiments", "internal/obs"}
 
 // Ctxrule enforces the context-threading contract PR 3 established:
 //

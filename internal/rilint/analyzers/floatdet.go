@@ -13,6 +13,13 @@ import (
 // the differential suite and the bench gate pin.
 var floatPkgs = []string{"internal/core", "internal/simulate"}
 
+// clockSeamPkgs are the packages that may touch wall time only through
+// the obs.Clock seam: the observability layer is timestamped, but every
+// read must be substitutable with a FakeClock so manifests and progress
+// lines stay testable byte-for-byte. The seam itself (SystemClock)
+// carries the rilint:allow annotation.
+var clockSeamPkgs = []string{"internal/obs"}
+
 // Floatdet forbids the three classic sources of run-to-run float
 // drift inside the deterministic simulation packages:
 //
@@ -21,20 +28,26 @@ var floatPkgs = []string{"internal/core", "internal/simulate"}
 //   - math/rand package-level functions, which draw from the global,
 //     process-seeded source;
 //   - wall-clock reads (time.Now / Since / Until), which leak real
-//     time into simulated accounting.
+//     time into simulated accounting. These are caught as references,
+//     not just calls, so storing time.Now in a function-typed variable
+//     is flagged too; in the Clock-seam packages the fix is to route
+//     the read through obs.Clock.
 var Floatdet = &rilint.Analyzer{
 	Name: "floatdet",
-	Doc:  "forbid nondeterminism sources (map-order float accumulation, global rand, wall clock) in internal/core and internal/simulate",
+	Doc:  "forbid nondeterminism sources (map-order float accumulation, global rand, wall clock) in internal/core, internal/simulate and internal/obs",
 	Run:  runFloatdet,
 }
 
 func runFloatdet(pass *rilint.Pass) error {
-	if !pathHasSuffix(pass.Pkg.Path(), floatPkgs...) {
+	seam := pathHasSuffix(pass.Pkg.Path(), clockSeamPkgs...)
+	if !seam && !pathHasSuffix(pass.Pkg.Path(), floatPkgs...) {
 		return nil
 	}
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				checkWallClockRef(pass, n, seam)
 			case *ast.CallExpr:
 				checkFloatdetCall(pass, n)
 			case *ast.RangeStmt:
@@ -44,6 +57,26 @@ func runFloatdet(pass *rilint.Pass) error {
 		})
 	}
 	return nil
+}
+
+// checkWallClockRef flags any reference to time.Now / Since / Until —
+// a SelectorExpr, so both direct calls and function-value uses like
+// `clock := time.Now` are caught (a stored clock is still a wall-clock
+// dependency; the call-site check alone would miss it).
+func checkWallClockRef(pass *rilint.Pass, sel *ast.SelectorExpr, seam bool) {
+	fn, _ := pass.ObjectOf(sel.Sel).(*types.Func)
+	if !isPkgFunc(fn, "time", "Now") &&
+		!isPkgFunc(fn, "time", "Since") &&
+		!isPkgFunc(fn, "time", "Until") {
+		return
+	}
+	if seam {
+		pass.Reportf(sel.Pos(),
+			"wall-clock read time.%s outside the sanctioned Clock seam; take an obs.Clock so tests can substitute FakeClock", fn.Name())
+		return
+	}
+	pass.Reportf(sel.Pos(),
+		"wall-clock read time.%s in deterministic simulation code; thread simulated hours instead", fn.Name())
 }
 
 func checkFloatdetCall(pass *rilint.Pass, call *ast.CallExpr) {
@@ -56,12 +89,6 @@ func checkFloatdetCall(pass *rilint.Pass, call *ast.CallExpr) {
 		return
 	}
 	switch fn.Pkg().Path() {
-	case "time":
-		switch fn.Name() {
-		case "Now", "Since", "Until":
-			pass.Reportf(call.Pos(),
-				"wall-clock read time.%s in deterministic simulation code; thread simulated hours instead", fn.Name())
-		}
 	case "math/rand", "math/rand/v2":
 		// Constructors (New, NewSource, NewZipf, ...) build the seeded
 		// private sources the engines are required to use; everything

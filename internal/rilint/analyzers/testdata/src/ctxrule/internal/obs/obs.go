@@ -1,0 +1,33 @@
+// Package obs is the ctxrule fixture's context-riding package: the
+// metrics travel on the context, so its exported entry points must
+// accept ctx first like the experiment drivers do.
+package obs
+
+import "context"
+
+type key struct{}
+
+// WithMetrics is the well-formed attach point: ctx first.
+func WithMetrics(ctx context.Context, v int) context.Context {
+	return context.WithValue(ctx, key{}, v)
+}
+
+// FromContext is the well-formed read side: ctx first, no spawning.
+func FromContext(ctx context.Context) int {
+	v, _ := ctx.Value(key{}).(int)
+	return v
+}
+
+// Detached mints its own root context to carry metrics, detaching the
+// span from the caller's cancellation and observability.
+func Detached(v int) context.Context { // want `exported Detached calls context-taking code`
+	return WithMetrics(context.Background(), v) // want `library code calls context.Background`
+}
+
+// Sanctioned demonstrates the escape hatch on the signature rule.
+//
+//rilint:allow ctxrule -- fixture: sanctioned back-compat shim exercising the annotation escape hatch.
+func Sanctioned(v int) context.Context {
+	//rilint:allow ctxrule -- fixture: the shim's root context too.
+	return WithMetrics(context.Background(), v)
+}

@@ -61,6 +61,13 @@ func Stamp() time.Time {
 	return time.Now() // want `wall-clock read time.Now`
 }
 
+// clockValue stores the wall clock as a function value: no call
+// expression, so only the reference check catches the dependency.
+var clockValue func() time.Time = time.Now // want `wall-clock read time.Now`
+
+// useClockValue keeps the stored clock referenced.
+func useClockValue() time.Time { return clockValue() }
+
 // Elapsed reads the wall clock through Since.
 func Elapsed(t0 time.Time) time.Duration {
 	return time.Since(t0) // want `wall-clock read time.Since`

@@ -1,0 +1,32 @@
+// Package obs is the floatdet fixture's Clock-seam package: wall-clock
+// references here get the seam-specific message — and they are caught
+// as references, so storing time.Now in a function-typed variable is
+// flagged even though no call expression appears.
+package obs
+
+import "time"
+
+// Clock mirrors the real seam type.
+type Clock func() time.Time
+
+// SystemClock is the sanctioned seam: annotated, silenced.
+//
+//rilint:allow floatdet -- fixture: the Clock seam itself exercising the annotation escape hatch.
+var SystemClock Clock = time.Now
+
+// RogueClock stores the wall clock as a function value without the
+// annotation: no call expression, so only the reference check sees it.
+var RogueClock Clock = time.Now // want `wall-clock read time.Now outside the sanctioned Clock seam`
+
+// Stamp calls the wall clock directly.
+func Stamp() time.Time {
+	return time.Now() // want `wall-clock read time.Now outside the sanctioned Clock seam`
+}
+
+// Elapsed reads wall time through Since.
+func Elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `wall-clock read time.Since outside the sanctioned Clock seam`
+}
+
+// ReadThrough takes the seam as a parameter: clean.
+func ReadThrough(c Clock) time.Time { return c() }

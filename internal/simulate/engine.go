@@ -200,6 +200,7 @@ func Run(demand, newRes []int, cfg Config, policy SellingPolicy) (Result, error)
 	// sale happens.
 	active := make([]int, 0, total)
 	head := 0
+	soldTotal := 0
 
 	for t := 0; t < horizon; t++ {
 		// Drop expired instances: always a prefix of the window.
@@ -242,6 +243,7 @@ func Run(demand, newRes []int, cfg Config, policy SellingPolicy) (Result, error)
 				}
 			}
 			if soldNow > 0 {
+				soldTotal += soldNow
 				w := active[head:]
 				k := 0
 				for _, j := range w {
@@ -291,6 +293,7 @@ func Run(demand, newRes []int, cfg Config, policy SellingPolicy) (Result, error)
 	for j := range slab {
 		res.Instances[j] = slab[j].rec
 	}
+	cfg.Metrics.RecordRun(horizon, total, soldTotal)
 	return res, nil
 }
 

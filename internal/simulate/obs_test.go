@@ -1,0 +1,106 @@
+package simulate
+
+import (
+	"reflect"
+	"testing"
+
+	"rimarket/internal/obs"
+)
+
+// obsSeries is a demand/reservation pair big enough to exercise
+// activation, sales and expiry.
+func obsSeries() (demand, newRes []int) {
+	demand = make([]int, 120)
+	newRes = make([]int, 120)
+	for t := range demand {
+		demand[t] = (t*7 + 3) % 5
+	}
+	newRes[0] = 4
+	newRes[25] = 2
+	newRes[60] = 3
+	return demand, newRes
+}
+
+// TestRunMetricsCounts checks the engine's end-of-run hook books
+// exactly what the Result reports.
+func TestRunMetricsCounts(t *testing.T) {
+	demand, newRes := obsSeries()
+	var em obs.EngineMetrics
+	cfg := testConfig()
+	cfg.Metrics = &em
+
+	res, err := Run(demand, newRes, cfg, sellAlways{age: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := em.Runs.Value(); got != 1 {
+		t.Errorf("Runs = %d, want 1", got)
+	}
+	if got := em.Hours.Value(); got != int64(len(demand)) {
+		t.Errorf("Hours = %d, want %d", got, len(demand))
+	}
+	if got := em.Instances.Value(); got != int64(len(res.Instances)) {
+		t.Errorf("Instances = %d, want %d", got, len(res.Instances))
+	}
+	if got := em.Sold.Value(); got != int64(res.SoldCount()) {
+		t.Errorf("Sold = %d, want %d", got, res.SoldCount())
+	}
+	if em.Sold.Value() == 0 {
+		t.Fatal("fixture sold nothing; the Sold count check is vacuous")
+	}
+
+	// A failed run records nothing.
+	if _, err := Run(demand[:10], newRes, cfg, sellAlways{age: 10}); err == nil {
+		t.Fatal("mismatched series should fail")
+	}
+	if got := em.Runs.Value(); got != 1 {
+		t.Errorf("failed run was recorded: Runs = %d", got)
+	}
+}
+
+// TestRunMetricsNoPerturbation is the engine-level slice of the
+// differential invariant: a config differing only in Metrics produces
+// a deeply equal Result.
+func TestRunMetricsNoPerturbation(t *testing.T) {
+	demand, newRes := obsSeries()
+	for _, policy := range []SellingPolicy{KeepReserved{}, sellAlways{age: 10}, sellNever{age: 10}} {
+		base := testConfig()
+		plain, err := Run(demand, newRes, base, policy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		observed := base
+		observed.Metrics = new(obs.EngineMetrics)
+		withObs, err := Run(demand, newRes, observed, policy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(plain, withObs) {
+			t.Errorf("policy %T: result differs with Metrics attached", policy)
+		}
+	}
+}
+
+// TestRunMetricsAllocParity proves the hook adds zero allocations to
+// the hot path: Run with Metrics attached allocates exactly as many
+// times as Run without. (The benchmark BenchmarkObsOverhead pins the
+// same property at full experiment scale with time bounds.)
+func TestRunMetricsAllocParity(t *testing.T) {
+	demand, newRes := obsSeries()
+	cfgOff := testConfig()
+	cfgOn := testConfig()
+	cfgOn.Metrics = new(obs.EngineMetrics)
+	policy := sellAlways{age: 10}
+
+	run := func(cfg Config) float64 {
+		return testing.AllocsPerRun(50, func() {
+			if _, err := Run(demand, newRes, cfg, policy); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	off, on := run(cfgOff), run(cfgOn)
+	if on != off {
+		t.Errorf("allocs/op with metrics = %.1f, without = %.1f; hook must add none", on, off)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 
+	"rimarket/internal/obs"
 	"rimarket/internal/pricing"
 )
 
@@ -36,6 +37,14 @@ type Config struct {
 	// hour busy schedule (needed by the offline OPT analysis). Off by
 	// default because schedules are O(instances x period) memory.
 	RecordSchedules bool
+	// Metrics, when non-nil, receives one RecordRun per completed run
+	// (hours simulated, instances reserved, instances sold) — atomic
+	// adds only, so observability costs the engine no allocations and
+	// cannot perturb its results. Nil (the default) records nothing.
+	// Metrics is observability plumbing, not a pricing parameter: it
+	// does not participate in Validate and configs differing only in
+	// Metrics describe the same run.
+	Metrics *obs.EngineMetrics
 }
 
 // Validate reports whether the configuration is usable.

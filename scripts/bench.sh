@@ -1,13 +1,16 @@
 #!/usr/bin/env bash
-# Refresh the committed engine benchmark baseline (BENCH_2.json).
+# Refresh the committed engine benchmark baseline (BENCH_5.json).
 #
 # Runs the BenchmarkEngineRun matrix (terms x checkpoint density x
-# schedule recording) with -benchmem, takes the minimum over COUNT
-# repeats, and writes the baseline JSON that CI's benchgate step
-# enforces with a 20% regression tolerance. Run it on an idle machine
-# after any change to internal/simulate, and commit the result:
+# schedule recording) plus BenchmarkObsOverhead (the engine hot path
+# with the obs hook off and on) with -benchmem, takes the minimum over
+# COUNT repeats, and writes the baseline JSON that CI's benchgate step
+# enforces — 20% regression tolerance on time, and exactly-equal
+# allocs/op for the ObsOverhead pair, pinning the hook's zero-alloc
+# contract. Run it on an idle machine after any change to
+# internal/simulate or internal/obs, and commit the result:
 #
-#   scripts/bench.sh             # writes BENCH_2.json
+#   scripts/bench.sh             # writes BENCH_5.json
 #   COUNT=10 scripts/bench.sh    # more repeats, tighter minima
 #   OUT=/tmp/b.json scripts/bench.sh   # write elsewhere for comparison
 #
@@ -19,8 +22,8 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 COUNT="${COUNT:-5}"
-OUT="${OUT:-BENCH_2.json}"
+OUT="${OUT:-BENCH_5.json}"
 
-go test -run '^$' -bench '^BenchmarkEngineRun$' -benchmem -count "$COUNT" . |
+go test -run '^$' -bench '^(BenchmarkEngineRun|BenchmarkObsOverhead)$' -benchmem -count "$COUNT" . |
 	tee /dev/stderr |
 	go run ./scripts/benchgate -update -baseline "$OUT"

@@ -5,13 +5,13 @@
 //
 // Record/refresh the committed baseline (scripts/bench.sh does this):
 //
-//	go test -run '^$' -bench '^BenchmarkEngineRun$' -benchmem -count 5 . |
-//	    go run ./scripts/benchgate -update -baseline BENCH_2.json
+//	go test -run '^$' -bench '^(BenchmarkEngineRun|BenchmarkObsOverhead)$' -benchmem -count 5 . |
+//	    go run ./scripts/benchgate -update -baseline BENCH_5.json
 //
 // Enforce it (the CI regression gate):
 //
-//	go test -run '^$' -bench '^BenchmarkEngineRun$' -benchmem -count 3 . |
-//	    go run ./scripts/benchgate -baseline BENCH_2.json
+//	go test -run '^$' -bench '^(BenchmarkEngineRun|BenchmarkObsOverhead)$' -benchmem -count 3 . |
+//	    go run ./scripts/benchgate -baseline BENCH_5.json -exact-allocs '^BenchmarkObsOverhead'
 //
 // With -count > 1 the minimum over repeats is used on both sides,
 // which is the standard way to damp scheduler noise.
@@ -132,15 +132,25 @@ func main() {
 func run(args []string, stdin io.Reader, w, stderr io.Writer) error {
 	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	baselinePath := fs.String("baseline", "BENCH_2.json", "baseline JSON path")
+	baselinePath := fs.String("baseline", "BENCH_5.json", "baseline JSON path")
 	update := fs.Bool("update", false, "write the parsed results as the new baseline instead of checking")
 	tolerance := fs.Float64("tolerance", 0.20, "allowed fractional regression in allocs/op (and time/op unless -time-tolerance is set)")
 	timeTolerance := fs.Float64("time-tolerance", -1,
 		"allowed fractional regression in time/op; defaults to -tolerance. Allocs are deterministic, wall time is not: on shared CI runners give time extra headroom — it still catches algorithmic regressions, which cost integer factors, not percents")
 	note := fs.String("note", "Engine benchmark baseline; refresh with scripts/bench.sh (see EXPERIMENTS.md).",
 		"note stored in the baseline on -update")
+	exactAllocs := fs.String("exact-allocs", "",
+		"regexp of benchmark names whose allocs/op must equal the baseline exactly, no tolerance — for allocation-free invariants (the obs hook), where even +1 alloc/op is a broken contract, not noise")
 	if err := fs.Parse(args); err != nil {
 		return cli.Usage(err)
+	}
+	var exactRe *regexp.Regexp
+	if *exactAllocs != "" {
+		re, err := regexp.Compile(*exactAllocs)
+		if err != nil {
+			return cli.Usagef("bad -exact-allocs regexp %q: %v", *exactAllocs, err)
+		}
+		exactRe = re
 	}
 
 	current, err := parseBench(stdin)
@@ -214,7 +224,14 @@ func run(args []string, stdin io.Reader, w, stderr io.Writer) error {
 		}
 		fmt.Fprintf(w, "%s %s: time/op %.0f -> %.0f ns (%+.1f%%)\n",
 			status, b.Name, b.NsPerOp, c.NsPerOp, 100*(timeRatio-1))
-		if b.AllocsPerOp > 0 || c.AllocsPerOp > 0 {
+		switch {
+		case exactRe != nil && exactRe.MatchString(b.Name):
+			if c.AllocsPerOp != b.AllocsPerOp {
+				fmt.Fprintf(w, "EXACT    %s: allocs/op %.0f -> %.0f, must equal the baseline exactly\n",
+					b.Name, b.AllocsPerOp, c.AllocsPerOp)
+				failed = true
+			}
+		case b.AllocsPerOp > 0 || c.AllocsPerOp > 0:
 			allocRatio := (c.AllocsPerOp + 1) / (b.AllocsPerOp + 1) // +1: tolerate zero baselines
 			if allocRatio > 1+tol {
 				fmt.Fprintf(w, "REGRESS  %s: allocs/op %.0f -> %.0f (%+.1f%%)\n",

@@ -65,6 +65,59 @@ func TestRunUpdateThenCheck(t *testing.T) {
 	}
 }
 
+func TestRunExactAllocs(t *testing.T) {
+	baseline := filepath.Join(t.TempDir(), "base.json")
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-update", "-baseline", baseline},
+		strings.NewReader(benchOutput), &out, &errOut); err != nil {
+		t.Fatalf("update: %v", err)
+	}
+
+	// An allocs/op DECREASE sails through the ratio gate (it only
+	// catches increases) but is still drift from the recorded contract:
+	// the exact rule must flag it in either direction.
+	improved := strings.ReplaceAll(benchOutput, "2 allocs/op", "1 allocs/op")
+	out.Reset()
+	err := run([]string{"-baseline", baseline}, strings.NewReader(improved), &out, &errOut)
+	if err != nil {
+		t.Fatalf("alloc decrease should pass the ratio gate: %v\n%s", err, out.String())
+	}
+
+	out.Reset()
+	err = run([]string{"-baseline", baseline, "-exact-allocs", "^BenchmarkEngineRun"},
+		strings.NewReader(improved), &out, &errOut)
+	if err == nil {
+		t.Fatalf("exact-allocs accepted a drifted allocs/op:\n%s", out.String())
+	}
+	if code := cli.ExitCode(err); code != cli.ExitError {
+		t.Errorf("exact-allocs drift maps to exit %d, want %d", code, cli.ExitError)
+	}
+	if !strings.Contains(out.String(), "EXACT") {
+		t.Errorf("report missing EXACT line:\n%s", out.String())
+	}
+
+	// A non-matching pattern leaves the ratio rule in charge.
+	out.Reset()
+	if err := run([]string{"-baseline", baseline, "-exact-allocs", "^BenchmarkOther"},
+		strings.NewReader(improved), &out, &errOut); err != nil {
+		t.Fatalf("non-matching exact-allocs changed the verdict: %v", err)
+	}
+
+	// Identical allocs pass the exact rule.
+	out.Reset()
+	if err := run([]string{"-baseline", baseline, "-exact-allocs", "^BenchmarkEngineRun"},
+		strings.NewReader(benchOutput), &out, &errOut); err != nil {
+		t.Fatalf("identical run failed exact-allocs: %v\n%s", err, out.String())
+	}
+
+	// A bad regexp is command-line misuse.
+	err = run([]string{"-baseline", baseline, "-exact-allocs", "("},
+		strings.NewReader(benchOutput), &out, &errOut)
+	if code := cli.ExitCode(err); code != cli.ExitUsage {
+		t.Errorf("bad regexp maps to exit %d, want %d", code, cli.ExitUsage)
+	}
+}
+
 func TestRunExitCodes(t *testing.T) {
 	var out, errOut bytes.Buffer
 	err := run([]string{"-no-such-flag"}, strings.NewReader(""), &out, &errOut)

@@ -11,10 +11,12 @@
 // extensions, market, sensitivity, audit, resell, all.
 //
 // Exit codes: 0 on success, 1 on a run error, 2 on command-line
-// misuse, 3 when the run completed but a best-effort trace load
-// skipped files (partial ingestion). SIGINT/SIGTERM cancel the run
-// gracefully: in-flight users drain, and the error reports which grid
-// cells completed.
+// misuse, 3 when the run produced usable partial results — a
+// best-effort trace load skipped files, or a -spill run was
+// interrupted with completed cells safe on disk. SIGINT/SIGTERM cancel
+// the run gracefully: in-flight users drain, the error reports which
+// grid cells completed, and with -spill those cells are already
+// spilled, so `riexp -resume DIR` continues where the signal landed.
 package main
 
 import (
@@ -57,6 +59,7 @@ type params struct {
 	traceDir, traceErr string
 	traceBud           int
 	jsonOut, csvOut    string
+	spill, resume      string
 }
 
 func run(ctx context.Context, args []string, w, stderr io.Writer) error {
@@ -76,6 +79,8 @@ func run(ctx context.Context, args []string, w, stderr io.Writer) error {
 	fs.IntVar(&p.traceBud, "trace-error-budget", 0, "max files best-effort may skip before failing anyway; 0 means unlimited")
 	fs.StringVar(&p.jsonOut, "json", "", "also write the full cohort result as JSON to this file")
 	fs.StringVar(&p.csvOut, "csv", "", "also write per-user costs as CSV to this file")
+	fs.StringVar(&p.spill, "spill", "", "stream each completed grid cell to a resumable on-disk store under this `directory` (one subdirectory per grid); an interrupted run exits 3 and can be continued with -resume")
+	fs.StringVar(&p.resume, "resume", "", "resume an interrupted -spill run from this `directory`: valid spilled cells are loaded, only missing or invalid cells are recomputed, and new cells keep spilling there")
 	var obsFlags cli.ObsFlags
 	obsFlags.Register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -92,7 +97,28 @@ func run(ctx context.Context, args []string, w, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	return sess.Finish(runParsed(sess.Context(ctx), p, sess, w, stderr))
+	return sess.Finish(spillOutcome(runParsed(sess.Context(ctx), p, sess, w, stderr), p))
+}
+
+// spillOutcome maps an interrupted spilling run onto the partial exit
+// code: the cells completed before the signal are safe on disk, so the
+// run produced usable — resumable — partial results, which is exactly
+// what exit code 3 means. Runs without a spill store keep the plain
+// cancellation error (exit 1): nothing was kept, nothing is resumable.
+func spillOutcome(err error, p params) error {
+	dir := p.spill
+	if p.resume != "" {
+		dir = p.resume
+	}
+	if err == nil || dir == "" {
+		return err
+	}
+	var ce *experiments.CancelError
+	if !errors.As(err, &ce) {
+		return err
+	}
+	return fmt.Errorf("%w; completed cells are spilled under %s — continue with -resume %s: %w",
+		err, dir, dir, cli.ErrPartial)
 }
 
 func runParsed(ctx context.Context, p params, sess *cli.ObsSession, w, stderr io.Writer) error {
@@ -149,6 +175,14 @@ func runParsed(ctx context.Context, p params, sess *cli.ObsSession, w, stderr io
 	}
 	cfg.MarketFee = p.fee
 	cfg.Parallelism = p.par
+	if p.spill != "" && p.resume != "" {
+		return cli.Usagef("-spill and -resume are mutually exclusive: -resume already keeps spilling into its directory")
+	}
+	cfg.SpillDir = p.spill
+	if p.resume != "" {
+		cfg.SpillDir = p.resume
+		cfg.Resume = true
+	}
 
 	// Record the resolved experiment parameters (not just the raw argv)
 	// in the run manifest: this is the provenance a result file needs.

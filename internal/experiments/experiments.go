@@ -59,6 +59,18 @@ type Config struct {
 	// parallelism: every user's work is seeded independently and results
 	// are returned in cohort order.
 	Parallelism int
+	// SpillDir, when non-empty, streams each fully-completed grid cell
+	// to a resumable on-disk store under SpillDir/<grid-label>
+	// (internal/gridstore), so an interrupted sweep can continue
+	// instead of restarting. Like Parallelism, it is execution
+	// plumbing: it changes no result and is excluded from the grid's
+	// config hash.
+	SpillDir string
+	// Resume makes RunGrid load the valid cells already present in
+	// SpillDir — validated against the grid's config hash, seed, and
+	// cell list — and recompute only the missing or invalid ones.
+	// Requires SpillDir.
+	Resume bool
 }
 
 // Validate reports whether the configuration is usable.
@@ -74,6 +86,9 @@ func (c Config) Validate() error {
 	}
 	if c.Hours <= 0 {
 		return fmt.Errorf("experiments: Hours %d must be positive", c.Hours)
+	}
+	if c.Resume && c.SpillDir == "" {
+		return fmt.Errorf("experiments: Resume requires SpillDir")
 	}
 	return nil
 }
@@ -184,7 +199,7 @@ func (p *CohortPlan) Cohort(ctx context.Context) (*CohortResult, error) {
 		}
 		cells = append(cells, Cell{Name: np.name, Policy: np.policy, Engine: engCfg})
 	}
-	grid, err := p.RunGrid(ctx, cells)
+	grid, err := p.RunGridNamed(ctx, "cohort", cells)
 	if err != nil {
 		return nil, err
 	}

@@ -65,7 +65,7 @@ func (p *CohortPlan) Extensions(ctx context.Context) ([]ExtensionRow, error) {
 	for i, np := range policies {
 		cells[i] = Cell{Name: np.name, Policy: np.policy, Engine: engCfg}
 	}
-	grid, err := p.RunGrid(ctx, cells)
+	grid, err := p.RunGridNamed(ctx, "extensions", cells)
 	if err != nil {
 		return nil, err
 	}

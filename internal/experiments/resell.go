@@ -62,7 +62,7 @@ func (p *CohortPlan) HourResellComparison(ctx context.Context, gammas []float64)
 	if err != nil {
 		return nil, err
 	}
-	grid, err := p.RunGrid(ctx, []Cell{
+	grid, err := p.RunGridNamed(ctx, "resell", []Cell{
 		{Name: PolicyA3T4, Policy: a3, Engine: engCfg},
 		{Name: PolicyAT4, Policy: a4, Engine: engCfg},
 	})

@@ -6,7 +6,6 @@ import (
 	"runtime"
 	"runtime/debug"
 	"strings"
-	"sync"
 	"sync/atomic"
 
 	"rimarket/internal/obs"
@@ -102,9 +101,10 @@ func runJob(i int, fn func(i int) error) (err error) {
 	return fn(i)
 }
 
-// runIndexed evaluates fn(0..n-1) over a bounded worker pool. It is the
-// package's one fan-out primitive, with guarantees that make every
-// caller byte-identical at any worker count:
+// runIndexed evaluates fn(0..n-1) over the sharded, work-stealing
+// worker pool (shard.go). It is the package's one fan-out primitive,
+// with guarantees that make every caller byte-identical at any worker
+// count:
 //
 //   - each job writes only its own index, so outputs land in
 //     deterministic order regardless of scheduling;
@@ -131,71 +131,8 @@ func runIndexed(ctx context.Context, parallelism, n int, fn func(i int) error) e
 // what lets RunGrid report which cells fully completed after a
 // cancellation.
 func runIndexedDone(ctx context.Context, parallelism, n int, fn func(i int) error) ([]bool, error) {
-	done := make([]bool, n)
-	if n <= 0 {
-		return done, ctx.Err()
-	}
-	// Job accounting is observation only: the counters feed progress
-	// lines and the manifest, never scheduling, so the pool's claiming
-	// order and lowest-index-error rule are untouched.
-	m := obs.FromContext(ctx)
-	if m != nil {
-		m.JobsTotal.Add(int64(n))
-	}
-	workers := workerCount(parallelism, n)
-	errs := make([]error, n)
-	var (
-		wg     sync.WaitGroup
-		next   atomic.Int64
-		minErr atomic.Int64
-	)
-	minErr.Store(int64(n))
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				if ctx.Err() != nil {
-					return // stop claiming; in-flight jobs drain elsewhere
-				}
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				if int64(i) > minErr.Load() {
-					continue // canceled: a lower-index job already failed
-				}
-				if err := runJob(i, fn); err != nil {
-					errs[i] = err
-					for {
-						cur := minErr.Load()
-						if int64(i) >= cur || minErr.CompareAndSwap(cur, int64(i)) {
-							break
-						}
-					}
-				} else {
-					done[i] = true
-					if m != nil {
-						m.JobsDone.Add(1)
-					}
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	if m := minErr.Load(); m < int64(n) {
-		return done, errs[m]
-	}
-	if err := ctx.Err(); err != nil {
-		// Cancellation may race the tail of the run: if every job in
-		// fact completed, the results are whole and the run succeeded.
-		for _, d := range done {
-			if !d {
-				return done, err
-			}
-		}
-	}
-	return done, nil
+	done, _, err := runShardedDone(ctx, parallelism, n, func(_, i int) error { return fn(i) })
+	return done, err
 }
 
 // Cell is one grid cell of a sweep or sensitivity experiment: a selling
@@ -240,6 +177,23 @@ func (c CellResult) FracSaved() float64 { return stats.FractionBelow(c.Norm, 1) 
 // with a *CancelError naming them; errors.Is(err, context.Canceled)
 // holds and no partially-evaluated cell is ever returned.
 func (p *CohortPlan) RunGrid(ctx context.Context, cells []Cell) ([]CellResult, error) {
+	return p.RunGridNamed(ctx, "grid", cells)
+}
+
+// RunGridNamed is RunGrid with an explicit grid label. The label names
+// the grid's spill subdirectory (Config.SpillDir/<label>), so the
+// several grids one riexp invocation can run — cohort, sweeps,
+// sensitivity — spill side by side without colliding. With
+// Config.SpillDir unset the label changes nothing.
+//
+// With spill enabled, each fully-completed cell is appended to the
+// grid's gridstore the moment its last user lands; with Config.Resume
+// also set, cells already valid on disk are loaded instead of
+// recomputed (the store is validated against the grid's config hash,
+// seed, and cell list first — a mismatch is an error, never a merge).
+// Resumed cells count toward CancelError.Completed: they are fully
+// completed, just not by this process.
+func (p *CohortPlan) RunGridNamed(ctx context.Context, name string, cells []Cell) ([]CellResult, error) {
 	if len(cells) == 0 {
 		return nil, fmt.Errorf("experiments: no grid cells")
 	}
@@ -282,8 +236,33 @@ func (p *CohortPlan) RunGrid(ctx context.Context, cells []Cell) ([]CellResult, e
 			engs[i].Metrics = m.EngineHook()
 		}
 	}
-	done, err := runIndexedDone(ctx, p.cfg.Parallelism, len(cells)*users, func(j int) error {
-		ci, ui := j/users, j%users
+	// Spill/resume: open (or create) the grid's on-disk store, prefill
+	// out with the cells recovered from a previous run, and fan out
+	// over only the still-pending cells.
+	var spill *gridSpill
+	if p.cfg.SpillDir != "" {
+		var err error
+		spill, err = p.openSpill(name, cells, users, out, tracker)
+		if err != nil {
+			return nil, err
+		}
+	}
+	pending := make([]int, 0, len(cells))
+	for ci := range cells {
+		if spill == nil || !spill.resumed[ci] {
+			pending = append(pending, ci)
+		}
+	}
+	// remaining counts each pending cell's outstanding jobs; the worker
+	// whose decrement hits zero owns the cell's spill append. The
+	// atomic decrement orders every user's result write before that
+	// worker's read, so encoding the record is race-free.
+	remaining := make([]atomic.Int64, len(cells))
+	for _, ci := range pending {
+		remaining[ci].Store(int64(users))
+	}
+	done, _, err := runShardedDone(ctx, p.cfg.Parallelism, len(pending)*users, func(w, j int) error {
+		ci, ui := pending[j/users], j%users
 		u := &p.users[ui]
 		run, ns, err := obsRun(m, u.Trace.Demand, u.NewRes, engs[ci], cells[ci].Policy)
 		if err != nil {
@@ -298,27 +277,46 @@ func (p *CohortPlan) RunGrid(ctx context.Context, cells []Cell) ([]CellResult, e
 		} else {
 			cell.Norm[ui] = 1
 		}
+		if remaining[ci].Add(-1) == 0 && spill != nil {
+			return spill.appendCell(w, ci, cell)
+		}
 		return nil
 	})
 	if err != nil {
 		if ctxErr := ctx.Err(); ctxErr != nil && err == ctxErr {
+			// Drained cleanly after cancellation: what is spilled so
+			// far is complete, so close before reporting.
+			if cerr := spill.close(); cerr != nil {
+				return nil, cerr
+			}
 			completed := make([]CellResult, 0, len(cells))
 			names := make([]string, 0, len(cells))
+			whole := make([]bool, len(cells))
 			for ci := range cells {
-				whole := true
+				whole[ci] = spill != nil && spill.resumed[ci]
+			}
+			for pi, ci := range pending {
+				whole[ci] = true
 				for ui := 0; ui < users; ui++ {
-					if !done[ci*users+ui] {
-						whole = false
+					if !done[pi*users+ui] {
+						whole[ci] = false
 						break
 					}
 				}
-				if whole {
+			}
+			for ci := range cells {
+				if whole[ci] {
 					completed = append(completed, out[ci])
 					names = append(names, cells[ci].Name)
 				}
 			}
 			return completed, &CancelError{Completed: names, Total: len(cells), Err: ctxErr}
 		}
+		// The run already failed; the close error, if any, is secondary.
+		_ = spill.close()
+		return nil, err
+	}
+	if err := spill.close(); err != nil {
 		return nil, err
 	}
 	return out, nil

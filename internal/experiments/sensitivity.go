@@ -45,7 +45,7 @@ func (p *CohortPlan) Sensitivity(ctx context.Context, discounts, fractions []flo
 			})
 		}
 	}
-	grid, err := p.RunGrid(ctx, cells)
+	grid, err := p.RunGridNamed(ctx, "sensitivity", cells)
 	if err != nil {
 		return SensitivityGrid{}, err
 	}

@@ -23,8 +23,8 @@ type SweepPoint struct {
 
 // sweepCells runs one grid cell per swept value and folds each cell
 // into a SweepPoint.
-func (p *CohortPlan) sweepCells(ctx context.Context, values []float64, cells []Cell) ([]SweepPoint, error) {
-	grid, err := p.RunGrid(ctx, cells)
+func (p *CohortPlan) sweepCells(ctx context.Context, name string, values []float64, cells []Cell) ([]SweepPoint, error) {
+	grid, err := p.RunGridNamed(ctx, name, cells)
 	if err != nil {
 		return nil, err
 	}
@@ -43,7 +43,7 @@ func (p *CohortPlan) sweepCells(ctx context.Context, values []float64, cells []C
 // and evaluates all values on the shared plan. When valueIsDiscount is
 // set, the swept value also replaces the engine's selling discount
 // (income side).
-func (p *CohortPlan) sweepOver(ctx context.Context, values []float64, valueIsDiscount bool, mk func(Config, float64) (simulate.SellingPolicy, error)) ([]SweepPoint, error) {
+func (p *CohortPlan) sweepOver(ctx context.Context, name string, values []float64, valueIsDiscount bool, mk func(Config, float64) (simulate.SellingPolicy, error)) ([]SweepPoint, error) {
 	cells := make([]Cell, 0, len(values))
 	for _, v := range values {
 		policy, err := mk(p.cfg, v)
@@ -56,13 +56,13 @@ func (p *CohortPlan) sweepOver(ctx context.Context, values []float64, valueIsDis
 		}
 		cells = append(cells, Cell{Name: fmt.Sprintf("value=%v", v), Policy: policy, Engine: engCfg})
 	}
-	return p.sweepCells(ctx, values, cells)
+	return p.sweepCells(ctx, name, values, cells)
 }
 
 // SweepFraction evaluates the generalized A_{kT} across checkpoint
 // fractions on the plan's cohort.
 func (p *CohortPlan) SweepFraction(ctx context.Context, fractions []float64) ([]SweepPoint, error) {
-	return p.sweepOver(ctx, fractions, false, func(c Config, k float64) (simulate.SellingPolicy, error) {
+	return p.sweepOver(ctx, "sweep-k", fractions, false, func(c Config, k float64) (simulate.SellingPolicy, error) {
 		return core.NewThreshold(c.Instance, c.SellingDiscount, k)
 	})
 }
@@ -70,7 +70,7 @@ func (p *CohortPlan) SweepFraction(ctx context.Context, fractions []float64) ([]
 // SweepDiscount evaluates A_{3T/4} across selling discounts a on the
 // plan's cohort.
 func (p *CohortPlan) SweepDiscount(ctx context.Context, discounts []float64) ([]SweepPoint, error) {
-	return p.sweepOver(ctx, discounts, true, func(c Config, a float64) (simulate.SellingPolicy, error) {
+	return p.sweepOver(ctx, "sweep-a", discounts, true, func(c Config, a float64) (simulate.SellingPolicy, error) {
 		return core.NewA3T4(c.Instance, a)
 	})
 }
@@ -88,7 +88,7 @@ func (p *CohortPlan) SweepMarketFee(ctx context.Context, fees []float64) ([]Swee
 		engCfg.MarketFee = fee
 		cells = append(cells, Cell{Name: fmt.Sprintf("fee=%v", fee), Policy: policy, Engine: engCfg})
 	}
-	return p.sweepCells(ctx, fees, cells)
+	return p.sweepCells(ctx, "sweep-fee", fees, cells)
 }
 
 // SweepFraction evaluates the generalized A_{kT} across checkpoint

@@ -1,0 +1,294 @@
+// Package gridstore is the on-disk spill store for grid experiment
+// results: a versioned, checksummed, append-only record format that
+// lets a long sweep stream each completed cell to disk and lets an
+// interrupted run resume by re-running only the cells that never
+// landed (DESIGN.md §4.5).
+//
+// A store is one directory per grid:
+//
+//	spec.json        the Spec that produced the results (config hash,
+//	                 seed, cell names, users per cell)
+//	shard-NNN.grid   per-worker shard files of framed CellRecords
+//
+// Each worker in the grid pool appends to its own shard, so shard
+// files need no locking between workers and a crash tears at most the
+// last record of each shard. On resume the reader keeps every shard's
+// longest valid prefix, reports — never silently drops — anything
+// after it, and the writer truncates the torn tail before appending,
+// so a resumed store is always well-framed.
+//
+// Every record carries an 8-byte digest of the Spec, so a record can
+// never be merged into a grid other than the one that produced it,
+// even if shard files are copied between directories by hand.
+package gridstore
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+const (
+	// FormatVersion versions both the spec document and the shard
+	// record framing. Decoders reject records from any other version
+	// with ErrVersion; there is no cross-version migration, the cells
+	// are simply recomputed.
+	FormatVersion = 1
+
+	// SpecFile is the spec document's file name inside a store
+	// directory.
+	SpecFile = "spec.json"
+
+	// headerLen is the fixed-size prefix of every record: magic (4),
+	// version (2), spec digest (8), cell index (4), name length (2),
+	// users (4).
+	headerLen = 24
+
+	// footerLen is the CRC32 trailer.
+	footerLen = 4
+
+	// maxNameLen bounds a record's cell-name length so a corrupted
+	// header cannot demand an absurd allocation.
+	maxNameLen = 1 << 12
+
+	// maxUsers bounds the per-record user count for the same reason.
+	maxUsers = 1 << 26
+)
+
+// recordMagic opens every shard record.
+var recordMagic = [4]byte{'R', 'I', 'G', 'S'}
+
+// crcTable is the Castagnoli polynomial, the usual choice for storage
+// checksums.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Sentinel decode errors. Each one reachable from a shard scan is
+// reported wrapped in a *RecordError carrying the shard name and byte
+// offset, so errors.Is works on the sentinel while the message stays
+// actionable.
+var (
+	// ErrTruncated marks a record cut short — a torn tail from a
+	// crash mid-append. Everything before it is intact.
+	ErrTruncated = errors.New("gridstore: truncated record")
+	// ErrChecksum marks a fully-framed record whose CRC32 does not
+	// match its payload.
+	ErrChecksum = errors.New("gridstore: record checksum mismatch")
+	// ErrVersion marks a record or spec written by a different
+	// FormatVersion.
+	ErrVersion = errors.New("gridstore: unsupported format version")
+	// ErrCorrupt marks framing damage: bad magic, an impossible
+	// length, an out-of-range cell index.
+	ErrCorrupt = errors.New("gridstore: corrupt record")
+	// ErrSpecMismatch marks results from a different grid: the store's
+	// spec (or a record's spec digest) does not match the grid being
+	// resumed.
+	ErrSpecMismatch = errors.New("gridstore: store does not match grid spec")
+	// ErrDuplicate marks a second valid record for a cell that already
+	// has one; the first record wins.
+	ErrDuplicate = errors.New("gridstore: duplicate cell record")
+)
+
+// Spec identifies the exact grid a store holds results for. ConfigHash
+// is an opaque digest of everything that determines the grid's output
+// (the caller computes it; internal/experiments hashes the engine
+// config and per-cell parameters), Seed pins the cohort, and
+// Cells/Users pin the result shape. Resume refuses a store whose spec
+// differs in any field.
+type Spec struct {
+	Version    int      `json:"version"`
+	ConfigHash string   `json:"config_hash"`
+	Seed       int64    `json:"seed"`
+	Cells      []string `json:"cells"`
+	Users      int      `json:"users"`
+}
+
+// digest is the 8-byte binding stamped into every record: a truncated
+// SHA-256 over a length-prefixed serialization of every spec field.
+// Eight bytes is not cryptographic binding — it is a very strong guard
+// against merging records across grids, which is all resume needs.
+func (s Spec) digest() [8]byte {
+	h := sha256.New()
+	fmt.Fprintf(h, "gridstore/%d\x00%d:%s\x00%d\x00%d\x00%d\x00",
+		s.Version, len(s.ConfigHash), s.ConfigHash, s.Seed, s.Users, len(s.Cells))
+	for _, c := range s.Cells {
+		fmt.Fprintf(h, "%d:%s\x00", len(c), c)
+	}
+	var d [8]byte
+	copy(d[:], h.Sum(nil)[:8])
+	return d
+}
+
+// validate rejects specs a store could not round-trip.
+func (s Spec) validate() error {
+	switch {
+	case s.Version != FormatVersion:
+		return fmt.Errorf("%w: spec version %d, this build writes %d", ErrVersion, s.Version, FormatVersion)
+	case s.ConfigHash == "":
+		return fmt.Errorf("%w: empty config hash", ErrSpecMismatch)
+	case len(s.Cells) == 0:
+		return errors.New("gridstore: spec has no cells")
+	case s.Users <= 0 || s.Users > maxUsers:
+		return fmt.Errorf("gridstore: spec users %d out of range", s.Users)
+	}
+	for _, name := range s.Cells {
+		if len(name) > maxNameLen {
+			return fmt.Errorf("gridstore: cell name %.32q... exceeds %d bytes", name, maxNameLen)
+		}
+	}
+	return nil
+}
+
+// CellRecord is one fully-completed grid cell: the per-user cost,
+// normalized cost, and instances-sold columns, in user order. Index
+// and Name locate the cell inside the Spec.
+type CellRecord struct {
+	Index int
+	Name  string
+	Cost  []float64
+	Norm  []float64
+	Sold  []int
+}
+
+// RecordError locates one undecodable record inside a shard file. It
+// wraps a sentinel (ErrTruncated, ErrChecksum, ErrVersion, ErrCorrupt,
+// ErrSpecMismatch, ErrDuplicate) so callers classify with errors.Is.
+type RecordError struct {
+	Shard  string
+	Offset int64
+	Err    error
+}
+
+func (e *RecordError) Error() string {
+	if e.Shard == "" {
+		return fmt.Sprintf("gridstore: record at offset %d: %v", e.Offset, e.Err)
+	}
+	return fmt.Sprintf("gridstore: %s: record at offset %d: %v", e.Shard, e.Offset, e.Err)
+}
+
+func (e *RecordError) Unwrap() error { return e.Err }
+
+// AppendRecord appends rec's framed encoding to buf and returns the
+// extended slice. The record is validated against spec first: an
+// out-of-range index, a name that is not spec.Cells[rec.Index], or
+// column lengths other than spec.Users are encoding bugs and return an
+// error rather than writing a record resume would reject.
+func AppendRecord(buf []byte, spec Spec, rec CellRecord) ([]byte, error) {
+	return appendRecord(buf, spec, spec.digest(), rec)
+}
+
+// appendRecord is AppendRecord with the spec digest precomputed, so a
+// writer hashes the spec once per store rather than once per cell.
+func appendRecord(buf []byte, spec Spec, digest [8]byte, rec CellRecord) ([]byte, error) {
+	switch {
+	case rec.Index < 0 || rec.Index >= len(spec.Cells):
+		return nil, fmt.Errorf("gridstore: record index %d outside spec's %d cells", rec.Index, len(spec.Cells))
+	case rec.Name != spec.Cells[rec.Index]:
+		return nil, fmt.Errorf("gridstore: record name %q, spec cell %d is %q", rec.Name, rec.Index, spec.Cells[rec.Index])
+	case len(rec.Cost) != spec.Users || len(rec.Norm) != spec.Users || len(rec.Sold) != spec.Users:
+		return nil, fmt.Errorf("gridstore: record columns %d/%d/%d, spec has %d users",
+			len(rec.Cost), len(rec.Norm), len(rec.Sold), spec.Users)
+	}
+	start := len(buf)
+	buf = append(buf, recordMagic[:]...)
+	buf = binary.LittleEndian.AppendUint16(buf, FormatVersion)
+	buf = append(buf, digest[:]...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(rec.Index))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(rec.Name)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(spec.Users))
+	buf = append(buf, rec.Name...)
+	for _, v := range rec.Cost {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	for _, v := range rec.Norm {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	for _, v := range rec.Sold {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
+	}
+	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf[start:], crcTable)), nil
+}
+
+// decodeOne decodes the record at the head of b, returning it and the
+// number of bytes consumed. b holds the remaining shard bytes; an
+// empty b is the caller's clean EOF, never passed here.
+func decodeOne(b []byte, spec Spec, digest [8]byte) (CellRecord, int, error) {
+	if len(b) < headerLen {
+		return CellRecord{}, 0, ErrTruncated
+	}
+	if [4]byte(b[:4]) != recordMagic {
+		return CellRecord{}, 0, fmt.Errorf("%w: bad magic %q", ErrCorrupt, b[:4])
+	}
+	if v := binary.LittleEndian.Uint16(b[4:6]); v != FormatVersion {
+		return CellRecord{}, 0, fmt.Errorf("%w: record version %d, this build reads %d", ErrVersion, v, FormatVersion)
+	}
+	if [8]byte(b[6:14]) != digest {
+		return CellRecord{}, 0, fmt.Errorf("%w: record spec digest %x, store spec is %x", ErrSpecMismatch, b[6:14], digest[:])
+	}
+	index := int(binary.LittleEndian.Uint32(b[14:18]))
+	nameLen := int(binary.LittleEndian.Uint16(b[18:20]))
+	users := int(binary.LittleEndian.Uint32(b[20:24]))
+	switch {
+	case index >= len(spec.Cells):
+		return CellRecord{}, 0, fmt.Errorf("%w: cell index %d outside spec's %d cells", ErrCorrupt, index, len(spec.Cells))
+	case nameLen > maxNameLen:
+		return CellRecord{}, 0, fmt.Errorf("%w: name length %d exceeds %d", ErrCorrupt, nameLen, maxNameLen)
+	case users != spec.Users:
+		return CellRecord{}, 0, fmt.Errorf("%w: record has %d users, spec has %d", ErrCorrupt, users, spec.Users)
+	}
+	total := headerLen + nameLen + 3*8*users + footerLen
+	if len(b) < total {
+		return CellRecord{}, 0, ErrTruncated
+	}
+	body := b[:total-footerLen]
+	if got, want := crc32.Checksum(body, crcTable), binary.LittleEndian.Uint32(b[total-footerLen:total]); got != want {
+		return CellRecord{}, 0, fmt.Errorf("%w: crc %08x, want %08x", ErrChecksum, got, want)
+	}
+	name := string(b[headerLen : headerLen+nameLen])
+	if name != spec.Cells[index] {
+		return CellRecord{}, 0, fmt.Errorf("%w: record names cell %d %q, spec says %q", ErrCorrupt, index, name, spec.Cells[index])
+	}
+	rec := CellRecord{
+		Index: index,
+		Name:  name,
+		Cost:  make([]float64, users),
+		Norm:  make([]float64, users),
+		Sold:  make([]int, users),
+	}
+	off := headerLen + nameLen
+	for i := range rec.Cost {
+		rec.Cost[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[off:]))
+		off += 8
+	}
+	for i := range rec.Norm {
+		rec.Norm[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[off:]))
+		off += 8
+	}
+	for i := range rec.Sold {
+		rec.Sold[i] = int(binary.LittleEndian.Uint64(b[off:]))
+		off += 8
+	}
+	return rec, total, nil
+}
+
+// DecodeShard scans one shard file's bytes and returns the records of
+// its longest valid prefix, the prefix's byte length, and the
+// *RecordError that stopped the scan (nil when the whole shard decoded
+// cleanly). A torn tail is therefore not fatal: the caller keeps the
+// prefix, reports the error, and re-runs the lost cell.
+func DecodeShard(data []byte, spec Spec) ([]CellRecord, int64, error) {
+	digest := spec.digest()
+	var recs []CellRecord
+	var off int64
+	for int(off) < len(data) {
+		rec, n, err := decodeOne(data[off:], spec, digest)
+		if err != nil {
+			return recs, off, &RecordError{Offset: off, Err: err}
+		}
+		recs = append(recs, rec)
+		off += int64(n)
+	}
+	return recs, off, nil
+}

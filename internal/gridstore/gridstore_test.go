@@ -1,0 +1,354 @@
+package gridstore
+
+import (
+	"errors"
+	"io/fs"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// testSpec is a 4-cell, 3-user grid spec used across the suite.
+func testSpec() Spec {
+	return Spec{
+		Version:    FormatVersion,
+		ConfigHash: "deadbeefcafe0123",
+		Seed:       2018,
+		Cells:      []string{"a=0.5,k=0.25", "a=0.5,k=0.5", "a=0.8,k=0.5", "a=0.8,k=0.75"},
+		Users:      3,
+	}
+}
+
+// testRecord builds a distinctive record for cell index i.
+func testRecord(spec Spec, i int) CellRecord {
+	rec := CellRecord{
+		Index: i,
+		Name:  spec.Cells[i],
+		Cost:  make([]float64, spec.Users),
+		Norm:  make([]float64, spec.Users),
+		Sold:  make([]int, spec.Users),
+	}
+	for u := 0; u < spec.Users; u++ {
+		rec.Cost[u] = float64(100*i+u) + 0.125
+		rec.Norm[u] = 1 / float64(i+u+2)
+		rec.Sold[u] = i * u
+	}
+	return rec
+}
+
+func mustCreate(t *testing.T, dir string, spec Spec) *Store {
+	t.Helper()
+	st, err := Create(dir, spec)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	return st
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	spec := testSpec()
+	st := mustCreate(t, dir, spec)
+	for i := range spec.Cells {
+		// Spread cells over two shards, as two pool workers would.
+		if err := st.Append(i%2, testRecord(spec, i)); err != nil {
+			t.Fatalf("Append cell %d: %v", i, err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	st2, res, err := Open(dir, spec)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer st2.Close()
+	if len(res.Dropped) != 0 {
+		t.Fatalf("clean store dropped records: %+v", res.Dropped)
+	}
+	if len(res.Cells) != len(spec.Cells) {
+		t.Fatalf("recovered %d cells, want %d", len(res.Cells), len(spec.Cells))
+	}
+	for i := range spec.Cells {
+		want := testRecord(spec, i)
+		got, ok := res.Cells[i]
+		if !ok {
+			t.Fatalf("cell %d missing", i)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("cell %d = %+v, want %+v", i, got, want)
+		}
+		// Resume must be bit-exact, not merely approximately equal.
+		for u := range want.Cost {
+			if math.Float64bits(got.Cost[u]) != math.Float64bits(want.Cost[u]) ||
+				math.Float64bits(got.Norm[u]) != math.Float64bits(want.Norm[u]) {
+				t.Errorf("cell %d user %d: float bits differ", i, u)
+			}
+		}
+	}
+}
+
+func TestOpenNothingToResume(t *testing.T) {
+	_, _, err := Open(t.TempDir(), testSpec())
+	if !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("Open of empty dir = %v, want fs.ErrNotExist", err)
+	}
+}
+
+func TestCreateClearsStaleStore(t *testing.T) {
+	dir := t.TempDir()
+	spec := testSpec()
+	st := mustCreate(t, dir, spec)
+	if err := st.Append(0, testRecord(spec, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Re-creating (a non-resume run) must wipe the old shard files so
+	// stale records can never leak into the new grid.
+	st2 := mustCreate(t, dir, spec)
+	defer st2.Close()
+	if _, err := os.Stat(filepath.Join(dir, shardName(0))); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("stale shard survived Create: %v", err)
+	}
+}
+
+func TestOpenSpecMismatch(t *testing.T) {
+	spec := testSpec()
+	mutations := map[string]func(*Spec){
+		"config-hash": func(s *Spec) { s.ConfigHash = "0123456789abcdef" },
+		"seed":        func(s *Spec) { s.Seed = 7 },
+		"users":       func(s *Spec) { s.Users = 5 },
+		"cells":       func(s *Spec) { s.Cells = append([]string{"x"}, s.Cells[1:]...) },
+	}
+	for name, mutate := range mutations {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			st := mustCreate(t, dir, spec)
+			if err := st.Close(); err != nil {
+				t.Fatal(err)
+			}
+			want := spec
+			want.Cells = append([]string(nil), spec.Cells...)
+			mutate(&want)
+			_, _, err := Open(dir, want)
+			if !errors.Is(err, ErrSpecMismatch) {
+				t.Fatalf("Open with mutated %s = %v, want ErrSpecMismatch", name, err)
+			}
+		})
+	}
+}
+
+func TestOpenVersionSkew(t *testing.T) {
+	dir := t.TempDir()
+	spec := testSpec()
+	st := mustCreate(t, dir, spec)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A future build with a bumped FormatVersion would present a spec
+	// with that version; today's store must be rejected as ErrVersion
+	// at the matchSpec layer (validate catches it even earlier for the
+	// in-memory side, so mutate the on-disk document instead).
+	raw, err := os.ReadFile(filepath.Join(dir, SpecFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutated := strings.Replace(string(raw), `"version": 1`, `"version": 99`, 1)
+	if mutated == string(raw) {
+		t.Fatal("version field not found in spec.json")
+	}
+	if err := os.WriteFile(filepath.Join(dir, SpecFile), []byte(mutated), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = Open(dir, spec)
+	if !errors.Is(err, ErrVersion) {
+		t.Fatalf("Open with version-skewed spec = %v, want ErrVersion", err)
+	}
+}
+
+func TestOpenTornTailTruncatesAndResumes(t *testing.T) {
+	dir := t.TempDir()
+	spec := testSpec()
+	st := mustCreate(t, dir, spec)
+	for i := 0; i < 3; i++ {
+		if err := st.Append(0, testRecord(spec, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the last record, as a crash mid-append would.
+	shard := filepath.Join(dir, shardName(0))
+	info, err := os.Stat(shard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(shard, info.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, res, err := Open(dir, spec)
+	if err != nil {
+		t.Fatalf("Open after tear: %v", err)
+	}
+	if len(res.Cells) != 2 {
+		t.Fatalf("recovered %d cells after tear, want 2", len(res.Cells))
+	}
+	if len(res.Dropped) != 1 || !errors.Is(res.Dropped[0].Err, ErrTruncated) {
+		t.Fatalf("dropped = %+v, want one ErrTruncated", res.Dropped)
+	}
+	var re *RecordError
+	if !errors.As(res.Dropped[0].Err, &re) || re.Shard != shardName(0) {
+		t.Fatalf("dropped error %v does not carry the shard name", res.Dropped[0].Err)
+	}
+	// The torn tail must be gone from disk, and appending the re-run
+	// cell must produce a store that re-opens with zero drops.
+	if err := st2.Append(0, testRecord(spec, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st3, res, err := Open(dir, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st3.Close()
+	if len(res.Cells) != 3 || len(res.Dropped) != 0 {
+		t.Fatalf("after repair: %d cells, dropped %+v; want 3 cells, no drops", len(res.Cells), res.Dropped)
+	}
+}
+
+func TestOpenChecksumCorruption(t *testing.T) {
+	dir := t.TempDir()
+	spec := testSpec()
+	st := mustCreate(t, dir, spec)
+	for i := 0; i < 2; i++ {
+		if err := st.Append(0, testRecord(spec, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	shard := filepath.Join(dir, shardName(0))
+	data, err := os.ReadFile(shard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte in the second record (past its header, so
+	// framing still parses and the CRC is what catches it).
+	data[len(data)-footerLen-3] ^= 0xff
+	if err := os.WriteFile(shard, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, res, err := Open(dir, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 1 {
+		t.Fatalf("recovered %d cells, want 1 (the uncorrupted prefix)", len(res.Cells))
+	}
+	if len(res.Dropped) != 1 || !errors.Is(res.Dropped[0].Err, ErrChecksum) {
+		t.Fatalf("dropped = %+v, want one ErrChecksum", res.Dropped)
+	}
+}
+
+func TestLoadDuplicateCellKeepsFirst(t *testing.T) {
+	dir := t.TempDir()
+	spec := testSpec()
+	st := mustCreate(t, dir, spec)
+	first := testRecord(spec, 1)
+	second := testRecord(spec, 1)
+	second.Cost[0] = 999
+	if err := st.Append(0, first); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(0, second); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, res, err := Open(dir, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Cells[1].Cost[0]; got != first.Cost[0] {
+		t.Fatalf("duplicate resolution kept Cost[0]=%v, want first record's %v", got, first.Cost[0])
+	}
+	if len(res.Dropped) != 1 || !errors.Is(res.Dropped[0].Err, ErrDuplicate) {
+		t.Fatalf("dropped = %+v, want one ErrDuplicate", res.Dropped)
+	}
+}
+
+func TestRecordVersionSkew(t *testing.T) {
+	spec := testSpec()
+	buf, err := AppendRecord(nil, spec, testRecord(spec, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[4] = 0x7f // bump the record's version field
+	_, _, derr := DecodeShard(buf, spec)
+	if !errors.Is(derr, ErrVersion) {
+		t.Fatalf("decode of version-skewed record = %v, want ErrVersion", derr)
+	}
+}
+
+func TestRecordSpecDigestMismatch(t *testing.T) {
+	spec := testSpec()
+	other := testSpec()
+	other.Seed++
+	buf, err := AppendRecord(nil, other, testRecord(other, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, derr := DecodeShard(buf, spec)
+	if !errors.Is(derr, ErrSpecMismatch) {
+		t.Fatalf("decode of foreign-grid record = %v, want ErrSpecMismatch", derr)
+	}
+}
+
+func TestAppendRecordValidation(t *testing.T) {
+	spec := testSpec()
+	bad := []struct {
+		name   string
+		mutate func(*CellRecord)
+	}{
+		{"index-out-of-range", func(r *CellRecord) { r.Index = len(spec.Cells) }},
+		{"negative-index", func(r *CellRecord) { r.Index = -1 }},
+		{"name-mismatch", func(r *CellRecord) { r.Name = "imposter" }},
+		{"short-columns", func(r *CellRecord) { r.Cost = r.Cost[:1] }},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := testRecord(spec, 0)
+			tc.mutate(&rec)
+			if _, err := AppendRecord(nil, spec, rec); err == nil {
+				t.Fatal("invalid record encoded without error")
+			}
+		})
+	}
+}
+
+func TestAppendAfterClose(t *testing.T) {
+	dir := t.TempDir()
+	spec := testSpec()
+	st := mustCreate(t, dir, spec)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(0, testRecord(spec, 0)); err == nil {
+		t.Fatal("Append after Close succeeded")
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("second Close not idempotent: %v", err)
+	}
+}

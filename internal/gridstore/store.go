@@ -1,0 +1,270 @@
+package gridstore
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"slices"
+	"sync"
+)
+
+// shardGlob matches the shard files inside a store directory. fs.Glob
+// returns matches sorted, which keeps every load deterministic.
+const shardGlob = "shard-*.grid"
+
+// shardName is the file a given pool worker appends to.
+func shardName(worker int) string {
+	return fmt.Sprintf("shard-%03d.grid", worker)
+}
+
+// Dropped reports one record (or record tail) that a load could not
+// use: a torn tail, a checksum failure, a duplicate cell. Err wraps
+// the classifying sentinel, so errors.Is(d.Err, ErrTruncated) etc.
+// work. Dropped records are re-run by resume, never silently merged.
+type Dropped struct {
+	Shard  string
+	Offset int64
+	Err    error
+}
+
+// LoadResult is what a resume recovered from disk: the valid cell
+// records keyed by cell index, and everything it had to drop.
+type LoadResult struct {
+	Cells   map[int]CellRecord
+	Dropped []Dropped
+}
+
+// shardExtent records how much of a shard file decoded cleanly, so
+// Open can truncate torn tails before the store appends again.
+type shardExtent struct {
+	name  string
+	valid int64
+	size  int64
+}
+
+// Store is an open spill directory accepting per-worker appends. Each
+// grid-pool worker appends whole records to its own shard file;
+// Append serializes briefly on one mutex (appends happen once per
+// completed cell, so contention is negligible against engine time).
+type Store struct {
+	dir    string
+	spec   Spec
+	digest [8]byte
+
+	mu    sync.Mutex
+	files map[int]*os.File
+	buf   []byte
+}
+
+// Create initializes dir as a fresh store for spec, removing any prior
+// spill artifacts (an old spec and shard files) so a restarted sweep
+// never merges records from a previous configuration. The spec is
+// written via a temp file and rename, so a crash during Create leaves
+// either no spec — an unresumable, and therefore safe, directory — or
+// a complete one.
+func Create(dir string, spec Spec) (*Store, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("gridstore: creating store dir: %w", err)
+	}
+	stale, err := filepath.Glob(filepath.Join(dir, shardGlob))
+	if err != nil {
+		// Glob only errors on a malformed pattern, and shardGlob is a
+		// constant; keep the check anyway.
+		return nil, fmt.Errorf("gridstore: listing stale shards: %w", err)
+	}
+	stale = append(stale, filepath.Join(dir, SpecFile))
+	for _, path := range stale {
+		if err := os.Remove(path); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			return nil, fmt.Errorf("gridstore: clearing stale %s: %w", filepath.Base(path), err)
+		}
+	}
+	raw, err := json.MarshalIndent(spec, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("gridstore: encoding spec: %w", err)
+	}
+	tmp := filepath.Join(dir, SpecFile+".tmp")
+	if err := os.WriteFile(tmp, append(raw, '\n'), 0o644); err != nil {
+		return nil, fmt.Errorf("gridstore: writing spec: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, SpecFile)); err != nil {
+		return nil, fmt.Errorf("gridstore: committing spec: %w", err)
+	}
+	return newStore(dir, spec), nil
+}
+
+// Open resumes an existing store for spec. It validates the on-disk
+// spec against the one the caller is about to run (any mismatch is
+// fatal — resuming someone else's results is never what you want),
+// loads every shard's valid records, truncates each shard to its last
+// valid record so later appends never land after a torn tail, and
+// returns the store plus what it recovered.
+//
+// A directory with no spec returns an error satisfying
+// errors.Is(err, fs.ErrNotExist); callers treat that as "nothing to
+// resume" and Create instead.
+func Open(dir string, spec Spec) (*Store, *LoadResult, error) {
+	if err := spec.validate(); err != nil {
+		return nil, nil, err
+	}
+	res, extents, err := loadFS(os.DirFS(dir), spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, ext := range extents {
+		if ext.valid == ext.size {
+			continue
+		}
+		if err := os.Truncate(filepath.Join(dir, ext.name), ext.valid); err != nil {
+			return nil, nil, fmt.Errorf("gridstore: truncating torn tail of %s: %w", ext.name, err)
+		}
+	}
+	return newStore(dir, spec), res, nil
+}
+
+// LoadFS validates and reads a store through any fs.FS — the read-only
+// half of Open, separated so fault-injection tests (internal/faultfs)
+// can drive every degradation path. Open/read errors on the spec or a
+// shard are fatal: a shard whose extent cannot even be determined
+// cannot be safely appended to, so the caller gets a structured error
+// rather than a silent partial merge.
+func LoadFS(fsys fs.FS, spec Spec) (*LoadResult, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	res, _, err := loadFS(fsys, spec)
+	return res, err
+}
+
+func loadFS(fsys fs.FS, spec Spec) (*LoadResult, []shardExtent, error) {
+	raw, err := fs.ReadFile(fsys, SpecFile)
+	if err != nil {
+		return nil, nil, fmt.Errorf("gridstore: reading %s: %w", SpecFile, err)
+	}
+	var have Spec
+	if err := json.Unmarshal(raw, &have); err != nil {
+		return nil, nil, fmt.Errorf("gridstore: %s: %w: %v", SpecFile, ErrCorrupt, err)
+	}
+	if err := matchSpec(have, spec); err != nil {
+		return nil, nil, err
+	}
+
+	names, err := fs.Glob(fsys, shardGlob)
+	if err != nil {
+		return nil, nil, fmt.Errorf("gridstore: listing shards: %w", err)
+	}
+	slices.Sort(names) // fs.Glob sorts already; pin it regardless
+	res := &LoadResult{Cells: make(map[int]CellRecord)}
+	extents := make([]shardExtent, 0, len(names))
+	for _, name := range names {
+		data, err := fs.ReadFile(fsys, name)
+		if err != nil {
+			return nil, nil, fmt.Errorf("gridstore: reading shard %s: %w", name, err)
+		}
+		recs, valid, derr := DecodeShard(data, spec)
+		if derr != nil {
+			var re *RecordError
+			if errors.As(derr, &re) {
+				re.Shard = name
+			}
+			res.Dropped = append(res.Dropped, Dropped{Shard: name, Offset: valid, Err: derr})
+		}
+		for _, rec := range recs {
+			if _, dup := res.Cells[rec.Index]; dup {
+				res.Dropped = append(res.Dropped, Dropped{
+					Shard: name,
+					Err:   &RecordError{Shard: name, Err: fmt.Errorf("cell %d %q: %w", rec.Index, rec.Name, ErrDuplicate)},
+				})
+				continue // first record wins
+			}
+			res.Cells[rec.Index] = rec
+		}
+		extents = append(extents, shardExtent{name: name, valid: valid, size: int64(len(data))})
+	}
+	return res, extents, nil
+}
+
+// matchSpec explains exactly which field diverged; every mismatch
+// wraps ErrSpecMismatch (or ErrVersion for a version skew).
+func matchSpec(have, want Spec) error {
+	switch {
+	case have.Version != want.Version:
+		return fmt.Errorf("%w: store written by format version %d, this build runs %d", ErrVersion, have.Version, want.Version)
+	case have.ConfigHash != want.ConfigHash:
+		return fmt.Errorf("%w: store config hash %.12s…, grid is %.12s… (the spilled results came from a different configuration)",
+			ErrSpecMismatch, have.ConfigHash, want.ConfigHash)
+	case have.Seed != want.Seed:
+		return fmt.Errorf("%w: store seed %d, grid seed %d", ErrSpecMismatch, have.Seed, want.Seed)
+	case have.Users != want.Users:
+		return fmt.Errorf("%w: store has %d users per cell, grid has %d", ErrSpecMismatch, have.Users, want.Users)
+	case !slices.Equal(have.Cells, want.Cells):
+		return fmt.Errorf("%w: store cell list differs from grid (%d vs %d cells)", ErrSpecMismatch, len(have.Cells), len(want.Cells))
+	}
+	return nil
+}
+
+func newStore(dir string, spec Spec) *Store {
+	return &Store{dir: dir, spec: spec, digest: spec.digest(), files: make(map[int]*os.File)}
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Append encodes rec and appends it to the given worker's shard file,
+// opening the shard on first use. Safe for concurrent use; each record
+// is written with a single Write call, so a crash tears at most the
+// file's tail, which Open repairs.
+func (s *Store) Append(worker int, rec CellRecord) error {
+	if worker < 0 {
+		return fmt.Errorf("gridstore: negative shard %d", worker)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.files == nil {
+		return errors.New("gridstore: append to closed store")
+	}
+	f, ok := s.files[worker]
+	if !ok {
+		var err error
+		f, err = os.OpenFile(filepath.Join(s.dir, shardName(worker)), os.O_WRONLY|os.O_APPEND|os.O_CREATE, 0o644)
+		if err != nil {
+			return fmt.Errorf("gridstore: opening shard: %w", err)
+		}
+		s.files[worker] = f
+	}
+	buf, err := appendRecord(s.buf[:0], s.spec, s.digest, rec)
+	if err != nil {
+		return err
+	}
+	s.buf = buf[:0]
+	if _, err := f.Write(buf); err != nil {
+		return fmt.Errorf("gridstore: appending cell %q to %s: %w", rec.Name, shardName(worker), err)
+	}
+	return nil
+}
+
+// Close syncs and closes every open shard. Records are not fsynced per
+// append — a hard crash may lose an unsynced tail record, which resume
+// simply recomputes — but a clean Close (including the drain after a
+// SIGINT) leaves everything durable. Idempotent.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	files := s.files
+	s.files = nil
+	var errs []error
+	for worker, f := range files {
+		if err := f.Sync(); err != nil {
+			errs = append(errs, fmt.Errorf("gridstore: syncing %s: %w", shardName(worker), err))
+		}
+		if err := f.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("gridstore: closing %s: %w", shardName(worker), err))
+		}
+	}
+	return errors.Join(errs...)
+}

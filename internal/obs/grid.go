@@ -21,6 +21,9 @@ type cellTrack struct {
 	jobs      atomic.Int64
 	engineNs  atomic.Int64
 	wallNs    atomic.Int64
+	// resumed is set before the pool starts (single-goroutine prefill)
+	// and read after it joins, so it needs no atomic.
+	resumed bool
 }
 
 // StartGrid begins tracking a grid of len(names) cells with
@@ -37,6 +40,20 @@ func (m *Metrics) StartGrid(names []string, usersPerCell int) *GridTracker {
 		t.cells[i].remaining.Store(int64(usersPerCell))
 	}
 	return t
+}
+
+// CellResumed marks one cell as restored from a spill store: none of
+// its jobs will run, it books no engine time, and the manifest reports
+// it as resumed rather than computed. Called during the single-threaded
+// resume prefill, before any JobDone.
+func (t *GridTracker) CellResumed(cell int) {
+	if t == nil {
+		return
+	}
+	c := &t.cells[cell]
+	c.resumed = true
+	c.remaining.Store(0)
+	t.m.CellsResumed.Add(1)
 }
 
 // JobDone books one completed (cell, user) job that spent engineNs in
@@ -71,6 +88,7 @@ func (t *GridTracker) Finish() {
 			Jobs:     c.jobs.Load(),
 			EngineNs: c.engineNs.Load(),
 			WallNs:   c.wallNs.Load(),
+			Resumed:  c.resumed,
 		}
 	}
 	t.m.recordCells(stats)

@@ -51,6 +51,17 @@ type Metrics struct {
 	CellsTotal Counter
 	CellsDone  Counter
 
+	// CellsResumed counts grid cells restored from a spill store
+	// (-resume) instead of recomputed; a resumed cell is counted in
+	// CellsTotal but never in CellsDone, so the manifest cleanly splits
+	// resumed-vs-recomputed work.
+	CellsResumed Counter
+
+	// JobsStolen counts pool jobs claimed from another worker's shard
+	// by the work-stealing scheduler. Timing-dependent by nature —
+	// useful for judging skew, never part of any result.
+	JobsStolen Counter
+
 	// EngineRunNs is the wall-time distribution of individual engine
 	// runs, timed at the experiment-driver call sites (the engine
 	// itself never reads a clock).
@@ -129,6 +140,10 @@ type CellStat struct {
 	Jobs     int64  `json:"jobs"`
 	EngineNs int64  `json:"engine_ns"`
 	WallNs   int64  `json:"wall_ns"`
+	// Resumed marks a cell restored from a spill store rather than
+	// computed: its Jobs and EngineNs are zero because this run never
+	// ran them.
+	Resumed bool `json:"resumed,omitempty"`
 }
 
 // Snapshot is a point-in-time copy of every metric, in the fixed field
@@ -148,6 +163,8 @@ type Snapshot struct {
 	BaselineMisses  int64             `json:"baseline_misses"`
 	CellsTotal      int64             `json:"cells_total"`
 	CellsDone       int64             `json:"cells_done"`
+	CellsResumed    int64             `json:"cells_resumed"`
+	JobsStolen      int64             `json:"jobs_stolen"`
 	EngineRunNs     HistogramSnapshot `json:"engine_run_ns"`
 	Spans           []SpanStat        `json:"spans,omitempty"`
 	Cells           []CellStat        `json:"cells,omitempty"`
@@ -172,6 +189,8 @@ func (m *Metrics) Snapshot() *Snapshot {
 		BaselineMisses:  m.BaselineMisses.Value(),
 		CellsTotal:      m.CellsTotal.Value(),
 		CellsDone:       m.CellsDone.Value(),
+		CellsResumed:    m.CellsResumed.Value(),
+		JobsStolen:      m.JobsStolen.Value(),
 		EngineRunNs:     m.EngineRunNs.Snapshot(),
 	}
 	m.mu.Lock()

@@ -1,16 +1,21 @@
 #!/usr/bin/env bash
-# Refresh the committed engine benchmark baseline (BENCH_5.json).
+# Refresh the committed benchmark baseline (BENCH_6.json).
 #
 # Runs the BenchmarkEngineRun matrix (terms x checkpoint density x
-# schedule recording) plus BenchmarkObsOverhead (the engine hot path
-# with the obs hook off and on) with -benchmem, takes the minimum over
-# COUNT repeats, and writes the baseline JSON that CI's benchgate step
-# enforces — 20% regression tolerance on time, and exactly-equal
-# allocs/op for the ObsOverhead pair, pinning the hook's zero-alloc
-# contract. Run it on an idle machine after any change to
-# internal/simulate or internal/obs, and commit the result:
+# schedule recording), BenchmarkObsOverhead (the engine hot path with
+# the obs hook off and on), and BenchmarkGridSkewed (the sharded
+# worker pool on uniform vs heavy-tailed grids, stealing on and off)
+# with -benchmem, takes the minimum over COUNT repeats, and writes the
+# baseline JSON that CI's benchgate step enforces — 20% regression
+# tolerance on time, and exactly-equal allocs/op for the ObsOverhead
+# pair, pinning the hook's zero-alloc contract. The GridSkewed rows
+# hold the scheduler's wall time on skewed grids, so a work-stealing
+# regression shows up as a benchgate failure, not a slow sweep. Run it
+# on an idle machine after any change to internal/simulate,
+# internal/obs, or the internal/experiments pool, and commit the
+# result:
 #
-#   scripts/bench.sh             # writes BENCH_5.json
+#   scripts/bench.sh             # writes BENCH_6.json
 #   COUNT=10 scripts/bench.sh    # more repeats, tighter minima
 #   OUT=/tmp/b.json scripts/bench.sh   # write elsewhere for comparison
 #
@@ -22,8 +27,8 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 COUNT="${COUNT:-5}"
-OUT="${OUT:-BENCH_5.json}"
+OUT="${OUT:-BENCH_6.json}"
 
-go test -run '^$' -bench '^(BenchmarkEngineRun|BenchmarkObsOverhead)$' -benchmem -count "$COUNT" . |
+go test -run '^$' -bench '^(BenchmarkEngineRun|BenchmarkObsOverhead|BenchmarkGridSkewed)$' -benchmem -count "$COUNT" . ./internal/experiments |
 	tee /dev/stderr |
 	go run ./scripts/benchgate -update -baseline "$OUT"

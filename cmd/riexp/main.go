@@ -25,16 +25,21 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"sort"
+	"strings"
 
 	"flag"
 
 	"rimarket/internal/analysis"
 	"rimarket/internal/cli"
+	"rimarket/internal/coltrace"
 	"rimarket/internal/core"
 	"rimarket/internal/experiments"
 	"rimarket/internal/gtrace"
 	"rimarket/internal/obs"
 	"rimarket/internal/pricing"
+	"rimarket/internal/workload"
 )
 
 func main() {
@@ -56,7 +61,9 @@ type params struct {
 	seed               int64
 	discount, fee      float64
 	term, par          int
+	batch              bool
 	traceDir, traceErr string
+	traceFmt           string
 	traceBud           int
 	jsonOut, csvOut    string
 	spill, resume      string
@@ -74,7 +81,9 @@ func run(ctx context.Context, args []string, w, stderr io.Writer) error {
 	fs.Float64Var(&p.fee, "fee", 0, "marketplace fee in [0, 1) applied to sale income")
 	fs.IntVar(&p.term, "term", 1, "reservation term in years (1 or 3)")
 	fs.IntVar(&p.par, "parallelism", 0, "worker goroutines evaluating users and grid cells; 0 means GOMAXPROCS (results are identical at any setting)")
-	fs.StringVar(&p.traceDir, "tracedir", "", "run on real EC2-usage-log files (.csv/.csv.gz) from this directory instead of the synthetic cohort")
+	fs.BoolVar(&p.batch, "batch", false, "advance whole cohorts through the streaming batch engine (one struct-of-arrays pass per grid cell) instead of one engine run per user; results are bit-identical either way")
+	fs.StringVar(&p.traceDir, "tracedir", "", "run on real trace files from this directory instead of the synthetic cohort (see -trace-format)")
+	fs.StringVar(&p.traceFmt, "trace-format", "ec2-log", "format of -tracedir files: ec2-log (.csv/.csv.gz usage logs) or colt (columnar cohort stores, .colt)")
 	fs.StringVar(&p.traceErr, "trace-errors", "strict", "error policy for -tracedir files: strict (fail on the first bad file) or best-effort (skip bad files, warn, exit 3)")
 	fs.IntVar(&p.traceBud, "trace-error-budget", 0, "max files best-effort may skip before failing anyway; 0 means unlimited")
 	fs.StringVar(&p.jsonOut, "json", "", "also write the full cohort result as JSON to this file")
@@ -135,6 +144,11 @@ func runParsed(ctx context.Context, p params, sess *cli.ObsSession, w, stderr io
 		return cli.Usagef("-trace-error-budget %d must be non-negative", p.traceBud)
 	}
 	loadOpts.FailureBudget = p.traceBud
+	switch p.traceFmt {
+	case "ec2-log", "colt":
+	default:
+		return cli.Usagef("unknown -trace-format %q (want ec2-log or colt)", p.traceFmt)
+	}
 
 	var cfg experiments.Config
 	switch p.scale {
@@ -175,6 +189,7 @@ func runParsed(ctx context.Context, p params, sess *cli.ObsSession, w, stderr io
 	}
 	cfg.MarketFee = p.fee
 	cfg.Parallelism = p.par
+	cfg.Batch = p.batch
 	if p.spill != "" && p.resume != "" {
 		return cli.Usagef("-spill and -resume are mutually exclusive: -resume already keeps spilling into its directory")
 	}
@@ -258,7 +273,14 @@ func runParsed(ctx context.Context, p params, sess *cli.ObsSession, w, stderr io
 	var res *experiments.CohortResult
 	var report *gtrace.LoadReport
 	if p.traceDir != "" {
-		traces, rep, err := gtrace.LoadEC2LogDirOpts(p.traceDir, loadOpts)
+		var traces []workload.Trace
+		var rep *gtrace.LoadReport
+		var err error
+		if p.traceFmt == "colt" {
+			traces, rep, err = loadColtDir(p.traceDir, loadOpts)
+		} else {
+			traces, rep, err = gtrace.LoadEC2LogDirOpts(p.traceDir, loadOpts)
+		}
 		if err != nil {
 			return fmt.Errorf("%s: %w", p.traceDir, err)
 		}
@@ -295,6 +317,55 @@ func runParsed(ctx context.Context, p params, sess *cli.ObsSession, w, stderr io
 			len(report.Skipped), len(report.Skipped)+len(report.Loaded), cli.ErrPartial)
 	}
 	return nil
+}
+
+// loadColtDir reads every columnar cohort store (.colt) in a directory
+// into traces, sorted by file name, under the same error policy as the
+// EC2-log loader: Strict fails on the first undecodable store,
+// BestEffort skips it (within the failure budget) and records it in
+// the report. Duplicate user ids across stores fail under either
+// policy, like gtrace's *DuplicateUserError — the cohort would be
+// ambiguous, not merely smaller.
+func loadColtDir(dir string, opts gtrace.LoadOptions) ([]workload.Trace, *gtrace.LoadReport, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), coltrace.Ext) {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		return nil, nil, fmt.Errorf("no %s cohort stores (convert traces with: ritrace convert)", coltrace.Ext)
+	}
+	sort.Strings(names)
+	report := &gtrace.LoadReport{}
+	var cohorts []*coltrace.Cohort
+	for _, name := range names {
+		cs, err := coltrace.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			if opts.Policy == gtrace.BestEffort {
+				report.Skipped = append(report.Skipped, gtrace.SkippedFile{File: name, Err: err})
+				if opts.FailureBudget > 0 && len(report.Skipped) > opts.FailureBudget {
+					return nil, report, fmt.Errorf("failure budget of %d exceeded: %w", opts.FailureBudget, err)
+				}
+				continue
+			}
+			return nil, report, err
+		}
+		cohorts = append(cohorts, cs...)
+		report.Loaded = append(report.Loaded, name)
+	}
+	if len(cohorts) == 0 {
+		return nil, report, fmt.Errorf("all %d cohort stores skipped", len(names))
+	}
+	traces, err := coltrace.MergeTraces(cohorts...)
+	if err != nil {
+		return nil, report, err
+	}
+	return traces, report, nil
 }
 
 // traceIngest converts a gtrace load report to the manifest's

@@ -5,8 +5,10 @@
 //
 //	ritrace gen -out traces/ -pergroup 10 -hours 2000   # synthetic cohort as EC2 logs
 //	ritrace inspect -trace traces/user-g1-000.csv       # stats for one log
+//	ritrace inspect -trace cohort.colt                  # summarize a columnar store
 //	ritrace gen-gtrace -out tasks.csv -pergroup 5       # Google-style task events
 //	ritrace convert -in tasks.csv -out traces/          # task events -> EC2 logs
+//	ritrace convert -from ec2-log -to colt -in traces/ -out cohort.colt
 package main
 
 import (
@@ -15,8 +17,10 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"rimarket/internal/cli"
+	"rimarket/internal/coltrace"
 	"rimarket/internal/gtrace"
 	"rimarket/internal/stats"
 	"rimarket/internal/workload"
@@ -149,6 +153,9 @@ func inspect(args []string, w, stderr io.Writer) error {
 		if *path == "" {
 			return fmt.Errorf("pass -trace FILE")
 		}
+		if strings.HasSuffix(*path, coltrace.Ext) {
+			return inspectColt(w, *path)
+		}
 		f, err := os.Open(*path)
 		if err != nil {
 			return err
@@ -170,10 +177,47 @@ func inspect(args []string, w, stderr io.Writer) error {
 	})
 }
 
+// inspectColt summarizes a columnar cohort store: per record its
+// shape, demand volume and whether a reservation column is present,
+// then store-wide totals.
+func inspectColt(w io.Writer, path string) error {
+	cohorts, err := coltrace.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "store: %s\nformat: colt v%d\ncohorts: %d\n", path, coltrace.FormatVersion, len(cohorts))
+	totalUsers, totalHours := 0, 0
+	var totalDemand int64
+	for i, c := range cohorts {
+		var sum int64
+		var peak int32
+		for _, d := range c.Demand {
+			sum += int64(d)
+			if d > peak {
+				peak = d
+			}
+		}
+		res := "no"
+		if c.NewRes != nil {
+			res = "yes"
+		}
+		fmt.Fprintf(w, "cohort %d: %d users x %d hours, total demand %d, peak %d, reservations: %s\n",
+			i, len(c.Users), c.Hours, sum, peak, res)
+		totalUsers += len(c.Users)
+		totalHours += len(c.Users) * c.Hours
+		totalDemand += sum
+	}
+	fmt.Fprintf(w, "total: %d users, %d instance-hours of demand over %d trace-hours\n",
+		totalUsers, totalDemand, totalHours)
+	return nil
+}
+
 func convert(args []string, w, stderr io.Writer) error {
 	fs := flag.NewFlagSet("convert", flag.ContinueOnError)
-	in := fs.String("in", "", "task-events CSV to convert")
-	out := fs.String("out", ".", "output directory for per-user EC2 logs")
+	in := fs.String("in", "", "input: task-events CSV (-from task-events) or EC2-log directory (-from ec2-log)")
+	out := fs.String("out", ".", "output: directory for per-user EC2 logs (-to ec2-log) or columnar store path (-to colt)")
+	from := fs.String("from", "task-events", "input format: task-events (Google-style CSV) or ec2-log (directory of .csv/.csv.gz usage logs)")
+	to := fs.String("to", "ec2-log", "output format: ec2-log (per-user CSV files) or colt (one columnar cohort store)")
 	cpu := fs.Float64("cpu", gtrace.DefaultCapacity.CPU, "per-instance CPU capacity")
 	mem := fs.Float64("mem", gtrace.DefaultCapacity.Memory, "per-instance memory capacity")
 	var obsFlags cli.ObsFlags
@@ -181,41 +225,78 @@ func convert(args []string, w, stderr io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return cli.Usage(err)
 	}
+	// Reject unknown formats before touching the input: a typo in -from
+	// or -to is a usage error, not a half-finished conversion.
+	switch *from {
+	case "task-events", "ec2-log":
+	default:
+		return cli.Usagef("unknown -from format %q (want task-events or ec2-log)", *from)
+	}
+	switch *to {
+	case "ec2-log", "colt":
+	default:
+		return cli.Usagef("unknown -to format %q (want ec2-log or colt)", *to)
+	}
 	return obsFlags.Run("ritrace", args, stderr, func(sess *cli.ObsSession) error {
 		if *in == "" {
 			return fmt.Errorf("pass -in FILE")
 		}
-		f, err := os.Open(*in)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		events, err := gtrace.ReadTaskEventsAuto(f)
-		if err != nil {
-			return err
-		}
-		traces, err := gtrace.AggregateByUser(events, gtrace.InstanceCapacity{CPU: *cpu, Memory: *mem, Disk: 1})
-		if err != nil {
-			return err
-		}
-		if err := os.MkdirAll(*out, 0o755); err != nil {
-			return err
-		}
-		for _, tr := range traces {
-			path := filepath.Join(*out, tr.User+".csv")
-			g, err := os.Create(path)
+		var traces []workload.Trace
+		var source string
+		switch *from {
+		case "task-events":
+			f, err := os.Open(*in)
 			if err != nil {
 				return err
 			}
-			if err := gtrace.WriteEC2Log(g, tr); err != nil {
-				g.Close()
+			defer f.Close()
+			events, err := gtrace.ReadTaskEventsAuto(f)
+			if err != nil {
 				return err
 			}
-			if err := g.Close(); err != nil {
+			traces, err = gtrace.AggregateByUser(events, gtrace.InstanceCapacity{CPU: *cpu, Memory: *mem, Disk: 1})
+			if err != nil {
 				return err
 			}
+			source = fmt.Sprintf("%d events", len(events))
+		case "ec2-log":
+			var err error
+			traces, _, err = gtrace.LoadEC2LogDir(*in)
+			if err != nil {
+				return err
+			}
+			source = fmt.Sprintf("%d log files", len(traces))
 		}
-		fmt.Fprintf(w, "converted %d events into %d user traces in %s\n", len(events), len(traces), *out)
+		switch *to {
+		case "ec2-log":
+			if err := os.MkdirAll(*out, 0o755); err != nil {
+				return err
+			}
+			for _, tr := range traces {
+				path := filepath.Join(*out, tr.User+".csv")
+				g, err := os.Create(path)
+				if err != nil {
+					return err
+				}
+				if err := gtrace.WriteEC2Log(g, tr); err != nil {
+					g.Close()
+					return err
+				}
+				if err := g.Close(); err != nil {
+					return err
+				}
+			}
+			fmt.Fprintf(w, "converted %s into %d user traces in %s\n", source, len(traces), *out)
+		case "colt":
+			cohorts, err := coltrace.GroupTraces(traces)
+			if err != nil {
+				return err
+			}
+			if err := coltrace.WriteFile(*out, cohorts...); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "converted %s into %d users across %d cohorts in %s\n", source, len(traces), len(cohorts), *out)
+		}
 		return nil
 	})
 }

@@ -33,26 +33,47 @@ func (p *CohortPlan) MarketSession(ctx context.Context, buyerRates []float64) ([
 	engCfg := simulate.Config{Instance: cfg.Instance, SellingDiscount: cfg.SellingDiscount}
 
 	perUser := make([][]trade.SellEvent, p.Len())
-	err = p.ForEachUser(ctx, func(i int, u PlannedUser) error {
-		run, err := simulateRun(u.Trace.Demand, u.NewRes, engCfg, policy)
+	if cfg.Batch {
+		// The batch engine records sales in reservation order — the same
+		// order the per-user path walks run.Instances in — so the event
+		// stream is identical whichever engine produced it.
+		totals, err := simulateRunBatchTotals(ctx, p.batchUsers(), engCfg, policy,
+			simulate.BatchOptions{Parallelism: cfg.Parallelism, RecordSales: true})
 		if err != nil {
-			return fmt.Errorf("experiments: user %s: %w", u.Trace.User, err)
+			return nil, p.mapBatchErr(err, "")
 		}
-		for _, inst := range run.Instances {
-			if inst.SoldAt < 0 {
-				continue
+		for i, tot := range totals {
+			for _, s := range tot.Sales {
+				perUser[i] = append(perUser[i], trade.SellEvent{
+					Hour:           s.SoldAt,
+					Seller:         p.users[i].Trace.User,
+					Instance:       cfg.Instance,
+					RemainingHours: s.Start + cfg.Instance.PeriodHours - s.SoldAt,
+				})
 			}
-			perUser[i] = append(perUser[i], trade.SellEvent{
-				Hour:           inst.SoldAt,
-				Seller:         u.Trace.User,
-				Instance:       cfg.Instance,
-				RemainingHours: inst.Start + cfg.Instance.PeriodHours - inst.SoldAt,
-			})
 		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
+	} else {
+		err = p.ForEachUser(ctx, func(i int, u PlannedUser) error {
+			run, err := simulateRun(u.Trace.Demand, u.NewRes, engCfg, policy)
+			if err != nil {
+				return fmt.Errorf("experiments: user %s: %w", u.Trace.User, err)
+			}
+			for _, inst := range run.Instances {
+				if inst.SoldAt < 0 {
+					continue
+				}
+				perUser[i] = append(perUser[i], trade.SellEvent{
+					Hour:           inst.SoldAt,
+					Seller:         u.Trace.User,
+					Instance:       cfg.Instance,
+					RemainingHours: inst.Start + cfg.Instance.PeriodHours - inst.SoldAt,
+				})
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
 	}
 	var events []trade.SellEvent
 	for _, evs := range perUser {

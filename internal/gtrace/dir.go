@@ -73,9 +73,13 @@ func (r *LoadReport) Partial() bool { return r != nil && len(r.Skipped) > 0 }
 // policy. Users can point the experiment harness at a directory of
 // real usage logs — like the 36 EC2 log files the paper cites —
 // instead of the synthetic cohort.
-func LoadEC2LogDir(dir string) ([]workload.Trace, error) {
-	traces, _, err := LoadEC2LogDirOpts(dir, LoadOptions{})
-	return traces, err
+//
+// The LoadReport is returned even when err is non-nil: a strict load
+// that fails midway still reports which files had loaded cleanly, so
+// legacy callers see the same ingestion picture as LoadEC2LogDirOpts
+// instead of having the report dropped on the floor.
+func LoadEC2LogDir(dir string) ([]workload.Trace, *LoadReport, error) {
+	return LoadEC2LogDirOpts(dir, LoadOptions{})
 }
 
 // LoadEC2LogDirOpts is LoadEC2LogDir with an explicit error policy,

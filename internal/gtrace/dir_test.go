@@ -43,9 +43,12 @@ func TestLoadEC2LogDir(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	traces, err := LoadEC2LogDir(dir)
+	traces, report, err := LoadEC2LogDir(dir)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if len(report.Loaded) != 2 {
+		t.Errorf("report.Loaded = %v, want both files", report.Loaded)
 	}
 	if len(traces) != 2 {
 		t.Fatalf("traces = %d, want 2", len(traces))
@@ -62,7 +65,7 @@ func TestLoadEC2LogDirNamesAnonymousTraces(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(dir, "webapp.csv"), []byte("0,3\n1,4\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	traces, err := LoadEC2LogDir(dir)
+	traces, _, err := LoadEC2LogDir(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,19 +74,57 @@ func TestLoadEC2LogDirNamesAnonymousTraces(t *testing.T) {
 	}
 }
 
+// TestLoadEC2LogDirReportSurvives is the regression test for the
+// legacy wrapper dropping the LoadReport on the floor: the non-Opts
+// path must surface the same ingestion report as LoadEC2LogDirOpts —
+// including on a strict failure, where the report names the files
+// that had loaded cleanly before the bad one.
+func TestLoadEC2LogDirReportSurvives(t *testing.T) {
+	dir := t.TempDir()
+	writeTraceFile(t, filepath.Join(dir, "a-good.csv"), workload.Trace{User: "alice", Demand: []int{1, 2}}, false)
+	if err := os.WriteFile(filepath.Join(dir, "z-corrupt.csv"), []byte("not,a,trace\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	traces, report, err := LoadEC2LogDir(dir)
+	if err == nil {
+		t.Fatal("strict load over a corrupt file succeeded")
+	}
+	if traces != nil {
+		t.Errorf("strict failure returned traces: %v", traces)
+	}
+	if report == nil {
+		t.Fatal("legacy wrapper dropped the LoadReport")
+	}
+	if len(report.Loaded) != 1 || report.Loaded[0] != "a-good.csv" {
+		t.Errorf("report.Loaded = %v, want [a-good.csv]", report.Loaded)
+	}
+
+	// The report must match the Opts path exactly, warnings included.
+	optTraces, optReport, optErr := LoadEC2LogDirOpts(dir, LoadOptions{Policy: BestEffort})
+	if optErr != nil {
+		t.Fatal(optErr)
+	}
+	if len(optTraces) != 1 || !optReport.Partial() {
+		t.Fatalf("best-effort load = %d traces, partial=%v", len(optTraces), optReport.Partial())
+	}
+	if optReport.Skipped[0].File != "z-corrupt.csv" {
+		t.Errorf("skipped = %v, want z-corrupt.csv", optReport.Skipped)
+	}
+}
+
 func TestLoadEC2LogDirErrors(t *testing.T) {
-	if _, err := LoadEC2LogDir("/nonexistent-dir"); err == nil {
+	if _, _, err := LoadEC2LogDir("/nonexistent-dir"); err == nil {
 		t.Error("missing dir accepted")
 	}
 	empty := t.TempDir()
-	if _, err := LoadEC2LogDir(empty); err == nil {
+	if _, _, err := LoadEC2LogDir(empty); err == nil {
 		t.Error("empty dir accepted")
 	}
 	bad := t.TempDir()
 	if err := os.WriteFile(filepath.Join(bad, "x.csv"), []byte("not,a,trace\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := LoadEC2LogDir(bad); err == nil {
+	if _, _, err := LoadEC2LogDir(bad); err == nil {
 		t.Error("malformed trace accepted")
 	}
 }

@@ -11,7 +11,7 @@ import (
 
 // ManifestSchema versions the manifest JSON layout. Bump on any
 // field rename or semantic change so downstream tooling can dispatch.
-const ManifestSchema = 2
+const ManifestSchema = 3
 
 // Manifest records the provenance of one binary invocation: what ran,
 // with which flags and seed, against which traces, on which build, for

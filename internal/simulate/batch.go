@@ -1,0 +1,524 @@
+package simulate
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// BatchUser is one user's input series for the batch engine: the same
+// (demand, newRes) pair a simulate.Run call takes. The slices are read
+// but never written or retained past the call, so callers may alias
+// shared backing arrays across users — a million-user cohort built
+// from a few thousand distinct traces costs a few thousand traces of
+// memory.
+type BatchUser struct {
+	// Demand is the user's hourly demand series (d_t).
+	Demand []int
+	// NewRes is the user's hourly new-reservation series (n_t), the
+	// same length as Demand.
+	NewRes []int
+}
+
+// SoldInstance records one sale from a batch run, in reservation order
+// (start ascending, batch index ascending) — the order market replay
+// consumes Result.Instances in.
+type SoldInstance struct {
+	// Start is the hour the instance was reserved.
+	Start int
+	// SoldAt is the hour the instance was sold.
+	SoldAt int
+}
+
+// BatchTotal is one user's lean outcome from RunBatchTotals: the exact
+// cost breakdown a full Result would carry, plus the aggregates the
+// experiment drivers consume, without materializing per-hour or
+// per-instance records.
+type BatchTotal struct {
+	// Cost is the run's cost decomposition, bit-identical to the Cost
+	// of the corresponding simulate.Run.
+	Cost CostBreakdown
+	// Sold is the number of instances sold.
+	Sold int
+	// IdleHours sums, over all hours, the active reserved instances
+	// that served no demand — the idle-hour statistic the Keep-Reserved
+	// baseline exposes via experiments.KeepStat.
+	IdleHours int
+	// Sales lists the sold instances in reservation order; nil unless
+	// BatchOptions.RecordSales was set.
+	Sales []SoldInstance
+}
+
+// BatchOptions tunes a RunBatchTotals call. The zero value means
+// GOMAXPROCS-way sharding with no sale records.
+type BatchOptions struct {
+	// Parallelism is the number of user shards advanced concurrently;
+	// 0 or negative means GOMAXPROCS. Users are independent, so the
+	// outputs are identical at any parallelism.
+	Parallelism int
+	// RecordSales makes each BatchTotal carry its user's SoldInstance
+	// list (market replay needs the sale hours; sweeps do not).
+	RecordSales bool
+}
+
+// BatchUserError locates the first invalid user of a batch call. It
+// wraps the exact error simulate.Run would return for that user's
+// inputs, so callers can reproduce per-user error text by unwrapping.
+type BatchUserError struct {
+	// Index is the user's position in the batch.
+	Index int
+	// Err is the underlying validation error.
+	Err error
+}
+
+func (e *BatchUserError) Error() string {
+	return fmt.Sprintf("simulate: batch user %d: %v", e.Index, e.Err)
+}
+
+func (e *BatchUserError) Unwrap() error { return e.Err }
+
+// maxBatchInstances bounds a batch's instance slab so column indices
+// fit int32.
+const maxBatchInstances = math.MaxInt32
+
+// validateBatch applies Run's exact validation to each user in index
+// order and reports the first failure, so batch and per-user callers
+// reject identical inputs identically (lowest index first).
+func validateBatch(users []BatchUser, cfg Config, policy SellingPolicy) error {
+	for i := range users {
+		if err := validateRun(users[i].Demand, users[i].NewRes, cfg, policy); err != nil {
+			return &BatchUserError{Index: i, Err: err}
+		}
+	}
+	return nil
+}
+
+// RunBatch replays every user's trace in one streaming pass and
+// returns full per-user Results bit-identical to calling Run once per
+// user. It is the reference-fidelity entry point: per-hour and
+// per-instance records (and schedules, when cfg.RecordSchedules is
+// set) are all materialized, so memory is O(users·hours). Sweeps over
+// large cohorts should use RunBatchTotals instead.
+func RunBatch(users []BatchUser, cfg Config, policy SellingPolicy) ([]Result, error) {
+	if err := validateBatch(users, cfg, policy); err != nil {
+		return nil, err
+	}
+	out := make([]Result, len(users))
+	if len(users) == 0 {
+		return out, nil
+	}
+	if err := runBatchShard(nil, users, 0, len(users), cfg, policy, out, nil, false); err != nil {
+		return nil, err
+	}
+	cfg.Metrics.RecordBatch(len(users))
+	return out, nil
+}
+
+// RunBatchTotals is the streaming batch engine: it advances every user
+// one hour per outer step over struct-of-arrays state and returns one
+// lean BatchTotal per user whose cost breakdown is bit-identical to
+// the corresponding simulate.Run. Users are split into contiguous
+// shards advanced concurrently (opts.Parallelism); a user's hours are
+// always replayed in order by one goroutine, so float accumulation
+// order — and therefore every bit of the result — is independent of
+// the parallelism. ctx is polled between hours; on cancellation the
+// partial outputs are discarded and ctx.Err() is returned.
+func RunBatchTotals(ctx context.Context, users []BatchUser, cfg Config, policy SellingPolicy, opts BatchOptions) ([]BatchTotal, error) {
+	if err := validateBatch(users, cfg, policy); err != nil {
+		return nil, err
+	}
+	out := make([]BatchTotal, len(users))
+	if len(users) == 0 {
+		return out, nil
+	}
+	workers := opts.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(users) {
+		workers = len(users)
+	}
+	if workers <= 1 {
+		if err := runBatchShard(ctx, users, 0, len(users), cfg, policy, nil, out, opts.RecordSales); err != nil {
+			return nil, err
+		}
+		cfg.Metrics.RecordBatch(len(users))
+		return out, nil
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		lo := w * len(users) / workers
+		hi := (w + 1) * len(users) / workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[w] = fmt.Errorf("simulate: batch shard panic: %v", r)
+				}
+			}()
+			errs[w] = runBatchShard(ctx, users, lo, hi, cfg, policy, nil, out, opts.RecordSales)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	cfg.Metrics.RecordBatch(len(users))
+	return out, nil
+}
+
+// runBatchShard advances users[lo:hi] hour by hour. Exactly one of
+// full and totals is non-nil (both indexed by absolute user index) and
+// selects which outputs are materialized. The shard replays the same
+// decision sequence as per-user Run — same working-sequence order,
+// same checkpoint consultation order, same four cost adds per user per
+// hour in the same order — so each user's accounting is bit-identical
+// to a standalone Run.
+//
+// State is struct-of-arrays: one instance slab (start, worked, soldAt,
+// nextCk columns) covering every reservation in the shard, one shared
+// backing array for the per-user active windows, a per-hour checkpoint
+// event schedule pre-merged across the shard's users, and per-user
+// cost accumulator columns. The outer loop visits each hour once and
+// streams the per-user state through the cache in user order, instead
+// of walking one user's full trace at a time.
+func runBatchShard(ctx context.Context, users []BatchUser, lo, hi int, cfg Config, policy SellingPolicy, full []Result, totals []BatchTotal, recordSales bool) error {
+	it := cfg.Instance
+	period := it.PeriodHours
+	alphaHourly := it.ReservedHourly
+	saleKeep := 1 - cfg.MarketFee
+
+	sharedAges := checkpointAges(policy, period)
+	perInst, isPerInstance := policy.(PerInstancePolicy)
+
+	n := hi - lo
+	maxHorizon := 0
+	total := 0
+	instOff := make([]int, n+1)
+	for i := 0; i < n; i++ {
+		u := &users[lo+i]
+		instOff[i] = total
+		for _, nr := range u.NewRes {
+			total += nr
+		}
+		if len(u.Demand) > maxHorizon {
+			maxHorizon = len(u.Demand)
+		}
+	}
+	instOff[n] = total
+	if total > maxBatchInstances {
+		return fmt.Errorf("simulate: batch shard reserves %d instances, cap is %d", total, maxBatchInstances)
+	}
+
+	// Instance slab columns, grouped by user in reservation order
+	// (start ascending, batch index ascending) — the same order each
+	// user's Result.Instances comes out in.
+	start := make([]int32, total)
+	worked := make([]int32, total)
+	soldAt := make([]int32, total)
+	nextCk := make([]int32, total)
+	var soloAge []int32
+	if isPerInstance {
+		soloAge = make([]int32, total)
+	}
+	var workedAtCk []int32
+	var schedSlab []bool
+	if full != nil {
+		workedAtCk = make([]int32, total)
+		for j := range workedAtCk {
+			workedAtCk[j] = -1
+		}
+		if cfg.RecordSchedules {
+			schedSlab = make([]bool, total*period)
+		}
+	}
+	for j := range soldAt {
+		soldAt[j] = -1
+	}
+	for i := 0; i < n; i++ {
+		u := &users[lo+i]
+		j := instOff[i]
+		for t, nr := range u.NewRes {
+			for b := 1; b <= nr; b++ {
+				start[j] = int32(t)
+				if isPerInstance {
+					if age := perInst.InstanceCheckpointAge(t, b, period); age > 0 && age < period {
+						soloAge[j] = int32(age)
+					}
+				}
+				j++
+			}
+		}
+	}
+
+	// Checkpoint event schedule, pre-merged across the shard's users:
+	// for each hour, the slab indices due for consultation, bucketed in
+	// user order and, within a user, in working-sequence order (start
+	// ascending, batch index descending) — exactly the order per-user
+	// Run consults them. Built with one counting pass and one fill
+	// pass; evOff[t+1] doubles as hour t's running fill cursor and ends
+	// at its final value, as in Run.
+	var evOff []int
+	var events []int32
+	if total > 0 && (len(sharedAges) > 0 || isPerInstance) {
+		evOff = make([]int, maxHorizon+2)
+		for i := 0; i < n; i++ {
+			horizon := len(users[lo+i].Demand)
+			for j := instOff[i]; j < instOff[i+1]; j++ {
+				if isPerInstance {
+					if a := soloAge[j]; a > 0 {
+						if h := int(start[j]) + int(a); h < horizon {
+							evOff[h+2]++
+						}
+					}
+				} else {
+					for _, a := range sharedAges {
+						if h := int(start[j]) + a; h < horizon {
+							evOff[h+2]++
+						}
+					}
+				}
+			}
+		}
+		for t := 2; t <= maxHorizon+1; t++ {
+			evOff[t] += evOff[t-1]
+		}
+		events = make([]int32, evOff[maxHorizon+1])
+		for i := 0; i < n; i++ {
+			u := &users[lo+i]
+			horizon := len(u.Demand)
+			j := instOff[i]
+			for t, nr := range u.NewRes {
+				for jj := j + nr - 1; jj >= j; jj-- {
+					if isPerInstance {
+						if a := soloAge[jj]; a > 0 {
+							if h := t + int(a); h < horizon {
+								events[evOff[h+1]] = int32(jj)
+								evOff[h+1]++
+							}
+						}
+					} else {
+						for _, a := range sharedAges {
+							if h := t + a; h < horizon {
+								events[evOff[h+1]] = int32(jj)
+								evOff[h+1]++
+							}
+						}
+					}
+				}
+				j += nr
+			}
+		}
+	}
+
+	// Per-user columns: active-window head/length over the shared
+	// backing array, the next-activation cursor, the four cost
+	// accumulators (kept separate so each accumulates in exactly the
+	// order Run adds to its CostBreakdown fields), sold and idle tallies.
+	activeBuf := make([]int32, total)
+	aHead := make([]int32, n)
+	aLen := make([]int32, n)
+	nextInst := make([]int32, n)
+	for i := 0; i < n; i++ {
+		nextInst[i] = int32(instOff[i])
+	}
+	costOD := make([]float64, n)
+	costUF := make([]float64, n)
+	costRH := make([]float64, n)
+	costSI := make([]float64, n)
+	soldCnt := make([]int32, n)
+	idle := make([]int64, n)
+
+	if full != nil {
+		for i := 0; i < n; i++ {
+			full[lo+i].Hours = make([]HourRecord, len(users[lo+i].Demand))
+		}
+	}
+
+	for t := 0; t < maxHorizon; t++ {
+		if ctx != nil && t&63 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		evCur, evEnd := 0, 0
+		if evOff != nil {
+			evCur, evEnd = evOff[t], evOff[t+1]
+		}
+		for i := 0; i < n; i++ {
+			u := &users[lo+i]
+			if t >= len(u.Demand) {
+				continue
+			}
+			base := instOff[i]
+			end := instOff[i+1]
+
+			// Drop expired instances: always a prefix of the window.
+			h := int(aHead[i])
+			l := int(aLen[i])
+			for h < l && int(start[activeBuf[base+h]])+period <= t {
+				h++
+			}
+
+			// 1. Activate this hour's batch at the tail, descending
+			// batch index.
+			nr := u.NewRes[t]
+			if nr > 0 {
+				ni := int(nextInst[i])
+				for jj := ni + nr - 1; jj >= ni; jj-- {
+					activeBuf[base+l] = int32(jj)
+					l++
+				}
+				nextInst[i] = int32(ni + nr)
+			}
+
+			// 2. Selling checkpoints: consume this hour's pre-merged
+			// events belonging to this user.
+			var soldNow int
+			var income float64
+			for evCur < evEnd && int(events[evCur]) < end {
+				j := int(events[evCur])
+				evCur++
+				if soldAt[j] >= 0 {
+					continue
+				}
+				var due int
+				if isPerInstance {
+					if nextCk[j] != 0 || soloAge[j] == 0 {
+						continue
+					}
+					due = int(soloAge[j])
+				} else {
+					if int(nextCk[j]) >= len(sharedAges) {
+						continue
+					}
+					due = sharedAges[nextCk[j]]
+				}
+				st := int(start[j])
+				if t-st != due {
+					continue
+				}
+				nextCk[j]++
+				if workedAtCk != nil {
+					workedAtCk[j] = worked[j]
+				}
+				expiry := st + period
+				ck := Checkpoint{
+					Hour:      t,
+					Start:     st,
+					Age:       t - st,
+					Worked:    int(worked[j]),
+					Remaining: expiry - t,
+				}
+				if policy.ShouldSell(ck) {
+					soldAt[j] = int32(t)
+					soldNow++
+					remFrac := float64(expiry-t) / float64(period)
+					income += cfg.SellingDiscount * remFrac * it.Upfront * saleKeep
+				}
+			}
+			if soldNow > 0 {
+				soldCnt[i] += int32(soldNow)
+				k := base + h
+				for p := base + h; p < base+l; p++ {
+					if j := activeBuf[p]; soldAt[j] < 0 {
+						activeBuf[k] = j
+						k++
+					}
+				}
+				l = k - base
+			}
+
+			// 3. Working sequence: first d_t active instances serve.
+			win := activeBuf[base+h : base+l]
+			d := u.Demand[t]
+			busy := d
+			if busy > len(win) {
+				busy = len(win)
+			}
+			for _, j := range win[:busy] {
+				worked[j]++
+				if schedSlab != nil {
+					schedSlab[int(j)*period+t-int(start[j])] = true
+				}
+			}
+			onDemand := d - len(win)
+			if onDemand < 0 {
+				onDemand = 0
+			}
+
+			// 4. Book C_t per Eq. (1), in Run's field order.
+			costOD[i] += float64(onDemand) * it.OnDemandHourly
+			costUF[i] += float64(nr) * it.Upfront
+			costRH[i] += float64(len(win)) * alphaHourly
+			costSI[i] += income
+			idle[i] += int64(len(win) - (d - onDemand))
+			if full != nil {
+				full[lo+i].Hours[t] = HourRecord{
+					Demand:    d,
+					NewlyRes:  nr,
+					ActiveRes: len(win),
+					OnDemand:  onDemand,
+					Sold:      soldNow,
+				}
+			}
+			aHead[i] = int32(h)
+			aLen[i] = int32(l)
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		u := &users[lo+i]
+		base, end := instOff[i], instOff[i+1]
+		cost := CostBreakdown{
+			OnDemand:       costOD[i],
+			Upfront:        costUF[i],
+			ReservedHourly: costRH[i],
+			SaleIncome:     costSI[i],
+		}
+		if totals != nil {
+			tot := &totals[lo+i]
+			tot.Cost = cost
+			tot.Sold = int(soldCnt[i])
+			tot.IdleHours = int(idle[i])
+			if recordSales && soldCnt[i] > 0 {
+				tot.Sales = make([]SoldInstance, 0, soldCnt[i])
+				for j := base; j < end; j++ {
+					if soldAt[j] >= 0 {
+						tot.Sales = append(tot.Sales, SoldInstance{Start: int(start[j]), SoldAt: int(soldAt[j])})
+					}
+				}
+			}
+		}
+		if full != nil {
+			res := &full[lo+i]
+			res.Cost = cost
+			res.Instances = make([]InstanceRecord, end-base)
+			j := base
+			for t, nr := range u.NewRes {
+				for b := 1; b <= nr; b++ {
+					rec := InstanceRecord{
+						Start:              t,
+						BatchIndex:         b,
+						SoldAt:             int(soldAt[j]),
+						Worked:             int(worked[j]),
+						WorkedAtCheckpoint: int(workedAtCk[j]),
+					}
+					if schedSlab != nil {
+						rec.Schedule = schedSlab[j*period : (j+1)*period : (j+1)*period]
+					}
+					res.Instances[j-base] = rec
+					j++
+				}
+			}
+		}
+		cfg.Metrics.RecordRun(len(u.Demand), end-base, int(soldCnt[i]))
+	}
+	return nil
+}

@@ -1,0 +1,377 @@
+package simulate
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"rimarket/internal/obs"
+	"rimarket/internal/pricing"
+)
+
+// This file pins the streaming batch engine to the per-user engine:
+// over 250 seeded cohort cases covering every policy shape, cohort
+// sizes from empty to dozens of users, mixed trace lengths and
+// checkpoint densities, RunBatch must reproduce looping simulate.Run
+// field for field — including bit-identical float accounting — and
+// RunBatchTotals must agree at every parallelism. CI runs this under
+// -race, which also proves the sharded totals path publishes its
+// outputs safely.
+
+// batchCase is one sampled cohort with its shared config and policy.
+type batchCase struct {
+	name   string
+	users  []BatchUser
+	cfg    Config
+	policy SellingPolicy
+}
+
+// sampleBatchCase draws a cohort case from rng: the pricing card,
+// marketplace parameters and policy shapes are drawn exactly like the
+// per-user differential's sampleDiffCase, then a cohort of varied size
+// is drawn with per-user horizons deliberately ragged.
+func sampleBatchCase(rng *rand.Rand, i int) batchCase {
+	period := 8 + rng.Intn(53)
+	card := pricing.InstanceType{
+		Name:           "batch.case",
+		OnDemandHourly: []float64{0.5, 1.0, 1.7}[rng.Intn(3)],
+		Upfront:        []float64{40, 100, 250}[rng.Intn(3)],
+		ReservedHourly: []float64{0.1, 0.25}[rng.Intn(2)],
+		PeriodHours:    period,
+	}
+	cfg := Config{
+		Instance:        card,
+		SellingDiscount: float64(rng.Intn(11)) / 10,
+		RecordSchedules: rng.Intn(2) == 0,
+	}
+	switch rng.Intn(3) {
+	case 0:
+		cfg.MarketFee = 0.12
+	case 1:
+		cfg.MarketFee = rng.Float64() * 0.9
+	}
+
+	threshold := rng.Intn(period + 2)
+	var policy SellingPolicy
+	var shape string
+	switch i % 5 {
+	case 0:
+		shape = "keep-reserved"
+		policy = KeepReserved{}
+	case 1:
+		shape = "fixed"
+		policy = diffFixed{age: rng.Intn(period+4) - 2, threshold: threshold}
+	case 2:
+		shape = "fixed-sell-all"
+		policy = diffFixed{age: 1 + rng.Intn(period-1), threshold: period + 1}
+	case 3:
+		shape = "multi"
+		ages := make([]int, 1+rng.Intn(5))
+		for j := range ages {
+			ages[j] = rng.Intn(period+6) - 3 // dirty on purpose
+		}
+		policy = diffMulti{ages: ages, threshold: threshold}
+	default:
+		shape = "per-instance"
+		policy = diffPerInstance{seed: rng.Uint64(), threshold: threshold}
+	}
+
+	size := [...]int{0, 1, 2, 3, 5, 8, 13, 21, 34}[rng.Intn(9)]
+	users := make([]BatchUser, size)
+	for u := range users {
+		horizon := rng.Intn(161) // 0..160, ragged across the cohort
+		demand := make([]int, horizon)
+		newRes := make([]int, horizon)
+		for t := range demand {
+			demand[t] = rng.Intn(9)
+			if rng.Intn(3) == 0 {
+				newRes[t] = rng.Intn(4)
+			}
+		}
+		users[u] = BatchUser{Demand: demand, NewRes: newRes}
+	}
+	return batchCase{
+		name:   fmt.Sprintf("case%03d/%s/users=%d/period=%d", i, shape, size, period),
+		users:  users,
+		cfg:    cfg,
+		policy: policy,
+	}
+}
+
+// totalFromResult derives the BatchTotal a full per-user Result implies,
+// including the idle-hour statistic the Keep-Reserved baseline uses.
+func totalFromResult(res Result, recordSales bool) BatchTotal {
+	tot := BatchTotal{Cost: res.Cost, Sold: res.SoldCount()}
+	for _, h := range res.Hours {
+		served := h.Demand - h.OnDemand
+		tot.IdleHours += h.ActiveRes - served
+	}
+	if recordSales {
+		for _, inst := range res.Instances {
+			if inst.SoldAt >= 0 {
+				tot.Sales = append(tot.Sales, SoldInstance{Start: inst.Start, SoldAt: inst.SoldAt})
+			}
+		}
+	}
+	return tot
+}
+
+// TestDifferentialBatchEquivalence is the batch engine's safety net:
+// 250 seeded cohorts, every policy shape, RunBatch ≡ per-user Run
+// field for field, and RunBatchTotals ≡ the totals those Results imply
+// at parallelism 1, 3 and GOMAXPROCS — bit-identical floats throughout.
+func TestDifferentialBatchEquivalence(t *testing.T) {
+	const cases = 250
+	rng := rand.New(rand.NewSource(20180708)) // same vintage, fresh stream
+	parallelisms := []int{1, 3, 0}            // 0 = GOMAXPROCS
+	for i := 0; i < cases; i++ {
+		c := sampleBatchCase(rng, i)
+		t.Run(c.name, func(t *testing.T) {
+			want := make([]Result, len(c.users))
+			wantTotals := make([]BatchTotal, len(c.users))
+			for u := range c.users {
+				res, err := Run(c.users[u].Demand, c.users[u].NewRes, c.cfg, c.policy)
+				if err != nil {
+					t.Fatalf("per-user engine rejected sampled input: %v", err)
+				}
+				want[u] = res
+				wantTotals[u] = totalFromResult(res, true)
+			}
+
+			got, err := RunBatch(c.users, c.cfg, c.policy)
+			if err != nil {
+				t.Fatalf("RunBatch: %v", err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("RunBatch returned %d results for %d users", len(got), len(want))
+			}
+			for u := range want {
+				gotU := got[u]
+				if !reflect.DeepEqual(gotU, want[u]) {
+					assertResultsIdentical(t, gotU, want[u])
+					t.Fatalf("user %d: results differ", u)
+				}
+			}
+
+			for _, par := range parallelisms {
+				opts := BatchOptions{Parallelism: par, RecordSales: true}
+				totals, err := RunBatchTotals(context.Background(), c.users, c.cfg, c.policy, opts)
+				if err != nil {
+					t.Fatalf("RunBatchTotals(par=%d): %v", par, err)
+				}
+				for u := range wantTotals {
+					if !reflect.DeepEqual(totals[u], wantTotals[u]) {
+						t.Fatalf("par=%d user %d: totals differ:\n got %+v\nwant %+v",
+							par, u, totals[u], wantTotals[u])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBatchTotalsParallelismInvariance replays one larger cohort at
+// every parallelism from 1 to GOMAXPROCS+2 and requires bit-identical
+// outputs — the shard split must be unobservable.
+func TestBatchTotalsParallelismInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	users := make([]BatchUser, 57)
+	for u := range users {
+		horizon := 40 + rng.Intn(100)
+		demand := make([]int, horizon)
+		newRes := make([]int, horizon)
+		for h := range demand {
+			demand[h] = rng.Intn(7)
+			if rng.Intn(4) == 0 {
+				newRes[h] = rng.Intn(3)
+			}
+		}
+		users[u] = BatchUser{Demand: demand, NewRes: newRes}
+	}
+	cfg := testConfig()
+	policy := diffFixed{age: cfg.Instance.PeriodHours / 2, threshold: cfg.Instance.PeriodHours / 4}
+
+	base, err := RunBatchTotals(context.Background(), users, cfg, policy, BatchOptions{Parallelism: 1, RecordSales: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for par := 2; par <= runtime.GOMAXPROCS(0)+2; par++ {
+		got, err := RunBatchTotals(context.Background(), users, cfg, policy, BatchOptions{Parallelism: par, RecordSales: true})
+		if err != nil {
+			t.Fatalf("par=%d: %v", par, err)
+		}
+		if !reflect.DeepEqual(got, base) {
+			t.Fatalf("par=%d: totals differ from sequential run", par)
+		}
+	}
+}
+
+// TestBatchValidationParity pins batch validation to per-user Run:
+// same error text for the same bad input, reported for the lowest
+// invalid user index, wrapped in a *BatchUserError.
+func TestBatchValidationParity(t *testing.T) {
+	cfg := testConfig()
+	good := BatchUser{Demand: []int{1, 2}, NewRes: []int{1, 0}}
+	cases := []struct {
+		name  string
+		users []BatchUser
+		cfg   Config
+		index int
+	}{
+		{"length mismatch", []BatchUser{good, {Demand: []int{1}, NewRes: []int{0, 0}}}, cfg, 1},
+		{"negative demand", []BatchUser{{Demand: []int{-4}, NewRes: []int{0}}, good}, cfg, 0},
+		{"negative res", []BatchUser{good, good, {Demand: []int{4}, NewRes: []int{-1}}}, cfg, 2},
+		{"bad cfg", []BatchUser{good}, Config{Instance: testInstance(), SellingDiscount: 2}, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			bad := c.users[c.index]
+			_, wantErr := Run(bad.Demand, bad.NewRes, c.cfg, KeepReserved{})
+			if wantErr == nil {
+				t.Fatal("per-user engine accepted the bad input")
+			}
+			for _, call := range []struct {
+				name string
+				err  error
+			}{
+				{"RunBatch", func() error { _, err := RunBatch(c.users, c.cfg, KeepReserved{}); return err }()},
+				{"RunBatchTotals", func() error {
+					_, err := RunBatchTotals(context.Background(), c.users, c.cfg, KeepReserved{}, BatchOptions{})
+					return err
+				}()},
+			} {
+				var be *BatchUserError
+				if !errors.As(call.err, &be) {
+					t.Fatalf("%s error %v is not a *BatchUserError", call.name, call.err)
+				}
+				if be.Index != c.index {
+					t.Fatalf("%s reported user %d, want lowest invalid index %d", call.name, be.Index, c.index)
+				}
+				if be.Err.Error() != wantErr.Error() {
+					t.Fatalf("%s wrapped error %q, per-user engine says %q", call.name, be.Err, wantErr)
+				}
+			}
+		})
+	}
+
+	t.Run("nil policy", func(t *testing.T) {
+		_, err := RunBatch([]BatchUser{good}, cfg, nil)
+		var be *BatchUserError
+		if !errors.As(err, &be) || be.Index != 0 {
+			t.Fatalf("err = %v, want BatchUserError at index 0", err)
+		}
+	})
+	t.Run("empty cohort", func(t *testing.T) {
+		// Zero users never reach validation, matching a loop over Run
+		// that never executes — even under a bad config.
+		res, err := RunBatch(nil, Config{}, nil)
+		if err != nil || len(res) != 0 {
+			t.Fatalf("empty RunBatch: %d results, err %v", len(res), err)
+		}
+		tot, err := RunBatchTotals(context.Background(), nil, Config{}, nil, BatchOptions{})
+		if err != nil || len(tot) != 0 {
+			t.Fatalf("empty RunBatchTotals: %d totals, err %v", len(tot), err)
+		}
+	})
+}
+
+// TestBatchTotalsCancellation: a cancelled context must surface as
+// exactly ctx.Err() so drivers can classify it, at any parallelism.
+func TestBatchTotalsCancellation(t *testing.T) {
+	users := make([]BatchUser, 8)
+	for u := range users {
+		demand := make([]int, 5000)
+		newRes := make([]int, 5000)
+		for h := range demand {
+			demand[h] = 2
+			if h%50 == 0 {
+				newRes[h] = 1
+			}
+		}
+		users[u] = BatchUser{Demand: demand, NewRes: newRes}
+	}
+	cfg := testConfig()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, par := range []int{1, 4} {
+		if _, err := RunBatchTotals(ctx, users, cfg, KeepReserved{}, BatchOptions{Parallelism: par}); !errors.Is(err, context.Canceled) {
+			t.Fatalf("par=%d: err = %v, want context.Canceled", par, err)
+		}
+	}
+}
+
+// TestBatchAliasedUsers: the batch engine documents that callers may
+// alias one backing trace across many users; aliased and copied
+// cohorts must produce identical outputs.
+func TestBatchAliasedUsers(t *testing.T) {
+	demand := []int{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8}
+	newRes := []int{2, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0}
+	cfg := testConfig()
+	policy := diffFixed{age: cfg.Instance.PeriodHours / 3, threshold: cfg.Instance.PeriodHours}
+
+	aliased := make([]BatchUser, 40)
+	copied := make([]BatchUser, 40)
+	for u := range aliased {
+		aliased[u] = BatchUser{Demand: demand, NewRes: newRes}
+		copied[u] = BatchUser{
+			Demand: append([]int(nil), demand...),
+			NewRes: append([]int(nil), newRes...),
+		}
+	}
+	a, err := RunBatch(aliased, cfg, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunBatch(copied, cfg, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("aliased cohort results differ from copied cohort results")
+	}
+	// And the inputs must be untouched.
+	if !reflect.DeepEqual(demand, []int{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8}) {
+		t.Fatal("batch engine mutated an input demand series")
+	}
+}
+
+// TestBatchMetricsParity: in batch mode the per-run counters must mean
+// the same thing as a per-user loop, plus the batch counters.
+func TestBatchMetricsParity(t *testing.T) {
+	users := []BatchUser{
+		{Demand: []int{1, 2, 3, 4}, NewRes: []int{1, 0, 1, 0}},
+		{Demand: []int{5, 5}, NewRes: []int{2, 0}},
+	}
+	cfg := testConfig()
+	var perUser obs.EngineMetrics
+	for _, u := range users {
+		c := cfg
+		c.Metrics = &perUser
+		if _, err := Run(u.Demand, u.NewRes, c, KeepReserved{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var batch obs.EngineMetrics
+	c := cfg
+	c.Metrics = &batch
+	if _, err := RunBatch(users, c, KeepReserved{}); err != nil {
+		t.Fatal(err)
+	}
+	if g, w := batch.Runs.Value(), perUser.Runs.Value(); g != w {
+		t.Fatalf("batch Runs = %d, per-user %d", g, w)
+	}
+	if g, w := batch.Hours.Value(), perUser.Hours.Value(); g != w {
+		t.Fatalf("batch Hours = %d, per-user %d", g, w)
+	}
+	if g, w := batch.Instances.Value(), perUser.Instances.Value(); g != w {
+		t.Fatalf("batch Instances = %d, per-user %d", g, w)
+	}
+	if batch.BatchRuns.Value() != 1 || batch.BatchUsers.Value() != 2 {
+		t.Fatalf("batch counters = %d runs / %d users, want 1/2",
+			batch.BatchRuns.Value(), batch.BatchUsers.Value())
+	}
+}

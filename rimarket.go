@@ -280,6 +280,8 @@ type (
 	TaskEvent = gtrace.TaskEvent
 	// InstanceCapacity converts resource requests to instance counts.
 	InstanceCapacity = gtrace.InstanceCapacity
+	// LoadReport is the structured outcome of a trace-directory load.
+	LoadReport = gtrace.LoadReport
 )
 
 // AggregateByUser converts task events to per-user demand traces.
@@ -392,8 +394,9 @@ func RunTracesContext(ctx context.Context, cfg ExperimentConfig, traces []Trace)
 }
 
 // LoadEC2LogDir reads every EC2-usage-log file (.csv/.csv.gz) in a
-// directory into demand traces.
-func LoadEC2LogDir(dir string) ([]Trace, error) { return gtrace.LoadEC2LogDir(dir) }
+// directory into demand traces. The report names the files that loaded
+// cleanly and is returned even alongside an error.
+func LoadEC2LogDir(dir string) ([]Trace, *LoadReport, error) { return gtrace.LoadEC2LogDir(dir) }
 
 // Table3 computes the paper's Table III rows.
 func Table3(r *CohortResult) []Table3Row { return experiments.Table3(r) }

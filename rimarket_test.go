@@ -176,7 +176,7 @@ func TestFacadeFutureWorkPolicies(t *testing.T) {
 }
 
 func TestFacadeTraceLoading(t *testing.T) {
-	if _, err := rimarket.LoadEC2LogDir("/nonexistent"); err == nil {
+	if _, _, err := rimarket.LoadEC2LogDir("/nonexistent"); err == nil {
 		t.Error("missing dir accepted")
 	}
 	cfg := rimarket.TestScaleConfig()

@@ -1,21 +1,27 @@
 #!/usr/bin/env bash
-# Refresh the committed benchmark baseline (BENCH_6.json).
+# Refresh the committed benchmark baseline (BENCH_7.json).
 #
 # Runs the BenchmarkEngineRun matrix (terms x checkpoint density x
 # schedule recording), BenchmarkObsOverhead (the engine hot path with
-# the obs hook off and on), and BenchmarkGridSkewed (the sharded
-# worker pool on uniform vs heavy-tailed grids, stealing on and off)
-# with -benchmem, takes the minimum over COUNT repeats, and writes the
-# baseline JSON that CI's benchgate step enforces — 20% regression
-# tolerance on time, and exactly-equal allocs/op for the ObsOverhead
-# pair, pinning the hook's zero-alloc contract. The GridSkewed rows
-# hold the scheduler's wall time on skewed grids, so a work-stealing
-# regression shows up as a benchgate failure, not a slow sweep. Run it
-# on an idle machine after any change to internal/simulate,
-# internal/obs, or the internal/experiments pool, and commit the
-# result:
+# the obs hook off and on), BenchmarkGridSkewed (the sharded worker
+# pool on uniform vs heavy-tailed grids, stealing on and off), and
+# BenchmarkMillionUsers (a 100k-user aliased cohort through one 1-year
+# cell of the streaming batch engine) with -benchmem, takes the
+# minimum over repeats, and writes the baseline JSON that CI's
+# benchgate step enforces — 20% regression tolerance on time, and
+# exactly-equal allocs/op for the ObsOverhead pair, pinning the hook's
+# zero-alloc contract. The GridSkewed rows hold the scheduler's wall
+# time on skewed grids, so a work-stealing regression shows up as a
+# benchgate failure, not a slow sweep; the MillionUsers row holds the
+# batch engine's cohort throughput, so losing the struct-of-arrays
+# layout (or accidentally falling back to one Run per user) costs
+# integer factors and trips the gate. One MillionUsers op is tens of
+# engine-seconds of simulated time, so it repeats MU_COUNT times
+# (default 2) instead of COUNT. Run on an idle machine after any
+# change to internal/simulate, internal/obs, or the
+# internal/experiments pool, and commit the result:
 #
-#   scripts/bench.sh             # writes BENCH_6.json
+#   scripts/bench.sh             # writes BENCH_7.json
 #   COUNT=10 scripts/bench.sh    # more repeats, tighter minima
 #   OUT=/tmp/b.json scripts/bench.sh   # write elsewhere for comparison
 #
@@ -27,8 +33,12 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 COUNT="${COUNT:-5}"
-OUT="${OUT:-BENCH_6.json}"
+MU_COUNT="${MU_COUNT:-2}"
+OUT="${OUT:-BENCH_7.json}"
 
-go test -run '^$' -bench '^(BenchmarkEngineRun|BenchmarkObsOverhead|BenchmarkGridSkewed)$' -benchmem -count "$COUNT" . ./internal/experiments |
+{
+	go test -run '^$' -bench '^(BenchmarkEngineRun|BenchmarkObsOverhead|BenchmarkGridSkewed)$' -benchmem -count "$COUNT" . ./internal/experiments
+	go test -run '^$' -bench '^BenchmarkMillionUsers$' -benchmem -count "$MU_COUNT" -timeout 30m .
+} |
 	tee /dev/stderr |
 	go run ./scripts/benchgate -update -baseline "$OUT"

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 )
 
@@ -69,11 +70,55 @@ func ExitCode(err error) int {
 	}
 }
 
-// SignalContext returns a context cancelled on SIGINT or SIGTERM. The
-// first signal cancels the context so the pipeline drains gracefully;
-// a second signal kills the process through Go's default handling
-// (stop restores it once the context is cancelled).
+// SignalContext returns a context cancelled on SIGINT or SIGTERM.
+// The two-signal contract every binary shares (and the rid daemon's
+// drain path depends on — see DESIGN.md §4.7):
+//
+//   - the FIRST signal cancels the context, and nothing else: the
+//     pipeline drains gracefully, servers complete admitted requests,
+//     spill stores flush, and the process exits through its normal
+//     error path;
+//   - the SECOND signal hard-exits the process immediately with
+//     ExitPartial — the operator asked twice, waiting any longer would
+//     be insubordination, and code 3 is honest about what happened:
+//     whatever was flushed before the second signal is usable, the
+//     rest never completed.
+//
+// Calling the returned stop function unregisters the handler and
+// releases its goroutine; after stop, signals get Go's default
+// handling again.
 func SignalContext() (context.Context, context.CancelFunc) {
-	//rilint:allow ctxrule -- SignalContext mints the binaries' one process-root context; every library path receives it as a parameter.
-	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	return signalContext(os.Exit)
+}
+
+// signalContext is SignalContext with the process-exit seam injectable
+// so the second-signal contract is testable in-process.
+func signalContext(exit func(int)) (context.Context, context.CancelFunc) {
+	//rilint:allow ctxrule -- signalContext mints the binaries' one process-root context; every library path receives it as a parameter.
+	ctx, cancel := context.WithCancel(context.Background())
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	stopped := make(chan struct{})
+	var once sync.Once
+	stop := func() {
+		once.Do(func() {
+			signal.Stop(ch)
+			close(stopped)
+			cancel()
+		})
+	}
+	go func() {
+		select {
+		case <-ch:
+			cancel()
+		case <-stopped:
+			return
+		}
+		select {
+		case <-ch:
+			exit(ExitPartial)
+		case <-stopped:
+		}
+	}()
+	return ctx, stop
 }

@@ -1,0 +1,87 @@
+package cli
+
+import (
+	"os"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestSignalContextTwoSignalContract pins the contract rid's drain
+// path (and every binary's Ctrl-C handling) is built on: the first
+// SIGINT only cancels the context — the process keeps running and
+// drains — and the second hard-exits immediately with the partial
+// exit code.
+func TestSignalContextTwoSignalContract(t *testing.T) {
+	exitCh := make(chan int, 1)
+	ctx, stop := signalContext(func(code int) { exitCh <- code })
+	defer stop()
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatalf("sending first SIGINT: %v", err)
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("first signal did not cancel the context")
+	}
+	// The first signal must NOT exit: the whole point is a graceful
+	// drain window.
+	select {
+	case code := <-exitCh:
+		t.Fatalf("first signal exited with code %d; want graceful cancellation only", code)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatalf("sending second SIGINT: %v", err)
+	}
+	select {
+	case code := <-exitCh:
+		if code != ExitPartial {
+			t.Fatalf("second signal exited with code %d, want ExitPartial (%d)", code, ExitPartial)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("second signal did not hard-exit")
+	}
+}
+
+// TestSignalContextStopWithoutSignal pins that stop alone cancels the
+// context and unregisters the handler without ever exiting.
+func TestSignalContextStopWithoutSignal(t *testing.T) {
+	exitCh := make(chan int, 1)
+	ctx, stop := signalContext(func(code int) { exitCh <- code })
+	stop()
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("stop did not cancel the context")
+	}
+	stop() // idempotent
+	select {
+	case code := <-exitCh:
+		t.Fatalf("stop exited with code %d; stop must never exit", code)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+// TestSignalContextSecondSignalAfterStop pins that a signal landing
+// after stop (but delivered to a context whose first signal already
+// fired) no longer reaches the exit seam: stop wins the race.
+func TestSignalContextSecondSignalAfterStop(t *testing.T) {
+	exitCh := make(chan int, 1)
+	ctx, stop := signalContext(func(code int) { exitCh <- code })
+	if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatalf("sending SIGINT: %v", err)
+	}
+	<-ctx.Done()
+	stop()
+	// Give the watcher goroutine time to observe stopped and wind down;
+	// a signal now would get default handling, so do not send one —
+	// just assert the exit seam stayed untouched.
+	select {
+	case code := <-exitCh:
+		t.Fatalf("exit seam fired with code %d after stop", code)
+	case <-time.After(50 * time.Millisecond):
+	}
+}

@@ -1,0 +1,331 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"rimarket/internal/obs"
+	"rimarket/internal/simulate"
+)
+
+// Point-in-time recommendation actions. The vocabulary is closed: a
+// Recommendation's Action is always exactly one of these strings.
+const (
+	// ActionSell: the policy's checkpoint falls on the queried hour and
+	// the decision rule says sell now.
+	ActionSell = "sell"
+	// ActionKeep: the policy has no further checkpoints for this
+	// instance inside the horizon; it rides to expiry.
+	ActionKeep = "keep"
+	// ActionHold: keep for now — the policy revisits the decision at
+	// NextCheckpoint.
+	ActionHold = "hold"
+	// ActionSold: the instance was already sold before the queried hour.
+	ActionSold = "sold"
+	// ActionExpired: the reservation period ended before the queried
+	// hour.
+	ActionExpired = "expired"
+	// ActionPending: the instance is not reserved yet at the queried
+	// hour.
+	ActionPending = "pending"
+)
+
+// Sentinel errors Evaluate wraps, so servers can map lookup failures
+// to status codes without string matching.
+var (
+	ErrUnknownUser     = errors.New("experiments: unknown user")
+	ErrUnknownPolicy   = errors.New("experiments: unknown policy")
+	ErrUnknownInstance = errors.New("experiments: unknown instance")
+	ErrHourOutOfRange  = errors.New("experiments: hour outside horizon")
+)
+
+// Query is one point-in-time recommendation request: should this
+// user's instance (by reservation-order index) be sold at this hour?
+type Query struct {
+	User     string `json:"user"`
+	Policy   string `json:"policy"`
+	Instance int    `json:"instance"`
+	Hour     int    `json:"hour"`
+}
+
+// Recommendation is the deterministic answer to a Query. It is the
+// wire type the rid daemon serves verbatim, which is why every field
+// is a plain JSON-stable scalar: marshaling a Recommendation computed
+// offline and one computed by a daemon holding the same snapshot must
+// yield identical bytes.
+type Recommendation struct {
+	User     string `json:"user"`
+	Policy   string `json:"policy"`
+	Instance int    `json:"instance"`
+	Hour     int    `json:"hour"`
+	// Action is the verdict at Hour: sell, keep, hold, sold, expired or
+	// pending.
+	Action string `json:"action"`
+	// Start is the hour the instance was reserved; ExpiresAt is
+	// Start + PeriodHours.
+	Start     int `json:"start"`
+	ExpiresAt int `json:"expires_at"`
+	// SoldAt is the hour the policy sells the instance over the whole
+	// replay, -1 when it never sells.
+	SoldAt int `json:"sold_at"`
+	// NextCheckpoint is the next hour after Hour at which the policy
+	// revisits the decision, -1 when there is none (only set for
+	// ActionHold).
+	NextCheckpoint int `json:"next_checkpoint"`
+	// Reserved is the user's total number of reserved instances.
+	Reserved int `json:"reserved"`
+	// KeepCost is the user's Keep-Reserved baseline total (Eq. 1);
+	// PolicyCost the full-replay total under the queried policy.
+	KeepCost   float64 `json:"keep_cost"`
+	PolicyCost float64 `json:"policy_cost"`
+}
+
+// instSkeleton is the policy-independent identity of one reserved
+// instance: reservation decisions are fixed inputs (the paper's
+// pipeline plans them before any selling is considered), so start,
+// batch index and expiry are shared by every policy's decision table.
+type instSkeleton struct {
+	start, batch, expiry int
+}
+
+// userDecisions is one (policy, user) decision table: the replay's
+// sale hour per instance plus the run's total cost. A nil soldAt means
+// the policy never sells (Keep-Reserved). ages is non-nil only for
+// per-instance policies; everyone else shares policyDecisions.ages.
+type userDecisions struct {
+	soldAt []int
+	ages   [][]int
+	cost   float64
+}
+
+// policyDecisions is one policy's decision tables across the cohort.
+type policyDecisions struct {
+	ages  []int // shared checkpoint ages; nil for per-instance policies
+	users []userDecisions
+}
+
+// DecisionSet is the immutable point-in-time evaluation state: every
+// (policy, user, instance) selling decision resolved once from the
+// replay engine, plus the Keep-Reserved baselines. It is the snapshot
+// a recommendation daemon holds resident and swaps atomically — after
+// construction it is never mutated, so Evaluate is lock-free and
+// allocation-free, safe for any number of concurrent readers.
+//
+// Answers are bit-identical to the offline pipeline by construction:
+// the tables come from the same simulate.Run replays the experiment
+// drivers use, and simulate.DecisionAges shares the engine's
+// checkpoint-age resolution.
+type DecisionSet struct {
+	cfg       Config
+	horizon   int
+	policies  []string
+	byPolicy  map[string]*policyDecisions
+	skel      []userSkeleton
+	keeps     []KeepStat
+	userIndex map[string]int
+}
+
+// userSkeleton names one user and lists its reserved instances in
+// reservation order (start ascending, batch index ascending — the
+// order simulate.Result.Instances uses).
+type userSkeleton struct {
+	name  string
+	insts []instSkeleton
+}
+
+// Decisions resolves the plan's full decision tables: one engine
+// replay per (selling policy, user), the Keep-Reserved baseline from
+// the plan's cache, and the per-instance checkpoint ages. The fan-out
+// honors Config.Parallelism and cancelling ctx drains it; metrics on
+// ctx observe the runs like any other driver. The result is immutable
+// and independent of the plan's lifetime.
+func (p *CohortPlan) Decisions(ctx context.Context) (*DecisionSet, error) {
+	sp := obs.StartSpan(ctx, "decisions")
+	defer sp.End()
+	m := obs.FromContext(ctx)
+
+	policies, err := buildPolicies(p.cfg)
+	if err != nil {
+		return nil, err
+	}
+	engCfg := p.engineConfig()
+	keeps, err := p.KeepStats(ctx, engCfg)
+	if err != nil {
+		return nil, err
+	}
+	if m != nil {
+		engCfg.Metrics = m.EngineHook()
+	}
+
+	period := p.cfg.Instance.PeriodHours
+	s := &DecisionSet{
+		cfg:       p.cfg,
+		horizon:   p.cfg.Hours,
+		byPolicy:  make(map[string]*policyDecisions, len(policies)),
+		skel:      make([]userSkeleton, len(p.users)),
+		keeps:     keeps,
+		userIndex: make(map[string]int, len(p.users)),
+	}
+	for i, u := range p.users {
+		insts := make([]instSkeleton, 0, u.Reserved)
+		for t, n := range u.NewRes {
+			for b := 1; b <= n; b++ {
+				insts = append(insts, instSkeleton{start: t, batch: b, expiry: t + period})
+			}
+		}
+		s.skel[i] = userSkeleton{name: u.Trace.User, insts: insts}
+		s.userIndex[u.Trace.User] = i
+	}
+
+	// One decision table per policy. Keep-Reserved never sells, so its
+	// table needs no replay: nil soldAt means "never sold" and its cost
+	// is the cached baseline.
+	var replayed []namedPolicy
+	for _, np := range policies {
+		s.policies = append(s.policies, np.name)
+		pd := &policyDecisions{users: make([]userDecisions, len(p.users))}
+		s.byPolicy[np.name] = pd
+		if np.name == PolicyKeep {
+			for i := range p.users {
+				pd.users[i] = userDecisions{cost: keeps[i].Total}
+			}
+			continue
+		}
+		if _, perInst := np.policy.(simulate.PerInstancePolicy); !perInst {
+			pd.ages = simulate.DecisionAges(np.policy, 0, 1, period)
+		}
+		replayed = append(replayed, np)
+	}
+
+	// Fan the (policy, user) replays out over the worker pool; each job
+	// writes a distinct table slot, so results are identical at any
+	// parallelism.
+	if m != nil {
+		m.JobsTotal.Add(int64(len(replayed) * len(p.users)))
+	}
+	err = runIndexed(ctx, p.cfg.Parallelism, len(replayed)*len(p.users), func(k int) error {
+		np := replayed[k/len(p.users)]
+		ui := k % len(p.users)
+		u := &p.users[ui]
+		res, _, err := obsRun(m, u.Trace.Demand, u.NewRes, engCfg, np.policy)
+		if err != nil {
+			return fmt.Errorf("experiments: policy %s: user %s: %w", np.name, u.Trace.User, err)
+		}
+		ud := userDecisions{soldAt: make([]int, len(res.Instances)), cost: res.Cost.Total()}
+		pd := s.byPolicy[np.name]
+		if pd.ages == nil {
+			ud.ages = make([][]int, len(res.Instances))
+		}
+		for j, in := range res.Instances {
+			ud.soldAt[j] = in.SoldAt
+			if ud.ages != nil {
+				ud.ages[j] = simulate.DecisionAges(np.policy, in.Start, in.BatchIndex, period)
+			}
+		}
+		pd.users[ui] = ud
+		if m != nil {
+			m.JobsDone.Add(1)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Config returns the experiment configuration the set was built from.
+func (s *DecisionSet) Config() Config { return s.cfg }
+
+// Horizon returns the queryable hour range: Evaluate accepts hours in
+// [0, Horizon).
+func (s *DecisionSet) Horizon() int { return s.horizon }
+
+// Policies lists the policy names the set can answer for, in
+// presentation order.
+func (s *DecisionSet) Policies() []string { return s.policies }
+
+// Users returns the number of users in the set.
+func (s *DecisionSet) Users() int { return len(s.skel) }
+
+// UserName returns the i-th user's name in cohort order.
+func (s *DecisionSet) UserName(i int) string { return s.skel[i].name }
+
+// Reserved returns the i-th user's number of reserved instances.
+func (s *DecisionSet) Reserved(i int) int { return len(s.skel[i].insts) }
+
+// Evaluate answers one point-in-time query from the resolved tables.
+// It never blocks, takes no locks, and allocates only on the error
+// path, so a server can call it from any number of goroutines against
+// an atomically swapped *DecisionSet.
+func (s *DecisionSet) Evaluate(q Query) (Recommendation, error) {
+	ui, ok := s.userIndex[q.User]
+	if !ok {
+		return Recommendation{}, fmt.Errorf("%w: %q", ErrUnknownUser, q.User)
+	}
+	pd, ok := s.byPolicy[q.Policy]
+	if !ok {
+		return Recommendation{}, fmt.Errorf("%w: %q", ErrUnknownPolicy, q.Policy)
+	}
+	if q.Hour < 0 || q.Hour >= s.horizon {
+		return Recommendation{}, fmt.Errorf("%w: hour %d outside [0, %d)", ErrHourOutOfRange, q.Hour, s.horizon)
+	}
+	sk := &s.skel[ui]
+	if q.Instance < 0 || q.Instance >= len(sk.insts) {
+		return Recommendation{}, fmt.Errorf("%w: user %q has %d reserved instances, asked for index %d",
+			ErrUnknownInstance, q.User, len(sk.insts), q.Instance)
+	}
+	in := sk.insts[q.Instance]
+	ud := &pd.users[ui]
+	soldAt := -1
+	if ud.soldAt != nil {
+		soldAt = ud.soldAt[q.Instance]
+	}
+	ages := pd.ages
+	if ud.ages != nil {
+		ages = ud.ages[q.Instance]
+	}
+
+	r := Recommendation{
+		User:           q.User,
+		Policy:         q.Policy,
+		Instance:       q.Instance,
+		Hour:           q.Hour,
+		Start:          in.start,
+		ExpiresAt:      in.expiry,
+		SoldAt:         soldAt,
+		NextCheckpoint: -1,
+		Reserved:       len(sk.insts),
+		KeepCost:       s.keeps[ui].Total,
+		PolicyCost:     ud.cost,
+	}
+	switch {
+	case q.Hour < in.start:
+		r.Action = ActionPending
+	case soldAt >= 0 && q.Hour == soldAt:
+		r.Action = ActionSell
+	case soldAt >= 0 && q.Hour > soldAt:
+		r.Action = ActionSold
+	case q.Hour >= in.expiry:
+		r.Action = ActionExpired
+	default:
+		// Held at q.Hour. The next consultation is the first checkpoint
+		// age strictly after q.Hour that the engine actually reaches:
+		// ages are sorted, and checkpoints at or beyond the horizon are
+		// never consulted (the replay ends first).
+		r.Action = ActionKeep
+		for _, a := range ages {
+			ck := in.start + a
+			if ck >= s.horizon {
+				break
+			}
+			if ck > q.Hour {
+				r.Action = ActionHold
+				r.NextCheckpoint = ck
+				break
+			}
+		}
+	}
+	return r, nil
+}

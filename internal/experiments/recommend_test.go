@@ -1,0 +1,229 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+)
+
+// recommendConfig is the small cohort the recommendation tests run
+// on: 3 groups x 4 users keeps the full (policy, user) replay fan-out
+// fast while still covering every behavior and group.
+func recommendConfig() Config {
+	cfg := TestScaleConfig()
+	cfg.PerGroup = 4
+	return cfg
+}
+
+func buildDecisions(t *testing.T, cfg Config) *DecisionSet {
+	t.Helper()
+	plan, err := NewCohortPlan(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := plan.Decisions(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+// TestDecisionsMatchesCohort pins the bit-identity contract at its
+// root: the decision tables must agree exactly — costs and per-user
+// sale counts — with the offline cohort pipeline they are derived
+// from.
+func TestDecisionsMatchesCohort(t *testing.T) {
+	cfg := recommendConfig()
+	set := buildDecisions(t, cfg)
+	ref, err := RunCohort(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := set.Users(), len(ref.Users); got != want {
+		t.Fatalf("Users() = %d, want %d", got, want)
+	}
+	if got, want := set.Horizon(), cfg.Hours; got != want {
+		t.Fatalf("Horizon() = %d, want %d", got, want)
+	}
+	for ui := 0; ui < set.Users(); ui++ {
+		ur := ref.Users[ui]
+		if set.UserName(ui) != ur.User {
+			t.Fatalf("user %d name = %q, want %q", ui, set.UserName(ui), ur.User)
+		}
+		if set.Reserved(ui) != ur.Reserved {
+			t.Fatalf("user %s reserved = %d, want %d", ur.User, set.Reserved(ui), ur.Reserved)
+		}
+		for _, policy := range set.Policies() {
+			wantCost, ok := ur.Costs[policy]
+			if !ok {
+				t.Fatalf("cohort result has no cost for policy %q", policy)
+			}
+			sold := 0
+			for j := 0; j < set.Reserved(ui); j++ {
+				rec, err := set.Evaluate(Query{User: ur.User, Policy: policy, Instance: j, Hour: 0})
+				if err != nil {
+					t.Fatalf("%s/%s/%d: %v", policy, ur.User, j, err)
+				}
+				if rec.PolicyCost != wantCost {
+					t.Errorf("%s/%s: PolicyCost = %v, want the cohort pipeline's %v", policy, ur.User, rec.PolicyCost, wantCost)
+				}
+				if rec.KeepCost != ur.Costs[PolicyKeep] {
+					t.Errorf("%s/%s: KeepCost = %v, want %v", policy, ur.User, rec.KeepCost, ur.Costs[PolicyKeep])
+				}
+				if rec.SoldAt >= 0 {
+					sold++
+				}
+			}
+			if sold != ur.Sold[policy] {
+				t.Errorf("%s/%s: %d instances with a sale hour, cohort pipeline sold %d", policy, ur.User, sold, ur.Sold[policy])
+			}
+		}
+	}
+}
+
+// TestEvaluateActionTimeline sweeps every hour for a sample of
+// (policy, user, instance) triples and asserts the action sequence is
+// internally coherent: pending before the reservation starts, sell
+// exactly at the sale hour, sold after it, expired past expiry, and
+// hold always naming a later checkpoint that stays stable until
+// reached.
+func TestEvaluateActionTimeline(t *testing.T) {
+	// Stretch the horizon past the reservation period so early
+	// reservations expire inside the queryable range — otherwise
+	// ActionExpired is unreachable (expiry = start + period >= horizon).
+	cfg := recommendConfig()
+	cfg.Hours = cfg.Instance.PeriodHours * 3 / 2
+	set := buildDecisions(t, cfg)
+	sawSell, sawHold, sawExpired, sawPending := false, false, false, false
+	for ui := 0; ui < set.Users(); ui++ {
+		user := set.UserName(ui)
+		for _, policy := range set.Policies() {
+			for j := 0; j < set.Reserved(ui); j++ {
+				prevNext := -1
+				for h := 0; h < set.Horizon(); h++ {
+					rec, err := set.Evaluate(Query{User: user, Policy: policy, Instance: j, Hour: h})
+					if err != nil {
+						t.Fatalf("%s/%s/%d@%d: %v", policy, user, j, h, err)
+					}
+					switch {
+					case h < rec.Start:
+						if rec.Action != ActionPending {
+							t.Fatalf("%s/%s/%d@%d: action %q before start %d, want pending", policy, user, j, h, rec.Action, rec.Start)
+						}
+						sawPending = true
+					case rec.SoldAt >= 0 && h == rec.SoldAt:
+						if rec.Action != ActionSell {
+							t.Fatalf("%s/%s/%d@%d: action %q at the sale hour, want sell", policy, user, j, h, rec.Action)
+						}
+						sawSell = true
+					case rec.SoldAt >= 0 && h > rec.SoldAt:
+						if rec.Action != ActionSold {
+							t.Fatalf("%s/%s/%d@%d: action %q after sale hour %d, want sold", policy, user, j, h, rec.Action, rec.SoldAt)
+						}
+					case h >= rec.ExpiresAt:
+						if rec.Action != ActionExpired {
+							t.Fatalf("%s/%s/%d@%d: action %q past expiry %d, want expired", policy, user, j, h, rec.Action, rec.ExpiresAt)
+						}
+						sawExpired = true
+					case rec.Action == ActionHold:
+						if rec.NextCheckpoint <= h || rec.NextCheckpoint >= set.Horizon() {
+							t.Fatalf("%s/%s/%d@%d: hold with NextCheckpoint %d outside (%d, %d)", policy, user, j, h, rec.NextCheckpoint, h, set.Horizon())
+						}
+						if prevNext > h && rec.NextCheckpoint != prevNext {
+							t.Fatalf("%s/%s/%d@%d: NextCheckpoint moved from %d to %d before being reached", policy, user, j, h, prevNext, rec.NextCheckpoint)
+						}
+						prevNext = rec.NextCheckpoint
+						sawHold = true
+					case rec.Action == ActionKeep:
+						if rec.NextCheckpoint != -1 {
+							t.Fatalf("%s/%s/%d@%d: keep with NextCheckpoint %d, want -1", policy, user, j, h, rec.NextCheckpoint)
+						}
+					default:
+						t.Fatalf("%s/%s/%d@%d: unexpected action %q", policy, user, j, h, rec.Action)
+					}
+				}
+			}
+		}
+	}
+	for name, saw := range map[string]bool{"sell": sawSell, "hold": sawHold, "expired": sawExpired, "pending": sawPending} {
+		if !saw {
+			t.Errorf("timeline sweep never produced action %q; the fixture cohort is too small to exercise it", name)
+		}
+	}
+}
+
+// TestEvaluateErrors pins the sentinel error per lookup failure — the
+// contract rid's status-code mapping stands on.
+func TestEvaluateErrors(t *testing.T) {
+	set := buildDecisions(t, recommendConfig())
+	user := set.UserName(0)
+	policy := set.Policies()[0]
+	for _, tc := range []struct {
+		name string
+		q    Query
+		want error
+	}{
+		{"unknown user", Query{User: "nobody", Policy: policy, Hour: 0}, ErrUnknownUser},
+		{"unknown policy", Query{User: user, Policy: "Sell-Everything", Hour: 0}, ErrUnknownPolicy},
+		{"negative hour", Query{User: user, Policy: policy, Hour: -1}, ErrHourOutOfRange},
+		{"hour at horizon", Query{User: user, Policy: policy, Hour: set.Horizon()}, ErrHourOutOfRange},
+		{"negative instance", Query{User: user, Policy: policy, Instance: -1, Hour: 0}, ErrUnknownInstance},
+		{"instance out of range", Query{User: user, Policy: policy, Instance: set.Reserved(0), Hour: 0}, ErrUnknownInstance},
+	} {
+		if _, err := set.Evaluate(tc.q); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestDecisionsDeterministicAcrossParallelism builds the set serially
+// and with a worker pool and requires bit-identical marshaled answers
+// — the property that lets a daemon built at any -parallelism serve
+// the offline pipeline's exact bytes.
+func TestDecisionsDeterministicAcrossParallelism(t *testing.T) {
+	cfgA := recommendConfig()
+	cfgA.Parallelism = 1
+	cfgB := recommendConfig()
+	cfgB.Parallelism = 4
+	a := buildDecisions(t, cfgA)
+	b := buildDecisions(t, cfgB)
+	hours := []int{0, 1, a.Horizon() / 2, a.Horizon() - 1}
+	for ui := 0; ui < a.Users(); ui++ {
+		user := a.UserName(ui)
+		for _, policy := range a.Policies() {
+			for j := 0; j < a.Reserved(ui); j++ {
+				for _, h := range hours {
+					q := Query{User: user, Policy: policy, Instance: j, Hour: h}
+					ra, errA := a.Evaluate(q)
+					rb, errB := b.Evaluate(q)
+					if (errA == nil) != (errB == nil) {
+						t.Fatalf("%+v: error mismatch: %v vs %v", q, errA, errB)
+					}
+					if errA != nil {
+						continue
+					}
+					ba, _ := json.Marshal(ra)
+					bb, _ := json.Marshal(rb)
+					if string(ba) != string(bb) {
+						t.Fatalf("%+v: parallel build diverges:\n  p=1: %s\n  p=4: %s", q, ba, bb)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDecisionsCancel pins that a cancelled context aborts the build.
+func TestDecisionsCancel(t *testing.T) {
+	plan, err := NewCohortPlan(context.Background(), recommendConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := plan.Decisions(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Decisions on cancelled ctx = %v, want context.Canceled", err)
+	}
+}

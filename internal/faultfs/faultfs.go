@@ -15,6 +15,7 @@ import (
 	"io/fs"
 	"math/rand"
 	"sort"
+	"time"
 )
 
 // ErrInjected is the error every injected open/read failure wraps, so
@@ -39,6 +40,12 @@ const (
 	// garbage row. A plain CSV gains an unparseable line; a gzip stream
 	// fails its CRC or decode.
 	KindCorruptRow
+	// KindStall serves the file's bytes unmodified, but every Read call
+	// first sleeps the file's configured delay (see InjectStall) — a
+	// cold object store or a degraded network mount. Data is never
+	// wrong, only late: the mode exercises deadline paths (reload
+	// budgets, request timeouts) rather than parse errors.
+	KindStall
 )
 
 // String names the kind for test output.
@@ -52,6 +59,8 @@ func (k Kind) String() string {
 		return "truncate"
 	case KindCorruptRow:
 		return "corrupt-row"
+	case KindStall:
+		return "stall"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -69,15 +78,47 @@ const corruptRow = "\n!faultfs-corrupt-row!\n"
 type FS struct {
 	inner  fs.FS
 	faults map[string]Kind
+	delays map[string]time.Duration
+	sleep  func(time.Duration)
 }
 
 // New wraps inner with an empty fault set.
 func New(inner fs.FS) *FS {
-	return &FS{inner: inner, faults: make(map[string]Kind)}
+	return &FS{
+		inner:  inner,
+		faults: make(map[string]Kind),
+		delays: make(map[string]time.Duration),
+		sleep:  time.Sleep,
+	}
 }
 
 // Inject assigns a fault to one file (a path relative to the FS root).
+// A KindStall injected this way has zero delay — use InjectStall to
+// set one.
 func (f *FS) Inject(name string, kind Kind) { f.faults[name] = kind }
+
+// InjectStall assigns KindStall to one file with the given per-read
+// delay. A zero or negative delay stalls nothing (the file just takes
+// the buffered-read path).
+func (f *FS) InjectStall(name string, delay time.Duration) {
+	f.faults[name] = KindStall
+	f.delays[name] = delay
+}
+
+// SetSleep replaces the function stall delays are slept through —
+// time.Sleep by default. Tests substitute a recording or collapsing
+// sleeper so stall behavior is asserted without waiting out real time;
+// a nil fn restores time.Sleep. Like fault configuration, SetSleep
+// must happen before the FS is handed to concurrent readers.
+func (f *FS) SetSleep(fn func(time.Duration)) {
+	if fn == nil {
+		fn = time.Sleep
+	}
+	f.sleep = fn
+}
+
+// StallDelay reports the configured delay for a name (zero when none).
+func (f *FS) StallDelay(name string) time.Duration { return f.delays[name] }
 
 // Faults returns a copy of the current fault assignment.
 func (f *FS) Faults() map[string]Kind {
@@ -127,6 +168,34 @@ func (f *FS) InjectN(seed int64, n int, kinds ...Kind) ([]string, error) {
 	return picked, nil
 }
 
+// InjectStallN picks n regular files in the root of the inner
+// filesystem — deterministically from seed, with the same selection
+// rule as InjectN — and assigns each a KindStall with a per-read delay
+// drawn from the same seeded stream, uniform in (0, maxDelay]. The
+// returned map records the exact assignment, so a test naming a seed
+// reproduces both which files stall and by how much, on every run and
+// platform.
+func (f *FS) InjectStallN(seed int64, n int, maxDelay time.Duration) (map[string]time.Duration, error) {
+	if maxDelay <= 0 {
+		return nil, fmt.Errorf("faultfs: maxDelay = %v, want positive", maxDelay)
+	}
+	picked, err := f.InjectN(seed, n, KindStall)
+	if err != nil {
+		return nil, err
+	}
+	// Delays are drawn from a fresh seeded stream in the sorted order
+	// InjectN returns, so the (seed, n, maxDelay) triple and the file
+	// set fully determine the assignment.
+	rng := rand.New(rand.NewSource(seed))
+	out := make(map[string]time.Duration, len(picked))
+	for _, name := range picked {
+		d := time.Duration(rng.Int63n(int64(maxDelay))) + 1
+		f.delays[name] = d
+		out[name] = d
+	}
+	return out, nil
+}
+
 // Open implements fs.FS. Non-faulted names pass through to the inner
 // filesystem, so directory reads and clean files behave exactly as the
 // wrapped FS does.
@@ -163,6 +232,10 @@ func (f *FS) Open(name string) (fs.File, error) {
 		ff.data = data[:len(data)/2]
 	case KindCorruptRow:
 		ff.data = spliceCorruptRow(data)
+	case KindStall:
+		ff.data = data
+		ff.stall = f.delays[name]
+		ff.sleep = f.sleep
 	default:
 		return nil, fmt.Errorf("faultfs: %s: unknown fault kind %d", name, int(kind))
 	}
@@ -196,6 +269,11 @@ type faultFile struct {
 	off      int
 	errAfter error
 	closed   bool
+
+	// stall/sleep implement KindStall: every Read sleeps stall through
+	// sleep before serving bytes.
+	stall time.Duration
+	sleep func(time.Duration)
 }
 
 func (f *faultFile) Stat() (fs.FileInfo, error) { return f.info, nil }
@@ -203,6 +281,9 @@ func (f *faultFile) Stat() (fs.FileInfo, error) { return f.info, nil }
 func (f *faultFile) Read(p []byte) (int, error) {
 	if f.closed {
 		return 0, &fs.PathError{Op: "read", Path: f.name, Err: fs.ErrClosed}
+	}
+	if f.stall > 0 {
+		f.sleep(f.stall)
 	}
 	if f.off >= len(f.data) {
 		if f.errAfter != nil {

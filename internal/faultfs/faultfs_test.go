@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 	"testing/fstest"
+	"time"
 )
 
 func corpus(n int) fstest.MapFS {
@@ -157,10 +158,96 @@ func TestKindString(t *testing.T) {
 		KindReadError:  "read-error",
 		KindTruncate:   "truncate",
 		KindCorruptRow: "corrupt-row",
+		KindStall:      "stall",
 		Kind(99):       "Kind(99)",
 	} {
 		if got := kind.String(); got != want {
 			t.Errorf("Kind(%d).String() = %q, want %q", int(kind), got, want)
 		}
+	}
+}
+
+func TestKindStallServesExactBytes(t *testing.T) {
+	inner := corpus(2)
+	f := New(inner)
+	var slept []time.Duration
+	f.SetSleep(func(d time.Duration) { slept = append(slept, d) })
+	f.InjectStall("a.csv", 5*time.Millisecond)
+	data, err := fs.ReadFile(f, "a.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := inner["a.csv"].Data; !reflect.DeepEqual(data, want) {
+		t.Errorf("stalled read = %q, want the unmodified bytes %q", data, want)
+	}
+	if len(slept) == 0 {
+		t.Fatal("no stall slept: the sleep seam was never invoked")
+	}
+	for _, d := range slept {
+		if d != 5*time.Millisecond {
+			t.Errorf("slept %v, want the configured 5ms", d)
+		}
+	}
+	if d := f.StallDelay("a.csv"); d != 5*time.Millisecond {
+		t.Errorf("StallDelay = %v, want 5ms", d)
+	}
+	if d := f.StallDelay("b.csv"); d != 0 {
+		t.Errorf("StallDelay of clean file = %v, want 0", d)
+	}
+}
+
+func TestKindStallZeroDelayAndPlainInject(t *testing.T) {
+	f := New(corpus(1))
+	called := false
+	f.SetSleep(func(time.Duration) { called = true })
+	// Inject without InjectStall: KindStall with zero delay must serve
+	// the file without ever sleeping.
+	f.Inject("a.csv", KindStall)
+	if _, err := fs.ReadFile(f, "a.csv"); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Error("zero-delay stall slept anyway")
+	}
+}
+
+func TestInjectStallNDeterministic(t *testing.T) {
+	const seed, n = 7, 3
+	max := 20 * time.Millisecond
+	a := New(corpus(8))
+	gotA, err := a.InjectStallN(seed, n, max)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := New(corpus(8))
+	gotB, err := b.InjectStallN(seed, n, max)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotA, gotB) {
+		t.Errorf("same seed assigned different stalls: %v vs %v", gotA, gotB)
+	}
+	if len(gotA) != n {
+		t.Fatalf("assigned %d stalls, want %d", len(gotA), n)
+	}
+	for name, d := range gotA {
+		if d <= 0 || d > max {
+			t.Errorf("%s: delay %v outside (0, %v]", name, d, max)
+		}
+		if a.Faults()[name] != KindStall {
+			t.Errorf("%s: fault kind = %v, want stall", name, a.Faults()[name])
+		}
+	}
+	if _, err := New(corpus(8)).InjectStallN(seed, n, 0); err == nil {
+		t.Error("maxDelay = 0 accepted")
+	}
+}
+
+func TestSetSleepNilRestoresDefault(t *testing.T) {
+	f := New(corpus(1))
+	f.SetSleep(nil)
+	f.InjectStall("a.csv", time.Nanosecond)
+	if _, err := fs.ReadFile(f, "a.csv"); err != nil {
+		t.Fatalf("read through default sleeper: %v", err)
 	}
 }

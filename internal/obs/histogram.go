@@ -74,6 +74,36 @@ func upperBound(i int) int64 {
 	return int64(1)<<i - 1
 }
 
+// Quantile returns an upper bound on the q-quantile (q in [0, 1]) of
+// the recorded distribution: the inclusive upper edge of the first
+// bucket at which the cumulative count reaches q*Count. With
+// power-of-two buckets the bound is within 2x of the true quantile —
+// the right resolution for latency gating (a p99 regression worth
+// acting on moves buckets). Returns 0 for an empty snapshot.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	need := int64(q * float64(s.Count))
+	if need < 1 {
+		need = 1
+	}
+	var cum int64
+	for _, b := range s.Buckets {
+		cum += b.Count
+		if cum >= need {
+			return b.UpperNs
+		}
+	}
+	return s.Buckets[len(s.Buckets)-1].UpperNs
+}
+
 // Snapshot copies the histogram. Each bucket is read atomically, so a
 // snapshot taken during concurrent recording may be a few observations
 // behind count/sum but never corrupt; after the recorders quiesce it

@@ -11,7 +11,10 @@ import (
 
 // ManifestSchema versions the manifest JSON layout. Bump on any
 // field rename or semantic change so downstream tooling can dispatch.
-const ManifestSchema = 3
+// Schema 4 added the metrics snapshot's serving section (requests,
+// shed, timeouts, panics, reloads, request latency) written by the rid
+// recommendation daemon.
+const ManifestSchema = 4
 
 // Manifest records the provenance of one binary invocation: what ran,
 // with which flags and seed, against which traces, on which build, for

@@ -67,6 +67,26 @@ type Metrics struct {
 	// itself never reads a clock).
 	EngineRunNs Histogram
 
+	// Serving counters, fed by the rid recommendation daemon
+	// (internal/ridserver). Batch tools never touch them, so the
+	// manifest's serving section stays absent for offline runs.
+	//
+	// ServeRequests counts requests admitted past the load-shedding
+	// gate; ServeShed those rejected by it with 503. ServeTimeouts
+	// counts admitted requests that exhausted their per-request
+	// deadline, ServePanics handler panics contained to a 500.
+	// SnapshotReloads and SnapshotReloadFails count SIGHUP snapshot
+	// swaps and reloads that failed validation (the server keeps the
+	// old snapshot). ServeRequestNs is the admitted requests' wall-time
+	// distribution, timed through the metrics clock.
+	ServeRequests       Counter
+	ServeShed           Counter
+	ServeTimeouts       Counter
+	ServePanics         Counter
+	SnapshotReloads     Counter
+	SnapshotReloadFails Counter
+	ServeRequestNs      Histogram
+
 	mu    sync.Mutex
 	spans map[string]*SpanStat
 	cells []CellStat
@@ -168,8 +188,24 @@ type Snapshot struct {
 	CellsResumed    int64             `json:"cells_resumed"`
 	JobsStolen      int64             `json:"jobs_stolen"`
 	EngineRunNs     HistogramSnapshot `json:"engine_run_ns"`
+	Serving         *ServingSnapshot  `json:"serving,omitempty"`
 	Spans           []SpanStat        `json:"spans,omitempty"`
 	Cells           []CellStat        `json:"cells,omitempty"`
+}
+
+// ServingSnapshot is the manifest's serving section: the rid daemon's
+// request, shed, timeout, panic and reload counters plus the request
+// latency distribution. It is present only when the process actually
+// served (any serving counter nonzero), so batch-tool manifests are
+// unchanged.
+type ServingSnapshot struct {
+	Requests    int64             `json:"requests"`
+	Shed        int64             `json:"shed"`
+	Timeouts    int64             `json:"timeouts"`
+	Panics      int64             `json:"panics"`
+	Reloads     int64             `json:"reloads"`
+	ReloadFails int64             `json:"reload_fails"`
+	RequestNs   HistogramSnapshot `json:"request_ns"`
 }
 
 // Snapshot captures the current metric values. Spans are sorted by
@@ -196,6 +232,18 @@ func (m *Metrics) Snapshot() *Snapshot {
 		CellsResumed:    m.CellsResumed.Value(),
 		JobsStolen:      m.JobsStolen.Value(),
 		EngineRunNs:     m.EngineRunNs.Snapshot(),
+	}
+	serving := ServingSnapshot{
+		Requests:    m.ServeRequests.Value(),
+		Shed:        m.ServeShed.Value(),
+		Timeouts:    m.ServeTimeouts.Value(),
+		Panics:      m.ServePanics.Value(),
+		Reloads:     m.SnapshotReloads.Value(),
+		ReloadFails: m.SnapshotReloadFails.Value(),
+		RequestNs:   m.ServeRequestNs.Snapshot(),
+	}
+	if serving.Requests+serving.Shed+serving.Timeouts+serving.Panics+serving.Reloads+serving.ReloadFails > 0 {
+		s.Serving = &serving
 	}
 	m.mu.Lock()
 	for _, sp := range m.spans {

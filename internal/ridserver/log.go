@@ -1,0 +1,46 @@
+package ridserver
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// logf emits one structured JSON log line: fixed ts/level/msg fields
+// followed by the given key/value pairs in call order. Records are
+// single writes under a mutex so concurrent handlers never interleave
+// mid-line. A nil Log discards records; serving results never depend
+// on logging.
+func (s *Server) logf(level, msg string, kv ...string) {
+	if s.cfg.Log == nil {
+		return
+	}
+	buf := make([]byte, 0, 128)
+	buf = append(buf, `{"ts":`...)
+	buf = appendJSONString(buf, s.cfg.Clock().UTC().Format(time.RFC3339Nano))
+	buf = append(buf, `,"level":`...)
+	buf = appendJSONString(buf, level)
+	buf = append(buf, `,"msg":`...)
+	buf = appendJSONString(buf, msg)
+	for i := 0; i+1 < len(kv); i += 2 {
+		buf = append(buf, ',')
+		buf = appendJSONString(buf, kv[i])
+		buf = append(buf, ':')
+		buf = appendJSONString(buf, kv[i+1])
+	}
+	buf = append(buf, '}', '\n')
+	s.logMu.Lock()
+	fmt.Fprintf(s.cfg.Log, "%s", buf)
+	s.logMu.Unlock()
+}
+
+// appendJSONString appends v as a JSON string literal.
+func appendJSONString(buf []byte, v string) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		// Marshal of a string cannot fail; keep the record well-formed
+		// regardless.
+		return append(buf, `"?"`...)
+	}
+	return append(buf, b...)
+}

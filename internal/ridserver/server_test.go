@@ -1,0 +1,600 @@
+package ridserver
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rimarket/internal/experiments"
+	"rimarket/internal/obs"
+)
+
+// testSet builds the small shared evaluation snapshot once: the set is
+// immutable, so every test (and every simulated reload) can serve the
+// same instance.
+var (
+	testSetOnce sync.Once
+	testSetVal  *experiments.DecisionSet
+	testSetErr  error
+)
+
+func testSet(t testing.TB) *experiments.DecisionSet {
+	t.Helper()
+	testSetOnce.Do(func() {
+		cfg := experiments.TestScaleConfig()
+		cfg.PerGroup = 2
+		plan, err := experiments.NewCohortPlan(context.Background(), cfg)
+		if err != nil {
+			testSetErr = err
+			return
+		}
+		testSetVal, testSetErr = plan.Decisions(context.Background())
+	})
+	if testSetErr != nil {
+		t.Fatalf("building test snapshot: %v", testSetErr)
+	}
+	return testSetVal
+}
+
+// staticLoader serves a fixed snapshot — the Load used by tests whose
+// subject is the envelope, not snapshot construction.
+func staticLoader(set *experiments.DecisionSet) func(context.Context) (*experiments.DecisionSet, error) {
+	return func(context.Context) (*experiments.DecisionSet, error) { return set, nil }
+}
+
+// startServer runs a Server on a fresh loopback listener and returns
+// its base URL plus a shutdown function that drains it and reports
+// Serve's error.
+func startServer(t *testing.T, cfg Config) (*Server, string, func() error) {
+	t.Helper()
+	s, err := New(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- s.Serve(ctx, ln) }()
+	waitReady(t, s)
+	url := "http://" + ln.Addr().String()
+	return s, url, func() error {
+		cancel()
+		select {
+		case err := <-errc:
+			return err
+		case <-time.After(30 * time.Second):
+			t.Fatal("Serve did not return after cancellation")
+			return nil
+		}
+	}
+}
+
+func waitReady(t *testing.T, s *Server) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !s.Ready() {
+		if time.Now().After(deadline) {
+			t.Fatal("server never became ready")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// postRecommend sends one query and returns status, headers and body.
+func postRecommend(t *testing.T, url string, body string) (int, http.Header, []byte) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/recommend", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/recommend: %v", err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading response: %v", err)
+	}
+	return resp.StatusCode, resp.Header, b
+}
+
+// offlineBytes computes the response bytes the bit-identity contract
+// promises: json.Marshal of the offline evaluation plus a newline.
+func offlineBytes(t testing.TB, set *experiments.DecisionSet, q experiments.Query) []byte {
+	t.Helper()
+	rec, err := set.Evaluate(q)
+	if err != nil {
+		t.Fatalf("offline Evaluate(%+v): %v", q, err)
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(b, '\n')
+}
+
+func mustJSON(t *testing.T, q experiments.Query) string {
+	t.Helper()
+	b, err := json.Marshal(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestServeRecommendMatchesOffline(t *testing.T) {
+	set := testSet(t)
+	_, url, shutdown := startServer(t, Config{Load: staticLoader(set)})
+	q := experiments.Query{User: set.UserName(0), Policy: set.Policies()[1], Instance: 0, Hour: 0}
+	status, hdr, body := postRecommend(t, url, mustJSON(t, q))
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, body %s", status, body)
+	}
+	if want := offlineBytes(t, set, q); !bytes.Equal(body, want) {
+		t.Fatalf("served bytes diverge from offline evaluation:\n  got  %s\n  want %s", body, want)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if err := shutdown(); err != nil {
+		t.Fatalf("clean drain returned %v", err)
+	}
+}
+
+func TestServeInfoAndProbes(t *testing.T) {
+	set := testSet(t)
+	s, url, shutdown := startServer(t, Config{Load: staticLoader(set)})
+	defer shutdown()
+
+	resp, err := http.Get(url + "/v1/info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info InfoResponse
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if info.Users != set.Users() || info.Hours != set.Horizon() || len(info.Policies) != len(set.Policies()) {
+		t.Errorf("info = %+v, want users %d hours %d policies %d", info, set.Users(), set.Horizon(), len(set.Policies()))
+	}
+
+	for path, want := range map[string]int{"/healthz": 200, "/readyz": 200} {
+		resp, err := http.Get(url + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Errorf("%s = %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+	if !s.Ready() {
+		t.Error("Ready() = false while serving")
+	}
+}
+
+func TestServeRejectsBadRequests(t *testing.T) {
+	set := testSet(t)
+	_, url, shutdown := startServer(t, Config{Load: staticLoader(set), MaxBodyBytes: 256})
+	defer shutdown()
+
+	get, err := http.Get(url + "/v1/recommend")
+	if err != nil {
+		t.Fatal(err)
+	}
+	get.Body.Close()
+	if get.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/recommend = %d, want 405", get.StatusCode)
+	}
+
+	for name, tc := range map[string]struct {
+		body string
+		want int
+	}{
+		"garbage":        {"{not json", http.StatusBadRequest},
+		"unknown field":  {`{"user":"u","policy":"p","hour":0,"extra":1}`, http.StatusBadRequest},
+		"oversized body": {`{"user":"` + strings.Repeat("x", 512) + `"}`, http.StatusRequestEntityTooLarge},
+		"unknown user":   {`{"user":"nobody","policy":"` + set.Policies()[0] + `","hour":0}`, http.StatusNotFound},
+		"unknown policy": {mustJSON(t, experiments.Query{User: set.UserName(0), Policy: "Sell-Everything"}), http.StatusNotFound},
+		"bad hour":       {mustJSON(t, experiments.Query{User: set.UserName(0), Policy: set.Policies()[0], Hour: -1}), http.StatusBadRequest},
+		"bad instance":   {mustJSON(t, experiments.Query{User: set.UserName(0), Policy: set.Policies()[0], Instance: 99}), http.StatusNotFound},
+	} {
+		status, _, body := postRecommend(t, url, tc.body)
+		if status != tc.want {
+			t.Errorf("%s: status = %d, want %d (body %s)", name, status, tc.want, body)
+		}
+		var er ErrorResponse
+		if err := json.Unmarshal(body, &er); err != nil || er.Error == "" {
+			t.Errorf("%s: error body %q is not an ErrorResponse", name, body)
+		}
+	}
+}
+
+func TestOverloadSheds(t *testing.T) {
+	set := testSet(t)
+	m := obs.New(obs.SystemClock)
+	block := make(chan struct{})
+	s, url, shutdown := startServer(t, Config{Load: staticLoader(set), MaxInflight: 1, Metrics: m})
+	s.chaos = func(r *http.Request) {
+		if r.Header.Get("X-Chaos") == "block" {
+			<-block
+		}
+	}
+
+	// Occupy the single admission slot...
+	q := mustJSON(t, experiments.Query{User: set.UserName(0), Policy: set.Policies()[0]})
+	firstDone := make(chan int, 1)
+	go func() {
+		req, _ := http.NewRequest(http.MethodPost, url+"/v1/recommend", strings.NewReader(q))
+		req.Header.Set("X-Chaos", "block")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			firstDone <- -1
+			return
+		}
+		resp.Body.Close()
+		firstDone <- resp.StatusCode
+	}()
+	waitCounter(t, &m.ServeRequests, 1)
+
+	// ...then overload: the next request must shed, not queue.
+	status, hdr, _ := postRecommend(t, url, q)
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("overloaded request = %d, want 503", status)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Error("503 without Retry-After")
+	}
+	if m.ServeShed.Value() == 0 {
+		t.Error("shed counter not incremented")
+	}
+
+	close(block)
+	if code := <-firstDone; code != http.StatusOK {
+		t.Fatalf("admitted request finished with %d, want 200", code)
+	}
+	// The slot freed: serving resumes without shedding.
+	if status, _, _ := postRecommend(t, url, q); status != http.StatusOK {
+		t.Fatalf("post-overload request = %d, want 200", status)
+	}
+	if err := shutdown(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func waitCounter(t *testing.T, c *obs.Counter, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Value() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("counter stuck at %d, want %d", c.Value(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestPanicContained(t *testing.T) {
+	set := testSet(t)
+	m := obs.New(obs.SystemClock)
+	var log bytes.Buffer
+	s, url, shutdown := startServer(t, Config{Load: staticLoader(set), Metrics: m, Log: &log})
+	s.chaos = func(r *http.Request) {
+		if r.Header.Get("X-Chaos") == "panic" {
+			panic("injected handler panic")
+		}
+	}
+
+	q := mustJSON(t, experiments.Query{User: set.UserName(0), Policy: set.Policies()[0]})
+	req, _ := http.NewRequest(http.MethodPost, url+"/v1/recommend", strings.NewReader(q))
+	req.Header.Set("X-Chaos", "panic")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("panicking request errored at transport level: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicking request = %d, want 500", resp.StatusCode)
+	}
+	if m.ServePanics.Value() != 1 {
+		t.Errorf("panic counter = %d, want 1", m.ServePanics.Value())
+	}
+	if !strings.Contains(log.String(), "handler panic contained") {
+		t.Errorf("panic not logged: %s", log.String())
+	}
+
+	// The process survived; the next request answers correctly.
+	status, _, body := postRecommend(t, url, q)
+	if status != http.StatusOK {
+		t.Fatalf("request after panic = %d", status)
+	}
+	var qq experiments.Query
+	if err := json.Unmarshal([]byte(q), &qq); err != nil {
+		t.Fatal(err)
+	}
+	if want := offlineBytes(t, set, qq); !bytes.Equal(body, want) {
+		t.Fatalf("post-panic bytes diverge:\n  got  %s\n  want %s", body, want)
+	}
+	if err := shutdown(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReloadSwapAndRollback(t *testing.T) {
+	set := testSet(t)
+	m := obs.New(obs.SystemClock)
+	var loadErr error
+	var mu sync.Mutex
+	load := func(ctx context.Context) (*experiments.DecisionSet, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if loadErr != nil {
+			return nil, loadErr
+		}
+		return set, nil
+	}
+	s, err := New(context.Background(), Config{Load: load, Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := s.Reload(context.Background()); err != nil {
+		t.Fatalf("healthy reload failed: %v", err)
+	}
+	if m.SnapshotReloads.Value() != 1 {
+		t.Errorf("reload counter = %d, want 1", m.SnapshotReloads.Value())
+	}
+
+	before := s.Snapshot()
+	mu.Lock()
+	loadErr = errors.New("backing store unavailable")
+	mu.Unlock()
+	if err := s.Reload(context.Background()); err == nil {
+		t.Fatal("failing reload reported success")
+	}
+	if s.Snapshot() != before {
+		t.Fatal("failed reload swapped the snapshot")
+	}
+	if m.SnapshotReloadFails.Value() != 1 {
+		t.Errorf("reload-fail counter = %d, want 1", m.SnapshotReloadFails.Value())
+	}
+}
+
+func TestReloadRejectsInvalidSnapshot(t *testing.T) {
+	set := testSet(t)
+	bad := false
+	load := func(ctx context.Context) (*experiments.DecisionSet, error) {
+		if bad {
+			return nil, nil // nil snapshot, no error: must fail validation
+		}
+		return set, nil
+	}
+	s, err := New(context.Background(), Config{Load: load})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad = true
+	if err := s.Reload(context.Background()); err == nil {
+		t.Fatal("nil snapshot accepted")
+	}
+	if s.Snapshot() != set {
+		t.Fatal("invalid reload swapped the snapshot")
+	}
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	set := testSet(t)
+	if _, err := New(context.Background(), Config{}); err == nil {
+		t.Error("nil Load accepted")
+	}
+	if _, err := New(context.Background(), Config{Load: staticLoader(set), MaxInflight: -1}); err == nil {
+		t.Error("negative MaxInflight accepted")
+	}
+	failing := func(context.Context) (*experiments.DecisionSet, error) {
+		return nil, errors.New("no data")
+	}
+	if _, err := New(context.Background(), Config{Load: failing}); err == nil {
+		t.Error("failed initial load accepted: a daemon with nothing to serve must not come up")
+	}
+}
+
+// TestDrainCompletesAdmittedRequests pins the graceful half of
+// shutdown: readiness flips to 503 first, an admitted in-flight
+// request still completes with the correct answer, and Serve returns
+// nil.
+func TestDrainCompletesAdmittedRequests(t *testing.T) {
+	set := testSet(t)
+	block := make(chan struct{})
+	inHandler := make(chan struct{}, 1)
+	s, url, shutdown := startServer(t, Config{Load: staticLoader(set), DrainTimeout: 20 * time.Second})
+	s.chaos = func(r *http.Request) {
+		if r.Header.Get("X-Chaos") == "block" {
+			inHandler <- struct{}{}
+			<-block
+		}
+	}
+
+	q := experiments.Query{User: set.UserName(0), Policy: set.Policies()[0]}
+	type result struct {
+		status int
+		body   []byte
+	}
+	done := make(chan result, 1)
+	go func() {
+		req, _ := http.NewRequest(http.MethodPost, url+"/v1/recommend", strings.NewReader(mustJSON(t, q)))
+		req.Header.Set("X-Chaos", "block")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			done <- result{-1, nil}
+			return
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		done <- result{resp.StatusCode, b}
+	}()
+	<-inHandler
+
+	// Start the drain while the request is admitted and blocked.
+	shutdownErr := make(chan error, 1)
+	go func() { shutdownErr <- shutdown() }()
+
+	// Readiness must flip before the drain completes, while /healthz
+	// keeps answering 200 (the process is alive, just not accepting).
+	waitNotReady(t, s)
+	close(block)
+
+	r := <-done
+	if r.status != http.StatusOK {
+		t.Fatalf("admitted request finished with %d during drain, want 200", r.status)
+	}
+	if want := offlineBytes(t, set, q); !bytes.Equal(r.body, want) {
+		t.Fatalf("drained response diverges:\n  got  %s\n  want %s", r.body, want)
+	}
+	if err := <-shutdownErr; err != nil {
+		t.Fatalf("graceful drain returned %v, want nil", err)
+	}
+}
+
+func waitNotReady(t *testing.T, s *Server) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Ready() {
+		if time.Now().After(deadline) {
+			t.Fatal("readiness never flipped during drain")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestDrainTimeoutHardCloses pins the other half: a request that
+// refuses to finish inside DrainTimeout is cut and Serve reports
+// ErrDrainTimeout.
+func TestDrainTimeoutHardCloses(t *testing.T) {
+	set := testSet(t)
+	block := make(chan struct{})
+	defer close(block)
+	inHandler := make(chan struct{}, 1)
+	s, url, shutdown := startServer(t, Config{Load: staticLoader(set), DrainTimeout: 50 * time.Millisecond})
+	s.chaos = func(r *http.Request) {
+		inHandler <- struct{}{}
+		<-block
+	}
+
+	go func() {
+		resp, err := http.Post(url+"/v1/recommend", "application/json",
+			strings.NewReader(mustJSON(t, experiments.Query{User: set.UserName(0), Policy: set.Policies()[0]})))
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-inHandler
+
+	if err := shutdown(); !errors.Is(err, ErrDrainTimeout) {
+		t.Fatalf("drain past deadline returned %v, want ErrDrainTimeout", err)
+	}
+}
+
+// TestRequestTimeout pins the per-request deadline: a handler stalled
+// past RequestTimeout answers 504 and counts a timeout.
+func TestRequestTimeout(t *testing.T) {
+	set := testSet(t)
+	m := obs.New(obs.SystemClock)
+	s, url, shutdown := startServer(t, Config{Load: staticLoader(set), RequestTimeout: 30 * time.Millisecond, Metrics: m})
+	defer shutdown()
+	s.chaos = func(r *http.Request) { <-r.Context().Done() }
+
+	status, _, _ := postRecommend(t, url, mustJSON(t, experiments.Query{User: set.UserName(0), Policy: set.Policies()[0]}))
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("stalled request = %d, want 504", status)
+	}
+	if m.ServeTimeouts.Value() != 1 {
+		t.Errorf("timeout counter = %d, want 1", m.ServeTimeouts.Value())
+	}
+	s.chaos = nil
+}
+
+// TestMetricszSnapshot pins that /metricsz exists only with metrics
+// configured and serves the serving section.
+func TestMetricszSnapshot(t *testing.T) {
+	set := testSet(t)
+	m := obs.New(obs.SystemClock)
+	_, url, shutdown := startServer(t, Config{Load: staticLoader(set), Metrics: m})
+	defer shutdown()
+
+	if status, _, _ := postRecommend(t, url, mustJSON(t, experiments.Query{User: set.UserName(0), Policy: set.Policies()[0]})); status != http.StatusOK {
+		t.Fatalf("probe request = %d", status)
+	}
+	resp, err := http.Get(url + "/metricsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Serving == nil {
+		t.Fatal("metrics snapshot has no serving section")
+	}
+	// The /metricsz request itself is also counted, so >= 2.
+	if snap.Serving.Requests < 2 {
+		t.Errorf("serving.requests = %d, want >= 2", snap.Serving.Requests)
+	}
+
+	_, urlOff, shutdownOff := startServer(t, Config{Load: staticLoader(set)})
+	defer shutdownOff()
+	respOff, err := http.Get(urlOff + "/metricsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	respOff.Body.Close()
+	if respOff.StatusCode != http.StatusNotFound {
+		t.Errorf("/metricsz without metrics = %d, want 404", respOff.StatusCode)
+	}
+}
+
+// TestHandlerWithoutServe pins the embedder path: the envelope lives
+// in the handler, so mounting Handler() directly still sheds, times
+// out and contains panics.
+func TestHandlerWithoutServe(t *testing.T) {
+	set := testSet(t)
+	s, err := New(context.Background(), Config{Load: staticLoader(set)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, _ := http.NewRequest(http.MethodPost, "/v1/recommend",
+		strings.NewReader(mustJSON(t, experiments.Query{User: set.UserName(0), Policy: set.Policies()[0]})))
+	rw := &recordWriter{header: http.Header{}}
+	s.Handler().ServeHTTP(rw, req)
+	if rw.status != http.StatusOK {
+		t.Fatalf("direct handler call = %d, want 200", rw.status)
+	}
+}
+
+// recordWriter is a minimal ResponseWriter for direct handler calls.
+type recordWriter struct {
+	header http.Header
+	status int
+	buf    bytes.Buffer
+}
+
+func (w *recordWriter) Header() http.Header { return w.header }
+func (w *recordWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+}
+func (w *recordWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.buf.Write(b)
+}

@@ -2,6 +2,7 @@ package analyzers
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 
 	"rimarket/internal/rilint"
@@ -10,10 +11,19 @@ import (
 // ctxPkgs are the packages whose exported API fans work out over the
 // worker pool, or rides the context (obs metrics travel via
 // WithMetrics/FromContext): every entry point must be cancellable —
-// and observable — from the caller.
-var ctxPkgs = []string{"internal/experiments", "internal/obs"}
+// and observable — from the caller. internal/ridserver joined the
+// list with the rid daemon: snapshot loads and reloads fan the same
+// engine work out, so they obey the same contract.
+var ctxPkgs = []string{"internal/experiments", "internal/obs", "internal/ridserver"}
 
-// Ctxrule enforces the context-threading contract PR 3 established:
+// serverPkg is the package where the HTTP-handler refinement of the
+// rule applies: a handler's context is the request's, so minting one
+// is not just detached work — it is a request that ignores its own
+// deadline.
+const serverPkg = "internal/ridserver"
+
+// Ctxrule enforces the context-threading contract PR 3 established
+// (and PR 8 extended to the serving path):
 //
 //   - library packages (anything not package main) never mint their
 //     own root context with context.Background() or context.TODO() —
@@ -23,18 +33,31 @@ var ctxPkgs = []string{"internal/experiments", "internal/obs"}
 //     spawns work (starts a goroutine, or calls anything whose first
 //     parameter is a context.Context) must itself take a
 //     context.Context as its first parameter;
+//   - in internal/ridserver, HTTP handlers derive their context from
+//     r.Context() — a Background/TODO inside a handler gets a
+//     handler-specific diagnostic, and handler-shaped functions are
+//     exempt from the ctx-first signature rule (the request carries
+//     their context);
 //   - module-wide, a context.Context parameter is always first.
 var Ctxrule = &rilint.Analyzer{
 	Name: "ctxrule",
-	Doc:  "library code must thread context.Context: no Background()/TODO() outside main packages, ctx first in experiment-driver entry points",
+	Doc:  "library code must thread context.Context: no Background()/TODO() outside main packages, ctx first in experiment-driver entry points, r.Context() in rid handlers",
 	Run:  runCtxrule,
 }
 
 func runCtxrule(pass *rilint.Pass) error {
 	isMain := pass.Pkg.Name() == "main"
 	driverPkg := pathHasSuffix(pass.Pkg.Path(), ctxPkgs...)
+	inServer := pathHasSuffix(pass.Pkg.Path(), serverPkg)
 
 	for _, f := range pass.Files {
+		// Handler spans: the positions inside handler-shaped functions
+		// (declared or literal), where the Background/TODO diagnostic
+		// should say "use r.Context()" instead of the generic message.
+		var handlers []posSpan
+		if inServer {
+			handlers = handlerSpans(pass, f)
+		}
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.CallExpr:
@@ -43,11 +66,16 @@ func runCtxrule(pass *rilint.Pass) error {
 				}
 				fn := calleeFunc(pass, n)
 				if isPkgFunc(fn, "context", "Background") || isPkgFunc(fn, "context", "TODO") {
-					pass.Reportf(n.Pos(),
-						"library code calls context.%s: it detaches work from the caller's cancellation; accept a ctx parameter instead", fn.Name())
+					if spansContain(handlers, n.Pos()) {
+						pass.Reportf(n.Pos(),
+							"HTTP handler calls context.%s: derive from r.Context() so the request deadline and client disconnects propagate", fn.Name())
+					} else {
+						pass.Reportf(n.Pos(),
+							"library code calls context.%s: it detaches work from the caller's cancellation; accept a ctx parameter instead", fn.Name())
+					}
 				}
 			case *ast.FuncDecl:
-				checkCtxSignature(pass, n, driverPkg)
+				checkCtxSignature(pass, n, driverPkg, inServer)
 			}
 			return true
 		})
@@ -55,7 +83,76 @@ func runCtxrule(pass *rilint.Pass) error {
 	return nil
 }
 
-func checkCtxSignature(pass *rilint.Pass, decl *ast.FuncDecl, driverPkg bool) {
+// posSpan is one source range, inclusive of Pos and exclusive of End.
+type posSpan struct{ pos, end token.Pos }
+
+func spansContain(spans []posSpan, p token.Pos) bool {
+	for _, s := range spans {
+		if s.pos <= p && p < s.end {
+			return true
+		}
+	}
+	return false
+}
+
+// handlerSpans collects the source ranges of handler-shaped functions
+// in f: declarations and literals whose parameters are exactly
+// (http.ResponseWriter, *http.Request).
+func handlerSpans(pass *rilint.Pass, f *ast.File) []posSpan {
+	var spans []posSpan
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil && isHandlerSignature(funcDeclSignature(pass, n)) {
+				spans = append(spans, posSpan{n.Body.Pos(), n.Body.End()})
+			}
+		case *ast.FuncLit:
+			sig, _ := pass.TypeOf(n).(*types.Signature)
+			if isHandlerSignature(sig) {
+				spans = append(spans, posSpan{n.Body.Pos(), n.Body.End()})
+			}
+		}
+		return true
+	})
+	return spans
+}
+
+func funcDeclSignature(pass *rilint.Pass, decl *ast.FuncDecl) *types.Signature {
+	obj, ok := pass.ObjectOf(decl.Name).(*types.Func)
+	if !ok {
+		return nil
+	}
+	sig, _ := obj.Type().(*types.Signature)
+	return sig
+}
+
+// isHandlerSignature reports whether sig is the http.HandlerFunc
+// shape: exactly (net/http.ResponseWriter, *net/http.Request).
+func isHandlerSignature(sig *types.Signature) bool {
+	if sig == nil || sig.Params().Len() != 2 {
+		return false
+	}
+	return isNamedType(sig.Params().At(0).Type(), "net/http", "ResponseWriter") &&
+		isPtrToNamed(sig.Params().At(1).Type(), "net/http", "Request")
+}
+
+// isNamedType reports whether t is the named type pkgPath.name.
+func isNamedType(t types.Type, pkgPath, name string) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// isPtrToNamed reports whether t is *pkgPath.name.
+func isPtrToNamed(t types.Type, pkgPath, name string) bool {
+	ptr, ok := t.(*types.Pointer)
+	return ok && isNamedType(ptr.Elem(), pkgPath, name)
+}
+
+func checkCtxSignature(pass *rilint.Pass, decl *ast.FuncDecl, driverPkg, inServer bool) {
 	if decl.Name == nil || !decl.Name.IsExported() || decl.Body == nil {
 		return
 	}
@@ -64,6 +161,12 @@ func checkCtxSignature(pass *rilint.Pass, decl *ast.FuncDecl, driverPkg bool) {
 		return
 	}
 	sig := obj.Type().(*types.Signature)
+
+	// Handler-shaped exported functions are exempt: their context is
+	// the request's, delivered by net/http, not a parameter.
+	if inServer && isHandlerSignature(sig) {
+		return
+	}
 
 	ctxIndex := -1
 	for i := 0; i < sig.Params().Len(); i++ {
@@ -90,7 +193,10 @@ func checkCtxSignature(pass *rilint.Pass, decl *ast.FuncDecl, driverPkg bool) {
 
 // spawnsWork reports how a function body fans out work: it starts a
 // goroutine, or calls something that itself demands a context (the
-// mechanical signature of handing work to the runner).
+// mechanical signature of handing work to the runner). Nested
+// function literals are not descended into: their bodies run later,
+// under whatever context their eventual caller arranges (a middleware
+// constructor returning a handler is the canonical case).
 func spawnsWork(pass *rilint.Pass, body *ast.BlockStmt) string {
 	reason := ""
 	ast.Inspect(body, func(n ast.Node) bool {
@@ -98,6 +204,8 @@ func spawnsWork(pass *rilint.Pass, body *ast.BlockStmt) string {
 			return false
 		}
 		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
 		case *ast.GoStmt:
 			reason = "starts a goroutine"
 			return false

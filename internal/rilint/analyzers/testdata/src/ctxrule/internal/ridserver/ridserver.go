@@ -1,0 +1,56 @@
+// Package ridserver is the ctxrule fixture's serving package: the
+// Background/TODO ban gets a handler-specific diagnostic here, the
+// ctx-first signature rule applies to exported entry points, and
+// handler-shaped functions are exempt from it (the request carries
+// their context).
+package ridserver
+
+import (
+	"context"
+	"net/http"
+)
+
+func evaluate(ctx context.Context) error { return ctx.Err() }
+
+// HandleGood is the well-formed handler: its context is the
+// request's. Handler-shaped, so the ctx-first rule does not apply
+// even though it calls context-taking code.
+func HandleGood(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), 0)
+	defer cancel()
+	_ = evaluate(ctx)
+}
+
+// HandleDetached mints a root context inside a handler: the request
+// deadline and client disconnects no longer propagate.
+func HandleDetached(w http.ResponseWriter, r *http.Request) {
+	_ = evaluate(context.Background()) // want `HTTP handler calls context.Background: derive from r.Context\(\)`
+}
+
+// Middleware wraps a handler in a literal of the same shape: the
+// handler diagnostic follows the shape, not the declaration form.
+func Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_ = evaluate(context.TODO()) // want `HTTP handler calls context.TODO: derive from r.Context\(\)`
+		next.ServeHTTP(w, r)
+	})
+}
+
+// Reload is serving machinery, not a handler: outside handler spans
+// the generic library diagnostic applies — and as an exported entry
+// point handing work to context-taking code, it is also flagged for
+// not accepting a ctx of its own.
+func Reload() error { // want `exported Reload calls context-taking code`
+	return evaluate(context.Background()) // want `library code calls context.Background`
+}
+
+// Warm spawns work without accepting a context: ridserver is a driver
+// package now, so the ctx-first signature rule bites.
+func Warm() { // want `exported Warm starts a goroutine`
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}
+
+// Serve is the well-formed entry point: ctx first.
+func Serve(ctx context.Context) error { return evaluate(ctx) }

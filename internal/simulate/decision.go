@@ -1,0 +1,28 @@
+package simulate
+
+// DecisionAges resolves the checkpoint ages at which Run consults the
+// selling policy for the instance reserved at hour start with the given
+// 1-based batch index, exactly as the engine resolves them: a
+// PerInstancePolicy assigns each instance its own single age (dropped
+// when outside (0, periodHours)), a MultiCheckpointPolicy contributes
+// its full age list sorted, deduplicated and restricted to
+// (0, periodHours), and a plain SellingPolicy its one CheckpointAge.
+// The returned ages are relative to the instance's start hour.
+//
+// DecisionAges exists so point-in-time policy evaluation (the rid
+// daemon's "should user U sell instance I now?" lookup, built in
+// internal/experiments) shares one source of truth with the replay
+// engine instead of re-deriving checkpoint semantics.
+//
+// For policies that do not implement PerInstancePolicy the result is
+// independent of start and batchIndex, so callers evaluating a whole
+// cohort can resolve the ages once and share the slice.
+func DecisionAges(policy SellingPolicy, start, batchIndex, periodHours int) []int {
+	if perInst, ok := policy.(PerInstancePolicy); ok {
+		if age := perInst.InstanceCheckpointAge(start, batchIndex, periodHours); age > 0 && age < periodHours {
+			return []int{age}
+		}
+		return nil
+	}
+	return checkpointAges(policy, periodHours)
+}

@@ -1,27 +1,32 @@
 #!/usr/bin/env bash
-# Refresh the committed benchmark baseline (BENCH_7.json).
+# Refresh the committed benchmark baseline (BENCH_8.json).
 #
 # Runs the BenchmarkEngineRun matrix (terms x checkpoint density x
 # schedule recording), BenchmarkObsOverhead (the engine hot path with
 # the obs hook off and on), BenchmarkGridSkewed (the sharded worker
-# pool on uniform vs heavy-tailed grids, stealing on and off), and
-# BenchmarkMillionUsers (a 100k-user aliased cohort through one 1-year
-# cell of the streaming batch engine) with -benchmem, takes the
-# minimum over repeats, and writes the baseline JSON that CI's
-# benchgate step enforces — 20% regression tolerance on time, and
-# exactly-equal allocs/op for the ObsOverhead pair, pinning the hook's
-# zero-alloc contract. The GridSkewed rows hold the scheduler's wall
-# time on skewed grids, so a work-stealing regression shows up as a
-# benchgate failure, not a slow sweep; the MillionUsers row holds the
-# batch engine's cohort throughput, so losing the struct-of-arrays
-# layout (or accidentally falling back to one Run per user) costs
-# integer factors and trips the gate. One MillionUsers op is tens of
+# pool on uniform vs heavy-tailed grids, stealing on and off),
+# BenchmarkRidServe (the rid daemon's serving hot path: sequential
+# cost, p99 tail latency published as that mode's ns/op, and parallel
+# throughput), and BenchmarkMillionUsers (a 100k-user aliased cohort
+# through one 1-year cell of the streaming batch engine) with
+# -benchmem, takes the minimum over repeats, and writes the baseline
+# JSON that CI's benchgate step enforces — 20% regression tolerance on
+# time, and exactly-equal allocs/op for the ObsOverhead pair, pinning
+# the hook's zero-alloc contract. The GridSkewed rows hold the
+# scheduler's wall time on skewed grids, so a work-stealing regression
+# shows up as a benchgate failure, not a slow sweep; the MillionUsers
+# row holds the batch engine's cohort throughput, so losing the
+# struct-of-arrays layout (or accidentally falling back to one Run per
+# user) costs integer factors and trips the gate; the RidServe rows
+# hold the serving envelope's cost, so a lock or allocation slipped
+# into the lock-free evaluation path fails the gate rather than
+# surfacing as production tail latency. One MillionUsers op is tens of
 # engine-seconds of simulated time, so it repeats MU_COUNT times
 # (default 2) instead of COUNT. Run on an idle machine after any
-# change to internal/simulate, internal/obs, or the
-# internal/experiments pool, and commit the result:
+# change to internal/simulate, internal/obs, internal/ridserver, or
+# the internal/experiments pool, and commit the result:
 #
-#   scripts/bench.sh             # writes BENCH_7.json
+#   scripts/bench.sh             # writes BENCH_8.json
 #   COUNT=10 scripts/bench.sh    # more repeats, tighter minima
 #   OUT=/tmp/b.json scripts/bench.sh   # write elsewhere for comparison
 #
@@ -34,10 +39,11 @@ cd "$(dirname "$0")/.."
 
 COUNT="${COUNT:-5}"
 MU_COUNT="${MU_COUNT:-2}"
-OUT="${OUT:-BENCH_7.json}"
+OUT="${OUT:-BENCH_8.json}"
 
 {
 	go test -run '^$' -bench '^(BenchmarkEngineRun|BenchmarkObsOverhead|BenchmarkGridSkewed)$' -benchmem -count "$COUNT" . ./internal/experiments
+	go test -run '^$' -bench '^BenchmarkRidServe$' -benchmem -count "$COUNT" ./internal/ridserver
 	go test -run '^$' -bench '^BenchmarkMillionUsers$' -benchmem -count "$MU_COUNT" -timeout 30m .
 } |
 	tee /dev/stderr |

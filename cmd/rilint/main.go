@@ -8,11 +8,14 @@
 //
 // Usage:
 //
-//	rilint [-C dir] [-analyzers] [patterns...]
+//	rilint [-C dir] [-format text|json|sarif] [-analyzers] [patterns...]
 //
-// Exit codes follow the shared vocabulary: 0 when the tree is clean,
-// 1 when findings are reported (or the load fails), 2 on usage
-// errors. A reviewed, sanctioned violation is silenced in source with
+// `-format text` (the default) prints one finding per line; `json`
+// emits a stable findings envelope for scripting; `sarif` emits a
+// SARIF 2.1.0 document with a rule descriptor per analyzer, for CI
+// artifact viewers. Exit codes follow the shared vocabulary: 0 when
+// the tree is clean, 1 when findings are reported (or the load
+// fails), 2 on usage errors. A reviewed, sanctioned violation is silenced in source with
 //
 //	//rilint:allow <analyzer> -- <justification>
 //
@@ -43,9 +46,16 @@ func run(args []string, w, stderr io.Writer) error {
 	fs := flag.NewFlagSet("rilint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	dir := fs.String("C", ".", "directory to resolve package patterns in (a module root or below)")
+	format := fs.String("format", rilint.FormatText, "output format: text, json, or sarif")
 	list := fs.Bool("analyzers", false, "print the analyzer catalog and exit")
 	if err := fs.Parse(args); err != nil {
 		return cli.Usage(err)
+	}
+	switch *format {
+	case rilint.FormatText, rilint.FormatJSON, rilint.FormatSARIF:
+	default:
+		return cli.Usage(fmt.Errorf("unknown -format %q (want %s, %s or %s)",
+			*format, rilint.FormatText, rilint.FormatJSON, rilint.FormatSARIF))
 	}
 	suite := analyzers.All()
 	if *list {
@@ -62,8 +72,8 @@ func run(args []string, w, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	for _, d := range diags {
-		fmt.Fprintln(w, d)
+	if err := rilint.WriteDiagnostics(w, *format, diags, suite); err != nil {
+		return err
 	}
 	if len(diags) > 0 {
 		return fmt.Errorf("%d finding(s); fix them or annotate with //rilint:allow <name> -- <why>", len(diags))

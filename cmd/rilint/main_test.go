@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -53,6 +54,35 @@ func Die() { os.Exit(1) }
 
 func Explode() { panic("boom") }
 `,
+		"internal/conc/conc.go": `package conc
+
+import "sync/atomic"
+
+type counter struct {
+	n int64
+}
+
+func (c *counter) Inc() { atomic.AddInt64(&c.n, 1) }
+
+func (c *counter) Mixed() int64 { return c.n }
+
+// Box is a published snapshot.
+//
+//rilint:frozen
+type Box struct {
+	V int
+}
+
+func New() *Box { return &Box{} }
+
+func (b *Box) Poke() { b.V++ }
+
+func Leak() {
+	go func() {
+		_ = 1
+	}()
+}
+`,
 	}
 	for name, src := range files {
 		path := filepath.Join(dir, filepath.FromSlash(name))
@@ -73,7 +103,7 @@ func TestRunFlagsSyntheticViolations(t *testing.T) {
 	if err == nil {
 		t.Fatalf("rilint reported a clean tree for the violating module; output:\n%s", out.String())
 	}
-	for _, name := range []string{"floatdet", "ctxrule", "errwrap", "exitdiscipline", "nopanic"} {
+	for _, name := range []string{"floatdet", "ctxrule", "errwrap", "exitdiscipline", "nopanic", "atomicfield", "frozen", "gojoin"} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("no %s finding in output:\n%s", name, out.String())
 		}
@@ -83,7 +113,7 @@ func TestRunFlagsSyntheticViolations(t *testing.T) {
 func TestFixturesExitNonzero(t *testing.T) {
 	// Each analyzer's want-comment fixture is a violating module: the
 	// full suite must report findings (exit nonzero) on every one.
-	for _, name := range []string{"floatdet", "ctxrule", "errwrap", "exitdiscipline", "nopanic"} {
+	for _, name := range []string{"floatdet", "ctxrule", "errwrap", "exitdiscipline", "nopanic", "atomicfield", "frozen", "gojoin"} {
 		t.Run(name, func(t *testing.T) {
 			dir, err := filepath.Abs(filepath.Join("..", "..", "internal", "rilint", "analyzers", "testdata", "src", name))
 			if err != nil {
@@ -123,7 +153,7 @@ func TestAnalyzerCatalogListing(t *testing.T) {
 	if err := run([]string{"-analyzers"}, &out, &errOut); err != nil {
 		t.Fatalf("-analyzers: %v", err)
 	}
-	for _, name := range []string{"floatdet", "ctxrule", "errwrap", "exitdiscipline", "nopanic"} {
+	for _, name := range []string{"floatdet", "ctxrule", "errwrap", "exitdiscipline", "nopanic", "atomicfield", "frozen", "gojoin"} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("catalog listing is missing %s:\n%s", name, out.String())
 		}
@@ -138,6 +168,93 @@ func TestUsageErrorExitsUsage(t *testing.T) {
 	}
 	if code := cli.ExitCode(err); code != cli.ExitUsage {
 		t.Errorf("flag misuse maps to exit code %d, want %d", code, cli.ExitUsage)
+	}
+}
+
+func TestFormatJSON(t *testing.T) {
+	dir := writeViolatingModule(t)
+	var out, errOut bytes.Buffer
+	err := run([]string{"-C", dir, "-format", "json", "./..."}, &out, &errOut)
+	if err == nil {
+		t.Fatal("violating module reported clean")
+	}
+	var envelope struct {
+		Findings []struct {
+			Analyzer string `json:"analyzer"`
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Message  string `json:"message"`
+		} `json:"findings"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &envelope); err != nil {
+		t.Fatalf("-format json output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if len(envelope.Findings) == 0 {
+		t.Fatal("-format json envelope holds no findings for the violating module")
+	}
+	for _, f := range envelope.Findings {
+		if f.Analyzer == "" || f.File == "" || f.Line < 1 || f.Message == "" {
+			t.Errorf("finding missing fields: %+v", f)
+		}
+	}
+}
+
+func TestFormatSARIF(t *testing.T) {
+	dir := writeViolatingModule(t)
+	var out, errOut bytes.Buffer
+	err := run([]string{"-C", dir, "-format", "sarif", "./..."}, &out, &errOut)
+	if err == nil {
+		t.Fatal("violating module reported clean")
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID string `json:"ruleId"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &log); err != nil {
+		t.Fatalf("-format sarif output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("unexpected SARIF shape: version %q, %d runs", log.Version, len(log.Runs))
+	}
+	rules := map[string]bool{}
+	for _, r := range log.Runs[0].Tool.Driver.Rules {
+		rules[r.ID] = true
+	}
+	for _, name := range []string{"floatdet", "ctxrule", "errwrap", "exitdiscipline", "nopanic", "atomicfield", "frozen", "gojoin", "rilint", "allowledger"} {
+		if !rules[name] {
+			t.Errorf("SARIF rule catalog is missing a descriptor for %q", name)
+		}
+	}
+	if len(log.Runs[0].Results) == 0 {
+		t.Error("SARIF run holds no results for the violating module")
+	}
+	for _, r := range log.Runs[0].Results {
+		if !rules[r.RuleID] {
+			t.Errorf("result ruleId %q has no matching rule descriptor", r.RuleID)
+		}
+	}
+}
+
+func TestUnknownFormatExitsUsage(t *testing.T) {
+	var out, errOut bytes.Buffer
+	err := run([]string{"-format", "xml"}, &out, &errOut)
+	if err == nil {
+		t.Fatal("unknown format accepted")
+	}
+	if code := cli.ExitCode(err); code != cli.ExitUsage {
+		t.Errorf("unknown format maps to exit code %d, want %d", code, cli.ExitUsage)
 	}
 }
 

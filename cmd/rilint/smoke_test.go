@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// copyTree copies the module source at root into dst, skipping VCS
+// metadata and test caches — enough of the tree that `go list ./...`
+// in the copy sees the same packages as the original.
+func copyTree(t *testing.T, root, dst string) {
+	t.Helper()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == ".git" {
+				return filepath.SkipDir
+			}
+			return os.MkdirAll(filepath.Join(dst, rel), 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(filepath.Join(dst, rel), data, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// mutate applies a line-level edit to one file of the copied tree.
+func mutate(t *testing.T, path string, edit func(src string) string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := edit(string(data))
+	if out == string(data) {
+		t.Fatalf("mutation of %s was a no-op; the smoke test would prove nothing", path)
+	}
+	if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSmokeRealTreeMutations proves the concurrency analyzers guard
+// the real tree, not just fixtures: deleting the shard pool's
+// wg.Wait and un-freezing a DecisionSet field write in a copy of the
+// module each produce a finding.
+func TestSmokeRealTreeMutations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("copies and type-checks the whole module twice")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("removing the shard join is a gojoin finding", func(t *testing.T) {
+		dir := t.TempDir()
+		copyTree(t, root, dir)
+		mutate(t, filepath.Join(dir, "internal", "experiments", "shard.go"), func(src string) string {
+			return strings.Replace(src, "wg.Wait()", "_ = wg", 1)
+		})
+		var out, errOut bytes.Buffer
+		err := run([]string{"-C", dir, "./internal/experiments/"}, &out, &errOut)
+		if err == nil {
+			t.Fatal("rilint passed a tree whose shard pool never joins")
+		}
+		if !strings.Contains(out.String(), "gojoin") || !strings.Contains(out.String(), "WaitGroup.Add but never calls Wait") {
+			t.Errorf("expected the abandoned-pool gojoin finding, got:\n%s", out.String())
+		}
+	})
+
+	t.Run("post-construction DecisionSet write is a frozen finding", func(t *testing.T) {
+		dir := t.TempDir()
+		copyTree(t, root, dir)
+		mutate(t, filepath.Join(dir, "internal", "experiments", "recommend.go"), func(src string) string {
+			return src + "\n// poke mutates the snapshot after publication.\nfunc (s *DecisionSet) poke() { s.horizon++ }\n"
+		})
+		var out, errOut bytes.Buffer
+		err := run([]string{"-C", dir, "./internal/experiments/"}, &out, &errOut)
+		if err == nil {
+			t.Fatal("rilint passed a tree that mutates a published DecisionSet")
+		}
+		if !strings.Contains(out.String(), "frozen") || !strings.Contains(out.String(), "DecisionSet") {
+			t.Errorf("expected the frozen DecisionSet finding, got:\n%s", out.String())
+		}
+	})
+}

@@ -107,6 +107,7 @@ func signalContext(exit func(int)) (context.Context, context.CancelFunc) {
 			cancel()
 		})
 	}
+	//rilint:allow gojoin -- signal watcher lives until stop() closes stopped; the caller's deferred stop is its join.
 	go func() {
 		select {
 		case <-ch:

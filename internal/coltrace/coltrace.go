@@ -100,6 +100,8 @@ var (
 // blocks. Demand (and NewRes, when present) hold Users×Hours values
 // with value (u, t) at index t*len(Users)+u, so advancing every user
 // one hour reads one contiguous stripe.
+//
+//rilint:frozen
 type Cohort struct {
 	// Users holds the unique per-user ids, fixing the column order.
 	Users []string

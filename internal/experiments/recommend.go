@@ -116,6 +116,8 @@ type policyDecisions struct {
 // the tables come from the same simulate.Run replays the experiment
 // drivers use, and simulate.DecisionAges shares the engine's
 // checkpoint-age resolution.
+//
+//rilint:frozen
 type DecisionSet struct {
 	cfg       Config
 	horizon   int

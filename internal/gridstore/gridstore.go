@@ -97,6 +97,8 @@ var (
 // config and per-cell parameters), Seed pins the cohort, and
 // Cells/Users pin the result shape. Resume refuses a store whose spec
 // differs in any field.
+//
+//rilint:frozen
 type Spec struct {
 	Version    int      `json:"version"`
 	ConfigHash string   `json:"config_hash"`

@@ -12,7 +12,8 @@ import (
 	"rimarket/internal/rilint"
 )
 
-// All returns the full analyzer suite in catalog order.
+// All returns the full analyzer suite in catalog order: the five
+// original invariants (PR 4), then the concurrency-discipline trio.
 func All() []*rilint.Analyzer {
 	return []*rilint.Analyzer{
 		Floatdet,
@@ -20,6 +21,9 @@ func All() []*rilint.Analyzer {
 		Errwrap,
 		Exitdiscipline,
 		Nopanic,
+		Atomicfield,
+		Frozen,
+		Gojoin,
 	}
 }
 

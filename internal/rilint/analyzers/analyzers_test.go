@@ -39,10 +39,22 @@ func TestNopanic(t *testing.T) {
 	analysistest.Run(t, fixture(t, "nopanic"), analyzers.Nopanic)
 }
 
+func TestAtomicfield(t *testing.T) {
+	analysistest.Run(t, fixture(t, "atomicfield"), analyzers.Atomicfield)
+}
+
+func TestFrozen(t *testing.T) {
+	analysistest.Run(t, fixture(t, "frozen"), analyzers.Frozen)
+}
+
+func TestGojoin(t *testing.T) {
+	analysistest.Run(t, fixture(t, "gojoin"), analyzers.Gojoin)
+}
+
 func TestAllCatalog(t *testing.T) {
 	all := analyzers.All()
-	if len(all) < 5 {
-		t.Fatalf("analyzer catalog has %d entries, want at least 5", len(all))
+	if len(all) < 8 {
+		t.Fatalf("analyzer catalog has %d entries, want at least 8", len(all))
 	}
 	seen := map[string]bool{}
 	for _, a := range all {
@@ -54,7 +66,7 @@ func TestAllCatalog(t *testing.T) {
 		}
 		seen[a.Name] = true
 	}
-	for _, name := range []string{"floatdet", "ctxrule", "errwrap", "exitdiscipline", "nopanic"} {
+	for _, name := range []string{"floatdet", "ctxrule", "errwrap", "exitdiscipline", "nopanic", "atomicfield", "frozen", "gojoin"} {
 		if !seen[name] {
 			t.Errorf("catalog is missing analyzer %q", name)
 		}

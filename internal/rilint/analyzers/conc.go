@@ -1,0 +1,265 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"rimarket/internal/rilint"
+)
+
+// This file is the concurrency suite's shared fact scan. The three
+// analyzers (atomicfield, frozen, gojoin) all need the same
+// per-package inventory — which struct fields are atomic, which types
+// are frozen, which functions construct them — collected across every
+// file of the package before any single access can be judged. The
+// scan runs once per package, memoized in the run-wide fact store,
+// and exports the cross-package facts (frozen types) other packages'
+// passes import.
+
+// FrozenPrefix marks a type whose fields may only be assigned inside
+// functions reachable from its constructors: put `//rilint:frozen` in
+// the type's doc comment.
+const FrozenPrefix = "rilint:frozen"
+
+// frozenFactKind keys the cross-package "this type is frozen" fact.
+const frozenFactKind = "frozen"
+
+// concFacts is one package's concurrency inventory.
+type concFacts struct {
+	// atomicTyped maps struct fields whose type is (or is an array of)
+	// a sync/atomic type to the field object.
+	atomicTyped map[*types.Var]bool
+	// atomicOps maps plain-typed struct fields that are passed by
+	// address to a sync/atomic function somewhere in the package to
+	// one such position, for the mixed-access message.
+	atomicOps map[*types.Var]token.Position
+	// frozen is the set of //rilint:frozen-annotated types declared in
+	// this package.
+	frozen map[*types.TypeName]bool
+	// ctors maps each frozen type to its declared constructors: the
+	// package-level functions and methods whose results include the
+	// type (by value or pointer).
+	ctors map[*types.TypeName][]*types.Func
+	// calls is the package-internal static call graph: declared
+	// function -> same-package declared functions it calls (calls from
+	// nested function literals attribute to the enclosing declaration).
+	calls map[*types.Func][]*types.Func
+	// decls maps each declared function object to its declaration, for
+	// position-independent lookups.
+	decls map[*types.Func]*ast.FuncDecl
+}
+
+// conc returns the package's concurrency facts, scanning on first use.
+func conc(pass *rilint.Pass) *concFacts {
+	v := pass.Facts.Memo("conc:"+pass.Pkg.Path(), func() any {
+		return scanConc(pass)
+	})
+	return v.(*concFacts)
+}
+
+func scanConc(pass *rilint.Pass) *concFacts {
+	f := &concFacts{
+		atomicTyped: map[*types.Var]bool{},
+		atomicOps:   map[*types.Var]token.Position{},
+		frozen:      map[*types.TypeName]bool{},
+		ctors:       map[*types.TypeName][]*types.Func{},
+		calls:       map[*types.Func][]*types.Func{},
+		decls:       map[*types.Func]*ast.FuncDecl{},
+	}
+	for _, file := range pass.Files {
+		scanFrozenMarks(pass, file, f)
+		scanFields(pass, file, f)
+		scanFuncs(pass, file, f)
+	}
+	for tn := range f.frozen {
+		pass.Facts.Export(rilint.TypeFactKey(frozenFactKind, tn), true)
+	}
+	return f
+}
+
+// isFrozenType reports whether named's declaration is frozen: declared
+// in this package and annotated, or declared elsewhere with an
+// exported frozen fact (the annotated package is analyzed first, in
+// dependency order).
+func isFrozenType(pass *rilint.Pass, f *concFacts, tn *types.TypeName) bool {
+	if tn.Pkg() == pass.Pkg {
+		return f.frozen[tn]
+	}
+	_, ok := pass.Facts.Import(rilint.TypeFactKey(frozenFactKind, tn))
+	return ok
+}
+
+// scanFrozenMarks records every type declaration whose doc comment
+// carries the //rilint:frozen marker.
+func scanFrozenMarks(pass *rilint.Pass, file *ast.File, f *concFacts) {
+	for _, decl := range file.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.TYPE {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			ts, ok := spec.(*ast.TypeSpec)
+			if !ok {
+				continue
+			}
+			if !hasFrozenMark(gd.Doc) && !hasFrozenMark(ts.Doc) {
+				continue
+			}
+			if tn, ok := pass.ObjectOf(ts.Name).(*types.TypeName); ok {
+				f.frozen[tn] = true
+			}
+		}
+	}
+}
+
+func hasFrozenMark(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.TrimSpace(strings.TrimPrefix(c.Text, "//")) == FrozenPrefix {
+			return true
+		}
+	}
+	return false
+}
+
+// atomicCore reports whether t is a sync/atomic type, or an array of
+// one (obs.Histogram's bucket array is the motivating case).
+func atomicCore(t types.Type) bool {
+	if arr, ok := t.Underlying().(*types.Array); ok {
+		return atomicCore(arr.Elem())
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// scanFields collects the two kinds of atomic fields: those whose
+// declared type is atomic, and plain fields handed by address to a
+// sync/atomic function anywhere in the file.
+func scanFields(pass *rilint.Pass, file *ast.File, f *concFacts) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.StructType:
+			for _, fld := range n.Fields.List {
+				for _, name := range fld.Names {
+					v, ok := pass.ObjectOf(name).(*types.Var)
+					if ok && v.IsField() && atomicCore(v.Type()) {
+						f.atomicTyped[v] = true
+					}
+				}
+			}
+		case *ast.CallExpr:
+			fn := calleeFunc(pass, n)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range n.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				if v := fieldOfSelector(pass, un.X); v != nil && !atomicCore(v.Type()) {
+					if _, seen := f.atomicOps[v]; !seen {
+						f.atomicOps[v] = pass.Fset.Position(n.Pos())
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// fieldOfSelector resolves e to the struct field a selector (possibly
+// through index expressions: x.f[i]) ultimately names, or nil.
+func fieldOfSelector(pass *rilint.Pass, e ast.Expr) *types.Var {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			if sel, ok := pass.TypesInfo.Selections[x]; ok && sel.Kind() == types.FieldVal {
+				return sel.Obj().(*types.Var)
+			}
+			if v, ok := pass.ObjectOf(x.Sel).(*types.Var); ok && v.IsField() {
+				return v
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+// scanFuncs records declarations, the package-internal call graph, and
+// frozen-type constructors.
+func scanFuncs(pass *rilint.Pass, file *ast.File, f *concFacts) {
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		obj, ok := pass.ObjectOf(fd.Name).(*types.Func)
+		if !ok {
+			continue
+		}
+		f.decls[obj] = fd
+
+		sig := obj.Type().(*types.Signature)
+		for i := 0; i < sig.Results().Len(); i++ {
+			if tn := namedResult(sig.Results().At(i).Type()); tn != nil && tn.Pkg() == pass.Pkg {
+				f.ctors[tn] = append(f.ctors[tn], obj)
+			}
+		}
+
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if callee := calleeFunc(pass, call); callee != nil && callee.Pkg() == pass.Pkg {
+				f.calls[obj] = append(f.calls[obj], callee)
+			}
+			return true
+		})
+	}
+}
+
+// namedResult peels a result type to the TypeName it constructs: T,
+// *T, []T or []*T (a batch constructor returning a slice still owns
+// the values it built).
+func namedResult(t types.Type) *types.TypeName {
+	switch t := t.(type) {
+	case *types.Pointer:
+		return namedResult(t.Elem())
+	case *types.Slice:
+		return namedResult(t.Elem())
+	case *types.Named:
+		return t.Obj()
+	}
+	return nil
+}
+
+// reachableFromCtors returns the set of declared functions reachable
+// from tn's constructors through the package-internal call graph —
+// the functions allowed to assign tn's fields.
+func (f *concFacts) reachableFromCtors(tn *types.TypeName) map[*types.Func]bool {
+	reach := map[*types.Func]bool{}
+	queue := append([]*types.Func(nil), f.ctors[tn]...)
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		if reach[fn] {
+			continue
+		}
+		reach[fn] = true
+		queue = append(queue, f.calls[fn]...)
+	}
+	return reach
+}

@@ -1,0 +1,135 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"rimarket/internal/rilint"
+)
+
+// Frozen turns the "immutable snapshot" comment contract into a
+// checked invariant. A type annotated `//rilint:frozen` in its doc
+// comment (experiments.DecisionSet, coltrace.Cohort, gridstore.Spec)
+// follows publish-then-freeze: after a constructor returns it, no
+// field is ever assigned again — that is what makes lock-free
+// atomic.Pointer swaps and any-parallelism sharing sound.
+//
+// Enforcement: a field of a frozen type (including writes through the
+// field — s.F[i] = v, s.M[k] = v — which mutate shared backing
+// storage just as surely) may only be assigned inside functions
+// reachable from the type's declared constructors: the package-level
+// functions and methods whose results include the type, plus
+// everything they call in the same package (function literals inside
+// them included). Other packages construct frozen values with
+// composite literals; any post-construction field assignment there is
+// a finding too, via the cross-package frozen fact.
+var Frozen = &rilint.Analyzer{
+	Name: "frozen",
+	Doc:  "fields of //rilint:frozen types may only be assigned inside functions reachable from the type's constructors (publish-then-freeze)",
+	Run:  runFrozen,
+}
+
+func runFrozen(pass *rilint.Pass) error {
+	facts := conc(pass)
+
+	// Reachability per locally-frozen type, built lazily: most
+	// packages have none.
+	reach := map[*types.TypeName]map[*types.Func]bool{}
+	allowed := func(tn *types.TypeName, in *types.Func) bool {
+		if tn.Pkg() != pass.Pkg {
+			return false // no constructors here: imported frozen types are read-only
+		}
+		r, ok := reach[tn]
+		if !ok {
+			r = facts.reachableFromCtors(tn)
+			reach[tn] = r
+		}
+		return in != nil && r[in]
+	}
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pass.ObjectOf(fd.Name).(*types.Func)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range n.Lhs {
+						checkFrozenWrite(pass, facts, lhs, fn, allowed)
+					}
+				case *ast.IncDecStmt:
+					checkFrozenWrite(pass, facts, n.X, fn, allowed)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkFrozenWrite reports lhs if it writes a frozen type's field (or
+// through one) outside the constructor-reachable set.
+func checkFrozenWrite(pass *rilint.Pass, facts *concFacts, lhs ast.Expr, in *types.Func, allowed func(*types.TypeName, *types.Func) bool) {
+	// Peel writes-through: s.F[i] = v and *s.F = v mutate storage the
+	// frozen field shares with every reader of the snapshot.
+	through := false
+	for {
+		switch x := ast.Unparen(lhs).(type) {
+		case *ast.IndexExpr:
+			lhs, through = x.X, true
+			continue
+		case *ast.StarExpr:
+			lhs, through = x.X, true
+			continue
+		case *ast.SelectorExpr:
+			if tn := frozenOwner(pass, facts, x); tn != nil {
+				if allowed(tn, in) {
+					return
+				}
+				how := "assigned"
+				if through {
+					how = "mutated through its backing storage"
+				}
+				pass.Reportf(x.Pos(),
+					"field %s of frozen type %s is %s outside the type's constructors; %s is publish-then-freeze — build a new value and swap it instead",
+					x.Sel.Name, tn.Name(), how, tn.Name())
+				return
+			}
+			// Not a frozen owner at this level: keep peeling, so
+			// s.Frozen.Inner = v and s.FrozenSlice[i].F = v still
+			// resolve to the frozen field they mutate through.
+			lhs, through = x.X, true
+			continue
+		default:
+			return
+		}
+	}
+}
+
+// frozenOwner returns the frozen type whose field sel names, or nil.
+func frozenOwner(pass *rilint.Pass, facts *concFacts, sel *ast.SelectorExpr) *types.TypeName {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	t := s.Recv()
+	for {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	tn := named.Obj()
+	if !isFrozenType(pass, facts, tn) {
+		return nil
+	}
+	return tn
+}

@@ -1,0 +1,72 @@
+// Package lib is the atomicfield fixture: once a struct field is
+// atomic — by declared type or by use — every access must stay atomic.
+package lib
+
+import "sync/atomic"
+
+// Counter mixes an atomic-typed field with a plain field promoted to
+// atomic by how the package uses it.
+type Counter struct {
+	hits  atomic.Int64
+	drops int64
+	plain int64
+}
+
+// Record uses both fields the sanctioned way.
+func (c *Counter) Record() {
+	c.hits.Add(1)
+	atomic.AddInt64(&c.drops, 1)
+}
+
+// Snapshot reads both fields the sanctioned way.
+func (c *Counter) Snapshot() (int64, int64) {
+	return c.hits.Load(), atomic.LoadInt64(&c.drops)
+}
+
+// Leak copies the atomic-typed field as a value, smuggling a plain
+// read past the memory model.
+func (c *Counter) Leak() int64 {
+	h := c.hits // want `atomic field Counter.hits is used as a value`
+	return h.Load()
+}
+
+// Race reads the atomically-updated plain field directly.
+func (c *Counter) Race() int64 {
+	return c.drops // want `field Counter.drops is accessed through sync/atomic elsewhere`
+}
+
+// Bump writes it directly.
+func (c *Counter) Bump() {
+	c.drops++ // want `field Counter.drops is accessed through sync/atomic elsewhere`
+}
+
+// Plain never meets sync/atomic; direct access is fine.
+func (c *Counter) Plain() int64 {
+	c.plain++
+	return c.plain
+}
+
+// Sanctioned demonstrates the annotation escape hatch.
+func (c *Counter) Sanctioned() int64 {
+	//rilint:allow atomicfield -- fixture: single-threaded teardown path reads the counter directly.
+	return c.drops
+}
+
+// Histogram exercises arrays of atomics: indexing into the array to
+// reach a method is fine, copying an element out is not.
+type Histogram struct {
+	buckets [4]atomic.Int64
+}
+
+// Observe touches a bucket through its methods.
+func (h *Histogram) Observe(i int) {
+	h.buckets[i].Add(1)
+}
+
+// Copy lifts a bucket out as a value.
+func (h *Histogram) Copy(i int) int64 {
+	b := h.buckets[i] // want `atomic field Histogram.buckets is used as a value`
+	return b.Load()
+}
+
+//rilint:allow atomicfield -- fixture: stale grant retained to exercise the suppression ledger. // want `unused //rilint:allow atomicfield annotation`

@@ -1,0 +1,3 @@
+module rimarket
+
+go 1.22

@@ -1,0 +1,48 @@
+// Package plan is the frozen fixture: a //rilint:frozen type follows
+// publish-then-freeze, so its fields may only be assigned inside
+// functions reachable from its constructors.
+package plan
+
+// Plan is a published snapshot.
+//
+//rilint:frozen
+type Plan struct {
+	Name  string
+	Costs []float64
+}
+
+// New is a constructor: its writes, and its helpers' writes, are
+// sanctioned.
+func New(name string, n int) *Plan {
+	p := &Plan{}
+	p.Name = name
+	fill(p, n)
+	return p
+}
+
+// fill is reachable from New through the package call graph.
+func fill(p *Plan, n int) {
+	p.Costs = make([]float64, n)
+	for i := range p.Costs {
+		p.Costs[i] = 1
+	}
+}
+
+// Rename mutates after publication.
+func (p *Plan) Rename(name string) {
+	p.Name = name // want `field Name of frozen type Plan is assigned`
+}
+
+// Scale mutates the shared backing array every reader of the snapshot
+// sees.
+func (p *Plan) Scale(f float64) {
+	for i := range p.Costs {
+		p.Costs[i] *= f // want `field Costs of frozen type Plan is mutated through its backing storage`
+	}
+}
+
+// Reset carries the sanctioned escape.
+func (p *Plan) Reset() {
+	//rilint:allow frozen -- fixture: test-only reset documented as unsafe outside construction.
+	p.Name = ""
+}

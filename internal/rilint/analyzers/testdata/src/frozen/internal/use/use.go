@@ -1,0 +1,18 @@
+// Package use consumes frozen plans across a package boundary:
+// composite literals are construction, post-construction writes are
+// findings via the exported frozen fact.
+package use
+
+import "rimarket/internal/plan"
+
+// Fresh builds a plan wholesale; a composite literal is construction,
+// not mutation.
+func Fresh() *plan.Plan {
+	return &plan.Plan{Name: "fresh"}
+}
+
+// Tamper mutates an imported frozen value; other packages hold frozen
+// types read-only.
+func Tamper(p *plan.Plan) {
+	p.Name = "tampered" // want `field Name of frozen type Plan is assigned`
+}

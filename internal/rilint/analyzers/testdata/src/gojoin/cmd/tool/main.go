@@ -1,0 +1,12 @@
+// Command tool shows the main-package exemption: the process lifetime
+// is main's to spend, so unjoined goroutines are not findings here.
+package main
+
+import "time"
+
+func main() {
+	go func() {
+		time.Sleep(time.Millisecond)
+	}()
+	time.Sleep(10 * time.Millisecond)
+}

@@ -1,0 +1,72 @@
+// Package pool is the gojoin fixture: every go statement in library
+// code needs a visible join path.
+package pool
+
+import (
+	"context"
+	"sync"
+)
+
+// Joined runs a pool and waits for it: WaitGroup evidence.
+func Joined(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// Abandoned builds the pool but forgets the join — what deleting a
+// Wait during a refactor looks like.
+func Abandoned(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() { // want `Abandoned builds a goroutine pool with WaitGroup.Add but never calls Wait`
+			defer wg.Done()
+		}()
+	}
+}
+
+// ChannelJoined observes completion through the channel it drains.
+func ChannelJoined() int {
+	done := make(chan int)
+	go func() {
+		done <- 1
+	}()
+	return <-done
+}
+
+// CtxGuarded ties the goroutine's lifetime to a cancellation the
+// caller owns.
+func CtxGuarded(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// Orphan has no join evidence at all.
+func Orphan() {
+	go func() { // want `go statement in Orphan has no visible join path`
+		_ = 1
+	}()
+}
+
+// Named spawns a declared function; a name is not join evidence
+// because the spawner still cannot observe completion.
+func Named() {
+	go helper() // want `go statement in Named has no visible join path`
+}
+
+func helper() {}
+
+// Daemon is a sanctioned process-lifetime goroutine.
+func Daemon() {
+	//rilint:allow gojoin -- fixture: process-lifetime daemon sanctioned by design review.
+	go func() {
+		_ = 1
+	}()
+}

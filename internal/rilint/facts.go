@@ -1,0 +1,66 @@
+package rilint
+
+import (
+	"go/types"
+)
+
+// Facts is the shared fact store for one Check run. Analyzers use it
+// to exchange per-type and per-field facts across files and across
+// packages: a fact exported while analyzing one package is visible to
+// every analyzer run after it, in the same package or a later one.
+//
+// Keys are strings, not types.Object identities, because the same
+// declaration is a different object on each side of an export-data
+// import boundary: internal/coltrace type-checked from source and
+// internal/coltrace imported by cmd/ritrace yield distinct
+// *types.Named for the same Cohort. TypeFactKey and FieldFactKey
+// build canonical "<kind>:<pkgpath>.<name>" keys that survive the
+// boundary.
+//
+// Cross-package facts rely on analysis order: Load returns targets in
+// the dependency order `go list -deps` emits (dependencies before
+// dependents), and Check analyzes them in that order, so a package's
+// facts are always exported before any importer is analyzed.
+type Facts struct {
+	m map[string]any
+}
+
+func newFacts() *Facts { return &Facts{m: map[string]any{}} }
+
+// Export records v under key, overwriting any previous fact.
+func (f *Facts) Export(key string, v any) { f.m[key] = v }
+
+// Import returns the fact recorded under key, if any.
+func (f *Facts) Import(key string) (any, bool) {
+	v, ok := f.m[key]
+	return v, ok
+}
+
+// Memo returns the fact under key, building and recording it on first
+// use. Analyzers that share one expensive per-package scan (the
+// concurrency suite's field/type collection) memoize it here so the
+// scan runs once per package, not once per analyzer.
+func (f *Facts) Memo(key string, build func() any) any {
+	if v, ok := f.m[key]; ok {
+		return v
+	}
+	v := build()
+	f.m[key] = v
+	return v
+}
+
+// TypeFactKey is the canonical cross-package key for a fact about a
+// named type: "<kind>:<pkgpath>.<name>".
+func TypeFactKey(kind string, obj *types.TypeName) string {
+	pkg := ""
+	if obj.Pkg() != nil {
+		pkg = obj.Pkg().Path()
+	}
+	return kind + ":" + pkg + "." + obj.Name()
+}
+
+// FieldFactKey is the canonical cross-package key for a fact about
+// one field of a named type.
+func FieldFactKey(kind string, owner *types.TypeName, field string) string {
+	return TypeFactKey(kind, owner) + "." + field
+}

@@ -1,0 +1,167 @@
+package rilint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Formats cmd/rilint can emit. Text is the human one-line-per-finding
+// form; JSON is a stable machine-readable envelope for scripting; SARIF
+// is the 2.1.0 subset CI artifact viewers ingest.
+const (
+	FormatText  = "text"
+	FormatJSON  = "json"
+	FormatSARIF = "sarif"
+)
+
+// frameworkRules are the virtual analyzers the framework itself
+// reports under, so every possible ruleId in a result has a matching
+// rule descriptor.
+var frameworkRules = []struct{ name, doc string }{
+	{"rilint", "malformed //rilint:allow annotation: the justification after ` -- ` is mandatory"},
+	{LedgerAnalyzer, "stale suppression ledger: an //rilint:allow annotation that no longer suppresses any finding"},
+}
+
+// WriteDiagnostics renders diags to w in the named format. analyzers
+// supplies the rule catalog for formats that carry descriptors
+// (SARIF); diags must already be sorted (Check sorts).
+func WriteDiagnostics(w io.Writer, format string, diags []Diagnostic, analyzers []*Analyzer) error {
+	switch format {
+	case FormatText:
+		for _, d := range diags {
+			if _, err := fmt.Fprintln(w, d); err != nil {
+				return err
+			}
+		}
+		return nil
+	case FormatJSON:
+		return writeJSON(w, diags)
+	case FormatSARIF:
+		return writeSARIF(w, diags, analyzers)
+	default:
+		return fmt.Errorf("rilint: unknown output format %q (want %s, %s or %s)", format, FormatText, FormatJSON, FormatSARIF)
+	}
+}
+
+// jsonFinding is one diagnostic in the -format json envelope.
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+func writeJSON(w io.Writer, diags []Diagnostic) error {
+	findings := make([]jsonFinding, 0, len(diags))
+	for _, d := range diags {
+		findings = append(findings, jsonFinding{
+			Analyzer: d.Analyzer,
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Findings []jsonFinding `json:"findings"`
+	}{findings})
+}
+
+// SARIF 2.1.0 subset: one run, one tool driver, a rule descriptor per
+// analyzer (plus the framework's virtual rules), one result per
+// diagnostic. Kept to the fields CI viewers actually consume.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+func writeSARIF(w io.Writer, diags []Diagnostic, analyzers []*Analyzer) error {
+	rules := make([]sarifRule, 0, len(analyzers)+len(frameworkRules))
+	for _, a := range analyzers {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}})
+	}
+	for _, fr := range frameworkRules {
+		rules = append(rules, sarifRule{ID: fr.name, ShortDescription: sarifMessage{Text: fr.doc}})
+	}
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		line := d.Pos.Line
+		if line < 1 {
+			line = 1 // SARIF regions are 1-based; a position-less finding still needs one
+		}
+		results = append(results, sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   "error",
+			Message: sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: d.Pos.Filename},
+					Region:           sarifRegion{StartLine: line, StartColumn: d.Pos.Column},
+				},
+			}},
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "rilint", Rules: rules}},
+			Results: results,
+		}},
+	})
+}

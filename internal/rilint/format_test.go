@@ -1,0 +1,113 @@
+package rilint
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+var formatDiags = []Diagnostic{
+	{Analyzer: "alpha", Pos: token.Position{Filename: "a.go", Line: 3, Column: 2}, Message: "first finding"},
+	{Analyzer: LedgerAnalyzer, Pos: token.Position{Filename: "b.go", Line: 9, Column: 1}, Message: "unused //rilint:allow alpha annotation"},
+}
+
+var formatAnalyzers = []*Analyzer{
+	{Name: "alpha", Doc: "alpha doc"},
+	{Name: "beta", Doc: "beta doc"},
+}
+
+func TestWriteDiagnosticsText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteDiagnostics(&buf, FormatText, formatDiags, formatAnalyzers); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("text format emitted %d lines, want 2:\n%s", len(lines), buf.String())
+	}
+	if lines[0] != "a.go:3:2: alpha: first finding" {
+		t.Errorf("unexpected text line: %q", lines[0])
+	}
+}
+
+func TestWriteDiagnosticsJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteDiagnostics(&buf, FormatJSON, nil, formatAnalyzers); err != nil {
+		t.Fatal(err)
+	}
+	var envelope struct {
+		Findings []jsonFinding `json:"findings"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &envelope); err != nil {
+		t.Fatalf("json format output does not parse: %v", err)
+	}
+	if envelope.Findings == nil || len(envelope.Findings) != 0 {
+		t.Errorf("empty diagnostics must render as an empty (non-null) findings array, got %v", buf.String())
+	}
+
+	buf.Reset()
+	if err := WriteDiagnostics(&buf, FormatJSON, formatDiags, formatAnalyzers); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(buf.Bytes(), &envelope); err != nil {
+		t.Fatal(err)
+	}
+	if len(envelope.Findings) != 2 || envelope.Findings[0].Analyzer != "alpha" || envelope.Findings[0].Line != 3 {
+		t.Errorf("unexpected envelope: %+v", envelope)
+	}
+}
+
+func TestWriteDiagnosticsSARIF(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteDiagnostics(&buf, FormatSARIF, formatDiags, formatAnalyzers); err != nil {
+		t.Fatal(err)
+	}
+	var log sarifLog
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("sarif output does not parse as JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("unexpected sarif shape: version %q, %d runs", log.Version, len(log.Runs))
+	}
+	rules := map[string]bool{}
+	for _, r := range log.Runs[0].Tool.Driver.Rules {
+		if r.ShortDescription.Text == "" {
+			t.Errorf("rule %s has no description", r.ID)
+		}
+		rules[r.ID] = true
+	}
+	// Every analyzer plus the framework's virtual rules gets a
+	// descriptor, so every possible result ruleId resolves.
+	for _, id := range []string{"alpha", "beta", "rilint", LedgerAnalyzer} {
+		if !rules[id] {
+			t.Errorf("missing rule descriptor for %q", id)
+		}
+	}
+	if len(log.Runs[0].Results) != 2 {
+		t.Fatalf("want 2 results, got %d", len(log.Runs[0].Results))
+	}
+	for _, r := range log.Runs[0].Results {
+		if !rules[r.RuleID] {
+			t.Errorf("result ruleId %q lacks a descriptor", r.RuleID)
+		}
+		if r.Level != "error" || len(r.Locations) != 1 {
+			t.Errorf("unexpected result shape: %+v", r)
+		}
+		if line := r.Locations[0].PhysicalLocation.Region.StartLine; line < 1 {
+			t.Errorf("SARIF regions are 1-based, got startLine %d", line)
+		}
+	}
+}
+
+func TestWriteDiagnosticsUnknownFormat(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteDiagnostics(&buf, "yaml", formatDiags, formatAnalyzers)
+	if err == nil {
+		t.Fatal("unknown format accepted")
+	}
+	if !strings.Contains(err.Error(), "yaml") {
+		t.Errorf("error should name the rejected format: %v", err)
+	}
+}

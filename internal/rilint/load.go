@@ -8,12 +8,14 @@ import (
 	"go/ast"
 	"go/importer"
 	"go/parser"
+	"go/scanner"
 	"go/token"
 	"go/types"
 	"io"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"regexp"
 )
 
 // A Package is one loaded, type-checked target package. Only compiled
@@ -29,6 +31,47 @@ type Package struct {
 	TypesInfo  *types.Info
 }
 
+// Load stages, for classifying *LoadError.
+const (
+	// StageList: `go list` itself rejected the package (syntax errors,
+	// unresolvable imports, build-constraint contradictions).
+	StageList = "list"
+	// StageParse: a compiled file failed to parse.
+	StageParse = "parse"
+	// StageType: the package parsed but failed type checking.
+	StageType = "typecheck"
+	// StageExport: a dependency's export data was missing or
+	// unreadable, so the target could not resolve its imports.
+	StageExport = "export"
+)
+
+// LoadError is a classified package-load failure: which package, at
+// which stage of loading, and — when the go tool or parser reported
+// one — at which source position. Callers branch on Stage or unwrap
+// the cause with errors.As/Is; the rendered message always carries the
+// import path so a multi-package load failure is attributable.
+type LoadError struct {
+	ImportPath string
+	Stage      string
+	Pos        string // "file:line:col" when known, else ""
+	Err        error
+}
+
+func (e *LoadError) Error() string {
+	at := ""
+	if e.Pos != "" {
+		at = " at " + e.Pos
+	}
+	return fmt.Sprintf("rilint: package %s: %s failed%s: %v", e.ImportPath, e.Stage, at, e.Err)
+}
+
+func (e *LoadError) Unwrap() error { return e.Err }
+
+// ErrNoExportData marks a dependency whose compiled export data was
+// absent from the `go list -export` output — the go tool built the
+// target but not (or not successfully) that dependency.
+var ErrNoExportData = errors.New("rilint: no export data")
+
 // listedPackage is the subset of `go list -json` output the loader
 // consumes.
 type listedPackage struct {
@@ -39,16 +82,26 @@ type listedPackage struct {
 	Export     string
 	Standard   bool
 	DepOnly    bool
-	Error      *struct{ Err string }
+	Error      *listedError
 }
 
-// goList shells out to `go list -export -deps -json` so the go tool
-// resolves patterns, builds dependencies, and hands back export-data
-// paths for the importer. Packages that fail to build are reported as
-// errors: rilint analyzes compiling trees only.
+// listedError is go list's per-package error report; Pos is set for
+// positioned failures (a syntax error in a file).
+type listedError struct {
+	Pos string
+	Err string
+}
+
+// goList shells out to `go list -e -export -deps -json` so the go
+// tool resolves patterns, builds dependencies, and hands back
+// export-data paths for the importer. With -e, a broken package comes
+// back as a per-package Error record (with a position when the go
+// tool has one) instead of an opaque process failure, and is returned
+// here as a *LoadError: rilint analyzes compiling trees only, but it
+// tells you which package does not compile and where.
 func goList(dir string, patterns []string) ([]listedPackage, error) {
 	args := append([]string{
-		"list", "-export", "-deps",
+		"list", "-e", "-export", "-deps",
 		"-json=ImportPath,Dir,Name,GoFiles,Export,Standard,DepOnly,Error",
 	}, patterns...)
 	cmd := exec.Command("go", args...)
@@ -70,7 +123,18 @@ func goList(dir string, patterns []string) ([]listedPackage, error) {
 			return nil, fmt.Errorf("rilint: decoding go list output: %w", err)
 		}
 		if p.Error != nil {
-			return nil, fmt.Errorf("rilint: package %s: %s", p.ImportPath, p.Error.Err)
+			pos := p.Error.Pos
+			if pos == "" {
+				// Build errors arrive with Pos empty and the position
+				// embedded in the message ("# pkg\nfile.go:4:1: ...").
+				pos = embeddedErrorPos(p.Error.Err)
+			}
+			return nil, &LoadError{
+				ImportPath: p.ImportPath,
+				Stage:      StageList,
+				Pos:        pos,
+				Err:        errors.New(p.Error.Err),
+			}
 		}
 		pkgs = append(pkgs, p)
 	}
@@ -80,13 +144,22 @@ func goList(dir string, patterns []string) ([]listedPackage, error) {
 // Load resolves patterns relative to dir (a module root or any
 // directory inside one) and returns the matched packages parsed and
 // type-checked from source, with dependencies satisfied from the go
-// build cache's export data.
+// build cache's export data. Targets come back in the dependency
+// order `go list -deps` emits, which Check's cross-package facts rely
+// on. Failures are classified *LoadError values.
 func Load(dir string, patterns []string) ([]*Package, error) {
 	listed, err := goList(dir, patterns)
 	if err != nil {
 		return nil, err
 	}
+	return typeCheckListing(listed)
+}
 
+// typeCheckListing parses and type-checks every non-dep-only entry of
+// a `go list -export -deps` listing. Split from Load so the
+// malformed-package and missing-export-data paths are testable
+// without constructing a broken build cache.
+func typeCheckListing(listed []listedPackage) ([]*Package, error) {
 	exports := map[string]string{}
 	var targets []listedPackage
 	for _, p := range listed {
@@ -99,12 +172,24 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 	}
 
 	fset := token.NewFileSet()
+	// The importer's lookup errors surface through go/types flattened
+	// into a types.Error message; exportErr keeps the classified cause
+	// so a failed Check can be attributed to missing export data
+	// rather than a genuinely ill-typed target.
+	var exportErr error
 	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
 		exp, ok := exports[path]
 		if !ok {
-			return nil, fmt.Errorf("rilint: no export data for %q", path)
+			err := fmt.Errorf("%w for %q", ErrNoExportData, path)
+			exportErr = err
+			return nil, err
 		}
-		return os.Open(exp)
+		f, err := os.Open(exp)
+		if err != nil {
+			exportErr = fmt.Errorf("%w for %q: %v", ErrNoExportData, path, err)
+			return nil, exportErr
+		}
+		return f, nil
 	})
 
 	var out []*Package
@@ -117,7 +202,12 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil,
 				parser.ParseComments|parser.SkipObjectResolution)
 			if err != nil {
-				return nil, fmt.Errorf("rilint: parsing %s: %w", name, err)
+				return nil, &LoadError{
+					ImportPath: t.ImportPath,
+					Stage:      StageParse,
+					Pos:        parseErrorPos(err),
+					Err:        err,
+				}
 			}
 			files = append(files, f)
 		}
@@ -130,9 +220,19 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 			Scopes:     map[ast.Node]*types.Scope{},
 		}
 		conf := types.Config{Importer: imp}
+		exportErr = nil
 		typed, err := conf.Check(t.ImportPath, fset, files, info)
 		if err != nil {
-			return nil, fmt.Errorf("rilint: type-checking %s: %w", t.ImportPath, err)
+			le := &LoadError{ImportPath: t.ImportPath, Stage: StageType, Err: err}
+			var terr types.Error
+			if errors.As(err, &terr) && terr.Pos.IsValid() {
+				le.Pos = terr.Fset.Position(terr.Pos).String()
+			}
+			if exportErr != nil {
+				le.Stage = StageExport
+				le.Err = fmt.Errorf("%w (%v)", exportErr, err)
+			}
+			return nil, le
 		}
 		out = append(out, &Package{
 			ImportPath: t.ImportPath,
@@ -144,4 +244,25 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 		})
 	}
 	return out, nil
+}
+
+// embeddedErrorPos extracts the first "file.go:line[:col]" position
+// from a go list error message, or "".
+var embeddedPosRE = regexp.MustCompile(`(?m)^\s*(\S+\.go:\d+(?::\d+)?)`)
+
+func embeddedErrorPos(msg string) string {
+	if m := embeddedPosRE.FindStringSubmatch(msg); m != nil {
+		return m[1]
+	}
+	return ""
+}
+
+// parseErrorPos extracts the first positioned error from a parser
+// failure, or "".
+func parseErrorPos(err error) string {
+	var list scanner.ErrorList
+	if errors.As(err, &list) && len(list) > 0 {
+		return list[0].Pos.String()
+	}
+	return ""
 }

@@ -1,0 +1,154 @@
+package rilint
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a module under a temp dir from a path→source
+// map and returns its root.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestLoadClassifiesSyntaxError(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":            "module scratch\n\ngo 1.22\n",
+		"internal/bad/b.go": "package bad\n\nfunc f() {\n", // unclosed body
+	})
+	_, err := Load(dir, []string{"./..."})
+	if err == nil {
+		t.Fatal("Load accepted a module with a syntax error")
+	}
+	var le *LoadError
+	if !errors.As(err, &le) {
+		t.Fatalf("error is not a *LoadError: %v", err)
+	}
+	if le.Stage != StageList {
+		t.Errorf("syntax error classified as stage %q, want %q (go list -e reports it first)", le.Stage, StageList)
+	}
+	if !strings.HasSuffix(le.ImportPath, "internal/bad") {
+		t.Errorf("LoadError names package %q, want .../internal/bad", le.ImportPath)
+	}
+	if le.Pos == "" || !strings.Contains(le.Pos, "b.go") {
+		t.Errorf("LoadError carries position %q, want one inside b.go", le.Pos)
+	}
+	if !strings.Contains(le.Error(), le.ImportPath) || !strings.Contains(le.Error(), le.Stage) {
+		t.Errorf("rendered message %q should carry the import path and stage", le.Error())
+	}
+}
+
+func TestLoadClassifiesTypeError(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":            "module scratch\n\ngo 1.22\n",
+		"internal/bad/b.go": "package bad\n\nvar X int = \"not an int\"\n",
+	})
+	_, err := Load(dir, []string{"./..."})
+	if err == nil {
+		t.Fatal("Load accepted an ill-typed module")
+	}
+	var le *LoadError
+	if !errors.As(err, &le) {
+		t.Fatalf("error is not a *LoadError: %v", err)
+	}
+	// The go tool itself notices the type error under -e; either
+	// classification is attributable, but it must not be parse/export.
+	if le.Stage != StageList && le.Stage != StageType {
+		t.Errorf("type error classified as stage %q, want %q or %q", le.Stage, StageList, StageType)
+	}
+	if !strings.HasSuffix(le.ImportPath, "internal/bad") {
+		t.Errorf("LoadError names package %q, want .../internal/bad", le.ImportPath)
+	}
+}
+
+func TestLoadOKTreeHasDependencyOrder(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":            "module scratch\n\ngo 1.22\n",
+		"internal/lo/lo.go": "package lo\n\nconst N = 1\n",
+		"internal/hi/hi.go": "package hi\n\nimport \"scratch/internal/lo\"\n\nconst M = lo.N + 1\n",
+	})
+	pkgs, err := Load(dir, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := map[string]int{}
+	for i, p := range pkgs {
+		idx[p.ImportPath] = i
+	}
+	li, lok := idx["scratch/internal/lo"]
+	hi, hok := idx["scratch/internal/hi"]
+	if !lok || !hok {
+		t.Fatalf("expected both packages, got %v", idx)
+	}
+	if li > hi {
+		t.Errorf("dependency lo (index %d) loaded after dependent hi (index %d); cross-package facts rely on deps-first order", li, hi)
+	}
+}
+
+func TestTypeCheckListingMissingExportData(t *testing.T) {
+	// Fabricate a listing whose target imports a dependency with no
+	// Export entry: the classified failure must be StageExport and
+	// unwrap to ErrNoExportData, distinguishing a stale build cache
+	// from a genuinely ill-typed target.
+	dir := writeModule(t, map[string]string{
+		"p.go": "package p\n\nimport \"missing/dep\"\n\nvar X = dep.Y\n",
+	})
+	listed := []listedPackage{
+		{ImportPath: "missing/dep", DepOnly: true}, // no Export path
+		{ImportPath: "scratch/p", Dir: dir, Name: "p", GoFiles: []string{"p.go"}},
+	}
+	_, err := typeCheckListing(listed)
+	if err == nil {
+		t.Fatal("typeCheckListing accepted a listing with no export data for a dependency")
+	}
+	var le *LoadError
+	if !errors.As(err, &le) {
+		t.Fatalf("error is not a *LoadError: %v", err)
+	}
+	if le.Stage != StageExport {
+		t.Errorf("missing export data classified as stage %q, want %q", le.Stage, StageExport)
+	}
+	if le.ImportPath != "scratch/p" {
+		t.Errorf("LoadError names package %q, want scratch/p", le.ImportPath)
+	}
+	if !errors.Is(err, ErrNoExportData) {
+		t.Errorf("error chain does not include ErrNoExportData: %v", err)
+	}
+}
+
+func TestTypeCheckListingParseFailure(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"p.go": "package p\n\nfunc broken( {\n",
+	})
+	listed := []listedPackage{
+		{ImportPath: "scratch/p", Dir: dir, Name: "p", GoFiles: []string{"p.go"}},
+	}
+	_, err := typeCheckListing(listed)
+	if err == nil {
+		t.Fatal("typeCheckListing accepted an unparseable file")
+	}
+	var le *LoadError
+	if !errors.As(err, &le) {
+		t.Fatalf("error is not a *LoadError: %v", err)
+	}
+	if le.Stage != StageParse {
+		t.Errorf("parse failure classified as stage %q, want %q", le.Stage, StageParse)
+	}
+	if le.Pos == "" || !strings.Contains(le.Pos, "p.go") {
+		t.Errorf("LoadError carries position %q, want one inside p.go", le.Pos)
+	}
+}

@@ -40,13 +40,17 @@ type Analyzer struct {
 }
 
 // A Pass is one analyzer's view of one package: syntax, type
-// information, and a sink for diagnostics.
+// information, the run-wide fact store, and a sink for diagnostics.
 type Pass struct {
 	Analyzer  *Analyzer
 	Fset      *token.FileSet
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+
+	// Facts is shared by every analyzer over every package in one
+	// Check run; see the type's doc for keying and ordering rules.
+	Facts *Facts
 
 	report func(Diagnostic)
 }
@@ -96,19 +100,38 @@ func (d Diagnostic) String() string {
 // AllowPrefix introduces a suppression annotation comment.
 const AllowPrefix = "rilint:allow"
 
-// allowKey identifies one (file, line, analyzer) suppression grant.
+// LedgerAnalyzer is the virtual analyzer name under which the
+// suppression-ledger pass reports: an `//rilint:allow` annotation that
+// no longer suppresses any finding is stale, and a stale ledger is
+// itself a finding — otherwise escapes accrete silently after the
+// violation they sanctioned is fixed or deleted.
+const LedgerAnalyzer = "allowledger"
+
+// allowKey identifies one (file, line, analyzer) suppression lookup.
 type allowKey struct {
 	file string
 	line int
 	name string
 }
 
-// parseAllows walks a package's comments and returns the set of
-// suppression grants plus diagnostics for malformed annotations. A
-// valid annotation covers its own line and the next line, so it works
-// both as a trailing comment and on the line above the violation.
-func parseAllows(fset *token.FileSet, files []*ast.File) (map[allowKey]bool, []Diagnostic) {
-	allows := map[allowKey]bool{}
+// allowGrant is one (annotation, analyzer-name) suppression grant in
+// the ledger. A grant covers two lines (its own and the next) through
+// two allowKey entries pointing at the same grant, so marking it used
+// from either line retires it.
+type allowGrant struct {
+	pos  token.Position
+	name string
+	used bool
+}
+
+// parseAllows walks a package's comments and returns the suppression
+// ledger — allowKey lookups into shared grants — plus diagnostics for
+// malformed annotations. A valid annotation covers its own line and
+// the next line, so it works both as a trailing comment and on the
+// line above the violation.
+func parseAllows(fset *token.FileSet, files []*ast.File) (map[allowKey]*allowGrant, []*allowGrant, []Diagnostic) {
+	allows := map[allowKey]*allowGrant{}
+	var grants []*allowGrant
 	var malformed []Diagnostic
 	for _, f := range files {
 		for _, cg := range f.Comments {
@@ -134,22 +157,35 @@ func parseAllows(fset *token.FileSet, files []*ast.File) (map[allowKey]bool, []D
 					if name == "" {
 						continue
 					}
-					allows[allowKey{pos.Filename, pos.Line, name}] = true
-					allows[allowKey{pos.Filename, pos.Line + 1, name}] = true
+					g := &allowGrant{pos: pos, name: name}
+					grants = append(grants, g)
+					allows[allowKey{pos.Filename, pos.Line, name}] = g
+					allows[allowKey{pos.Filename, pos.Line + 1, name}] = g
 				}
 			}
 		}
 	}
-	return allows, malformed
+	return allows, grants, malformed
 }
 
-// Check runs every analyzer over every package and returns the
-// surviving diagnostics, sorted by position. Suppressed diagnostics
-// are dropped; malformed annotations are reported once per package.
+// Check runs every analyzer over every package (in the given order —
+// Load's dependency order, which cross-package facts rely on) and
+// returns the surviving diagnostics, sorted by position. Suppressed
+// diagnostics are dropped and retire their grant; malformed
+// annotations are reported once per package; grants naming an
+// analyzer in this run that retired nothing are reported as stale
+// ledger entries under LedgerAnalyzer. Grants naming analyzers not in
+// this run are left alone, so a single-analyzer fixture run does not
+// misread another analyzer's escapes as stale.
 func Check(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	running := map[string]bool{}
+	for _, a := range analyzers {
+		running[a.Name] = true
+	}
+	facts := newFacts()
 	var out []Diagnostic
 	for _, pkg := range pkgs {
-		allows, malformed := parseAllows(pkg.Fset, pkg.Files)
+		allows, grants, malformed := parseAllows(pkg.Fset, pkg.Files)
 		out = append(out, malformed...)
 		for _, a := range analyzers {
 			pass := &Pass{
@@ -158,8 +194,10 @@ func Check(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 				Files:     pkg.Files,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.TypesInfo,
+				Facts:     facts,
 				report: func(d Diagnostic) {
-					if allows[allowKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] {
+					if g := allows[allowKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}]; g != nil {
+						g.used = true
 						return
 					}
 					out = append(out, d)
@@ -167,6 +205,15 @@ func Check(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			}
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("rilint: analyzer %s on %s: %w", a.Name, pkg.ImportPath, err)
+			}
+		}
+		for _, g := range grants {
+			if !g.used && running[g.name] {
+				out = append(out, Diagnostic{
+					Analyzer: LedgerAnalyzer,
+					Pos:      g.pos,
+					Message:  fmt.Sprintf("unused //rilint:allow %s annotation: it no longer suppresses any finding; remove the stale ledger entry", g.name),
+				})
 			}
 		}
 	}

@@ -3,18 +3,27 @@
 # flags as the CI `lint` job (.github/workflows/ci.yml):
 #
 #   gofmt       fail on any unformatted file (including testdata fixtures)
+#   bash -n     syntax-check every script in scripts/
 #   go vet      the stock analyzers
-#   rilint      the repo's custom invariant suite (DESIGN.md §4.3)
+#   rilint      the repo's custom invariant suite (DESIGN.md §4.3, §4.8)
 #   staticcheck honnef.co staticcheck, if installed
 #   govulncheck known-vulnerability scan, if installed
 #
 # staticcheck and govulncheck are optional locally: this environment
-# may not have them installed and the repo vendors no tools. CI
-# installs the pinned versions below, so a clean CI run is the source
-# of truth for those two. Install them locally with:
+# may not have them installed and the repo vendors no tools. A missing
+# optional tool skips with a warning; CI installs the pinned versions
+# below, so a clean CI run is the source of truth for those two.
+# Install them locally with:
 #
 #   go install honnef.co/go/tools/cmd/staticcheck@$STATICCHECK_VERSION
 #   go install golang.org/x/vuln/cmd/govulncheck@$GOVULNCHECK_VERSION
+#
+# Every check runs even after one fails; the script records each
+# failure, prints a summary naming the failed checks, and exits 1 iff
+# any check failed. (A plain `set -e` script aborts at the first
+# failing command with no summary and, worse, lets a failure inside a
+# $(...) capture slip through — scripts/lint_test.sh pins the exit-code
+# contract.)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -22,43 +31,67 @@ cd "$(dirname "$0")/.."
 STATICCHECK_VERSION="${STATICCHECK_VERSION:-2023.1.7}"
 GOVULNCHECK_VERSION="${GOVULNCHECK_VERSION:-v1.1.3}"
 
-fail=0
+failed=()
 
-echo "==> gofmt"
-unformatted="$(gofmt -l .)"
-if [[ -n "$unformatted" ]]; then
-	echo "gofmt: needs formatting:" >&2
-	echo "$unformatted" >&2
-	fail=1
-fi
+# run_check <name> <command...> runs one check, recording (not
+# aborting on) failure so later checks still run and the summary can
+# name every offender. The `|| status=$?` capture keeps `set -e` from
+# short-circuiting the script on a failing check.
+run_check() {
+	local name="$1"
+	shift
+	echo "==> $name"
+	local status=0
+	"$@" || status=$?
+	if [[ "$status" -ne 0 ]]; then
+		echo "lint: $name failed (exit $status)" >&2
+		failed+=("$name")
+	fi
+}
 
-echo "==> bash -n scripts/*.sh"
-for sh in scripts/*.sh; do
-	bash -n "$sh" || fail=1
-done
+check_gofmt() {
+	local unformatted
+	unformatted="$(gofmt -l .)" || return 1
+	if [[ -n "$unformatted" ]]; then
+		echo "gofmt: needs formatting:" >&2
+		echo "$unformatted" >&2
+		return 1
+	fi
+}
 
-echo "==> go vet ./..."
-go vet ./... || fail=1
+check_scripts() {
+	local sh ok=0
+	for sh in scripts/*.sh; do
+		bash -n "$sh" || ok=1
+	done
+	return "$ok"
+}
 
-echo "==> rilint ./..."
-go run ./cmd/rilint ./... || fail=1
+check_staticcheck() {
+	if ! command -v staticcheck >/dev/null 2>&1; then
+		echo "staticcheck not installed; skipping (CI pins $STATICCHECK_VERSION)" >&2
+		return 0
+	fi
+	staticcheck ./...
+}
 
-echo "==> staticcheck ./..."
-if command -v staticcheck >/dev/null 2>&1; then
-	staticcheck ./... || fail=1
-else
-	echo "staticcheck not installed; skipping (CI pins $STATICCHECK_VERSION)" >&2
-fi
+check_govulncheck() {
+	if ! command -v govulncheck >/dev/null 2>&1; then
+		echo "govulncheck not installed; skipping (CI pins $GOVULNCHECK_VERSION)" >&2
+		return 0
+	fi
+	govulncheck ./...
+}
 
-echo "==> govulncheck ./..."
-if command -v govulncheck >/dev/null 2>&1; then
-	govulncheck ./... || fail=1
-else
-	echo "govulncheck not installed; skipping (CI pins $GOVULNCHECK_VERSION)" >&2
-fi
+run_check gofmt check_gofmt
+run_check "bash -n scripts/*.sh" check_scripts
+run_check "go vet" go vet ./...
+run_check rilint go run ./cmd/rilint ./...
+run_check staticcheck check_staticcheck
+run_check govulncheck check_govulncheck
 
-if [[ "$fail" -ne 0 ]]; then
-	echo "lint: FAILED" >&2
+if [[ "${#failed[@]}" -ne 0 ]]; then
+	echo "lint: FAILED: ${failed[*]}" >&2
 	exit 1
 fi
 echo "lint: ok"

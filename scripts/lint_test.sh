@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Pins scripts/lint.sh's exit-code contract without bats: a failing
+# rilint run must fail the whole pass (exit 1, with rilint named in
+# the summary) even though later checks still run, and a pass with
+# missing optional tools must skip them with a warning and exit 0.
+#
+# The go and gofmt on PATH are stubs, so this exercises lint.sh's own
+# control flow, not the real toolchain: the stub go exits
+# ${RILINT_EXIT:-0} for `go run ./cmd/rilint ...` and 0 for everything
+# else. PATH is restricted so staticcheck/govulncheck are absent.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+stub="$(mktemp -d)"
+trap 'rm -rf "$stub"' EXIT
+
+cat >"$stub/gofmt" <<'EOF'
+#!/usr/bin/env bash
+exit 0
+EOF
+
+cat >"$stub/go" <<'EOF'
+#!/usr/bin/env bash
+if [[ "${1:-}" == "run" && "${2:-}" == "./cmd/rilint" ]]; then
+	if [[ "${RILINT_EXIT:-0}" -ne 0 ]]; then
+		echo "stub.go:1:1: frozen: synthetic finding" # stand-in findings output
+	fi
+	exit "${RILINT_EXIT:-0}"
+fi
+exit 0
+EOF
+chmod +x "$stub/gofmt" "$stub/go"
+
+restricted_path="$stub:/usr/bin:/bin"
+
+fail() {
+	echo "lint_test: FAIL: $1" >&2
+	shift
+	printf '%s\n' "$@" >&2
+	exit 1
+}
+
+# 1. All checks green, optional tools absent: exit 0, skips warned.
+out="$(PATH="$restricted_path" RILINT_EXIT=0 bash "$repo/scripts/lint.sh" 2>&1)" ||
+	fail "lint.sh exited nonzero with every check passing" "$out"
+case "$out" in
+*"skipping"*) ;;
+*) fail "optional tools did not skip with a warning" "$out" ;;
+esac
+case "$out" in
+*"lint: ok"*) ;;
+*) fail "clean pass did not report ok" "$out" ;;
+esac
+
+# 2. rilint exits nonzero: lint.sh must exit 1 (not rilint's raw code,
+# not 0) and the failure summary must name rilint.
+status=0
+out="$(PATH="$restricted_path" RILINT_EXIT=3 bash "$repo/scripts/lint.sh" 2>&1)" || status=$?
+if [[ "$status" -eq 0 ]]; then
+	fail "lint.sh exited 0 despite rilint failing" "$out"
+fi
+if [[ "$status" -ne 1 ]]; then
+	fail "lint.sh exited $status, want the uniform failure code 1" "$out"
+fi
+case "$out" in
+*"lint: FAILED: rilint"*) ;;
+*) fail "failure summary does not name rilint" "$out" ;;
+esac
+# Checks after rilint still ran (no early abort under set -e).
+case "$out" in
+*"govulncheck"*) ;;
+*) fail "checks after the rilint failure did not run" "$out" ;;
+esac
+
+echo "lint_test: ok"

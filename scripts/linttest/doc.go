@@ -1,0 +1,6 @@
+// Package linttest wraps scripts/lint_test.sh in a Go test, so the
+// lint pass's exit-code contract — a failing check fails the whole
+// pass with a summary naming it; missing optional tools skip with a
+// warning — is pinned by the ordinary `go test ./...` tier, without
+// requiring bats or any other shell test framework.
+package linttest

@@ -1,0 +1,27 @@
+package linttest
+
+import (
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestLintScriptExitCodes runs scripts/lint_test.sh, which drives
+// scripts/lint.sh against a stubbed toolchain: a failing rilint must
+// fail the pass (exit 1, named in the summary) without aborting the
+// remaining checks, and a clean pass with optional tools missing must
+// skip them with a warning and exit 0.
+func TestLintScriptExitCodes(t *testing.T) {
+	bash, err := exec.LookPath("bash")
+	if err != nil {
+		t.Skip("bash not available")
+	}
+	script, err := filepath.Abs(filepath.Join("..", "lint_test.sh"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(bash, script).CombinedOutput()
+	if err != nil {
+		t.Fatalf("lint_test.sh: %v\n%s", err, out)
+	}
+}

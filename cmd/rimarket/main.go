@@ -1,22 +1,33 @@
 // Command rimarket demonstrates the reserved-instance marketplace
-// simulator: a population of sellers lists underutilized reservations
-// at varying discounts and a stream of buyers clears the book, showing
-// the lowest-upfront-first selling sequence and the fee flows of
-// Section III.B.
+// simulator. Its default mode lists a population of sellers'
+// underutilized reservations at varying discounts and clears the book
+// with a stream of buyers, showing the lowest-upfront-first selling
+// sequence and the fee flows of Section III.B.
+//
+// With -session it instead runs the two-sided cohort market session:
+// sellers come from the paper's online selling algorithms, buyers from
+// the cohort's planned reservations shopping the order book before
+// buying fresh, and the output is the per-instance-type table of
+// emergent sale probability and time-to-sale — the paper's exogenous
+// alpha as a measured quantity.
 //
 // Usage:
 //
 //	rimarket -sellers 12 -buyers 5 -instance d2.xlarge -fee 0.12
+//	rimarket -session -instances d2.xlarge,m4.large -discount 0.8
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
 	"os"
+	"strings"
 
 	"rimarket/internal/cli"
+	"rimarket/internal/experiments"
 	"rimarket/internal/marketplace"
 	"rimarket/internal/pricing"
 )
@@ -40,6 +51,14 @@ func runStderr(args []string, w, stderr io.Writer) error {
 		instance = fs.String("instance", "d2.xlarge", "instance type from the built-in catalog")
 		fee      = fs.Float64("fee", marketplace.AmazonFee, "marketplace service fee")
 		seed     = fs.Int64("seed", 7, "seed for discounts and buyer demand")
+
+		runSession  = fs.Bool("session", false, "run the two-sided cohort market session instead of the book demo")
+		instances   = fs.String("instances", "d2.xlarge,m4.large", "comma-separated catalog types traded in the -session book")
+		discount    = fs.Float64("discount", 0.8, "-session sellers' listing discount a (fraction of the prorated cap)")
+		perGroup    = fs.Int("per-group", 8, "-session cohort users per fluctuation group")
+		scale       = fs.Float64("scale", 6, "-session period divisor: scales the 1-year term down for fast runs")
+		parallelism = fs.Int("parallelism", 0, "-session worker bound for cohort planning (0 = GOMAXPROCS)")
+		batch       = fs.Bool("batch", false, "-session uses the streaming batch engine for the seller runs")
 	)
 	var obsFlags cli.ObsFlags
 	obsFlags.RegisterBasic(fs)
@@ -50,8 +69,66 @@ func runStderr(args []string, w, stderr io.Writer) error {
 		if mf := sess.Manifest(); mf != nil {
 			mf.Seed = *seed
 		}
+		if *runSession {
+			return marketSession(sess.Context(context.Background()), w,
+				*instances, *discount, *fee, *perGroup, *scale, *seed, *parallelism, *batch)
+		}
 		return session(w, *sellers, *buyers, *instance, *fee, *seed)
 	})
+}
+
+// marketSession runs the two-sided cohort market session and prints
+// its per-instance-type outcome table.
+func marketSession(ctx context.Context, w io.Writer, instances string, discount, fee float64,
+	perGroup int, scale float64, seed int64, parallelism int, batch bool) error {
+	if scale < 1 {
+		return fmt.Errorf("scale %v below 1", scale)
+	}
+	cat := pricing.StandardLinuxUSEast()
+	var cards []pricing.InstanceType
+	for _, name := range strings.Split(instances, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		it, err := cat.Lookup(name)
+		if err != nil {
+			return err
+		}
+		// Scale the term down with the upfront fee, keeping alpha and
+		// theta — and hence every break-even — unchanged.
+		it.PeriodHours = int(float64(it.PeriodHours) / scale)
+		it.Upfront /= scale
+		cards = append(cards, it)
+	}
+	if len(cards) == 0 {
+		return fmt.Errorf("no instance types in %q", instances)
+	}
+	for _, it := range cards[1:] {
+		if it.PeriodHours != cards[0].PeriodHours {
+			return fmt.Errorf("instance periods differ (%s: %d h, %s: %d h); the session shares one horizon",
+				cards[0].Name, cards[0].PeriodHours, it.Name, it.PeriodHours)
+		}
+	}
+	sc := experiments.MarketScenario{
+		Base: experiments.Config{
+			Instance:        cards[0],
+			SellingDiscount: discount,
+			MarketFee:       fee,
+			PerGroup:        perGroup,
+			Hours:           cards[0].PeriodHours,
+			Seed:            seed,
+			Parallelism:     parallelism,
+			Batch:           batch,
+		},
+		Cards: cards,
+	}
+	res, err := experiments.RunMarketScenario(ctx, sc)
+	if err != nil {
+		return err
+	}
+	_, err = io.WriteString(w, experiments.RenderMarketOutcomes(res))
+	return err
 }
 
 // session runs one marketplace demonstration.

@@ -43,6 +43,29 @@ func TestRunSalesAreOrderedByPrice(t *testing.T) {
 	}
 }
 
+func TestRunSession(t *testing.T) {
+	args := []string{"-session", "-per-group", "4", "-instances", "d2.xlarge,m4.large"}
+	var out strings.Builder
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"emergent sale probability", "P(sale)", "d2.xlarge", "m4.large", "totals: buyers paid"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("session output missing %q:\n%s", want, s)
+		}
+	}
+	// The session is deterministic: batch mode and a parallelism bound
+	// must reproduce it byte for byte.
+	var again strings.Builder
+	if err := run(append(args, "-batch", "-parallelism", "2"), &again); err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != s {
+		t.Errorf("batch session diverged:\n--- got ---\n%s--- want ---\n%s", again.String(), s)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	tests := []struct {
 		name string
@@ -51,6 +74,10 @@ func TestRunErrors(t *testing.T) {
 		{name: "unknown instance", args: []string{"-instance", "nope.large"}},
 		{name: "bad fee", args: []string{"-fee", "1.5"}},
 		{name: "bad flag", args: []string{"-zzz"}},
+		{name: "session unknown type", args: []string{"-session", "-instances", "nope.large"}},
+		{name: "session no types", args: []string{"-session", "-instances", ","}},
+		{name: "session bad scale", args: []string{"-session", "-scale", "0.5"}},
+		{name: "session bad discount", args: []string{"-session", "-discount", "1.5", "-per-group", "2"}},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {

@@ -19,17 +19,27 @@ type MarketPoint struct {
 	Stats trade.Stats
 }
 
-// MarketSession collects every sell event the plan's A_{3T/4} runs
-// produce — fanned out over the plan's worker pool, with per-user
-// event slices concatenated in cohort order so the session input is
-// deterministic — and replays them through live marketplace sessions
-// at the given buyer arrival rates.
-func (p *CohortPlan) MarketSession(ctx context.Context, buyerRates []float64) ([]MarketPoint, error) {
-	cfg := p.cfg
-	policy, err := core.NewA3T4(cfg.Instance, cfg.SellingDiscount)
+// sellEvents collects every sell event the plan's runs produce under
+// the given selling policy — fanned out over the plan's worker pool
+// (or the batch engine when cfg.Batch), with per-user event slices
+// concatenated in cohort order so the stream is deterministic at any
+// parallelism and identical whichever engine produced it.
+func (p *CohortPlan) sellEvents(ctx context.Context, policy simulate.SellingPolicy) ([]trade.SellEvent, error) {
+	perUser, err := p.sellEventsPerUser(ctx, policy)
 	if err != nil {
 		return nil, err
 	}
+	var events []trade.SellEvent
+	for _, evs := range perUser {
+		events = append(events, evs...)
+	}
+	return events, nil
+}
+
+// sellEventsPerUser is sellEvents before concatenation: element i holds
+// user i's sell events in decision order.
+func (p *CohortPlan) sellEventsPerUser(ctx context.Context, policy simulate.SellingPolicy) ([][]trade.SellEvent, error) {
+	cfg := p.cfg
 	engCfg := simulate.Config{Instance: cfg.Instance, SellingDiscount: cfg.SellingDiscount}
 
 	perUser := make([][]trade.SellEvent, p.Len())
@@ -53,7 +63,7 @@ func (p *CohortPlan) MarketSession(ctx context.Context, buyerRates []float64) ([
 			}
 		}
 	} else {
-		err = p.ForEachUser(ctx, func(i int, u PlannedUser) error {
+		err := p.ForEachUser(ctx, func(i int, u PlannedUser) error {
 			run, err := simulateRun(u.Trace.Demand, u.NewRes, engCfg, policy)
 			if err != nil {
 				return fmt.Errorf("experiments: user %s: %w", u.Trace.User, err)
@@ -75,9 +85,21 @@ func (p *CohortPlan) MarketSession(ctx context.Context, buyerRates []float64) ([
 			return nil, err
 		}
 	}
-	var events []trade.SellEvent
-	for _, evs := range perUser {
-		events = append(events, evs...)
+	return perUser, nil
+}
+
+// MarketSession collects every sell event the plan's A_{3T/4} runs
+// produce and replays them through live marketplace sessions at the
+// given buyer arrival rates.
+func (p *CohortPlan) MarketSession(ctx context.Context, buyerRates []float64) ([]MarketPoint, error) {
+	cfg := p.cfg
+	policy, err := core.NewA3T4(cfg.Instance, cfg.SellingDiscount)
+	if err != nil {
+		return nil, err
+	}
+	events, err := p.sellEvents(ctx, policy)
+	if err != nil {
+		return nil, err
 	}
 	if len(events) == 0 {
 		return nil, fmt.Errorf("experiments: the cohort produced no sell events")

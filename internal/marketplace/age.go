@@ -35,6 +35,12 @@ func (m *Market) Advance(hours int) (expired int, err error) {
 			}
 			kept = append(kept, l)
 		}
+		if len(kept) == 0 {
+			// Every listing of the type expired: drop the key so the map
+			// shrinks with the market instead of pinning dead types.
+			delete(m.books, name)
+			continue
+		}
 		m.books[name] = kept
 	}
 	return expired, nil

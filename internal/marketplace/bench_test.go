@@ -1,0 +1,102 @@
+package marketplace
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"rimarket/internal/pricing"
+)
+
+// benchBook builds an order book holding open listings spread over
+// types instance types and all 12 month classes, with schedules
+// aliased per (type, months) so setup memory stays linear in the
+// listing count, not the schedule bytes.
+func benchBook(tb testing.TB, open, types int) (*OrderBook, []pricing.InstanceType) {
+	tb.Helper()
+	b, err := NewOrderBook(AmazonFee)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	cards := make([]pricing.InstanceType, types)
+	scheds := make([][]PriceSchedule, types)
+	for ti := range cards {
+		it := yearCard()
+		it.Name = fmt.Sprintf("bench.%d", ti)
+		it.Upfront = float64(900 + 150*ti)
+		cards[ti] = it
+		scheds[ti] = make([]PriceSchedule, 12)
+		for m := 1; m <= 12; m++ {
+			rem := m * HoursPerMonth
+			if rem >= it.PeriodHours {
+				rem = it.PeriodHours - 1
+			}
+			s, err := DecliningSchedule(it, rem, 0.8)
+			if err != nil {
+				tb.Fatal(err)
+			}
+			scheds[ti][m-1] = s
+		}
+	}
+	for i := 0; i < open; i++ {
+		ti := i % types
+		m := 1 + i%12
+		rem := m * HoursPerMonth
+		if rem >= cards[ti].PeriodHours {
+			rem = cards[ti].PeriodHours - 1
+		}
+		if _, err := b.List("seller", cards[ti], rem, scheds[ti][m-1]); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return b, cards
+}
+
+// BenchmarkMarketMatch measures matching throughput on a book holding
+// a fixed number of open listings: each op fills the cheapest listing
+// of a rotating instance type and relists an identical remaining
+// period, so the book stays at its configured depth for the whole
+// run. ns/op is one match+relist round trip; the listings/sec metric
+// is the match rate the gate's throughput claim quotes. The trade
+// ledger is drained — and a GC forced — off-timer every 16384 ops so
+// the benchmark measures matching, not ledger growth or collector
+// pauses over the multi-hundred-megabyte book.
+func BenchmarkMarketMatch(b *testing.B) {
+	for _, open := range []int{100_000, 1_000_000} {
+		b.Run(fmt.Sprintf("open=%d", open), func(b *testing.B) {
+			book, cards := benchBook(b, open, 8)
+			sched := make([]PriceSchedule, len(cards))
+			rem := 6 * HoursPerMonth
+			for ti, it := range cards {
+				s, err := DecliningSchedule(it, rem, 0.8)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sched[ti] = s
+			}
+			b.ReportAllocs()
+			runtime.GC()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i&0x3fff == 0x3fff {
+					b.StopTimer()
+					book.DrainTrades()
+					runtime.GC()
+					b.StartTimer()
+				}
+				ti := i % len(cards)
+				if _, err := book.Buy("buyer", cards[ti].Name, 1); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := book.List("seller", cards[ti], rem, sched[ti]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "listings/sec")
+			if book.OpenCount() != open {
+				b.Fatalf("book depth drifted to %d, want %d", book.OpenCount(), open)
+			}
+		})
+	}
+}

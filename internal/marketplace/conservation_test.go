@@ -1,0 +1,260 @@
+package marketplace
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"rimarket/internal/pricing"
+)
+
+// auditCards is the fixed card set the conservation interpreter trades
+// over: one-year terms with distinct upfronts so caps and schedules
+// differ per type.
+func auditCards() []pricing.InstanceType {
+	base := yearCard()
+	out := make([]pricing.InstanceType, 4)
+	for i := range out {
+		it := base
+		it.Name = "audit." + string(rune('a'+i))
+		it.Upfront = float64(600 * (i + 1))
+		out[i] = it
+	}
+	return out
+}
+
+// checkTrades asserts the per-trade conservation invariants on one
+// Buy's fills: bit-exact fee recomposition, the prorated cap, no
+// post-expiry execution, and price-then-listing-order priority.
+func checkTrades(t testing.TB, b *OrderBook, trades []Trade) {
+	t.Helper()
+	hour := b.Now()
+	for i, tr := range trades {
+		if tr.PricePaid != tr.Fee+tr.SellerProceeds {
+			t.Fatalf("trade %d: price %v != fee %v + proceeds %v (bit-exact recomposition broken)",
+				i, tr.PricePaid, tr.Fee, tr.SellerProceeds)
+		}
+		if tr.RemainingHours <= 0 {
+			t.Fatalf("trade %d executed with %d hours remaining (after expiry)", i, tr.RemainingHours)
+		}
+		if cap := ProratedCap(tr.Instance, tr.RemainingHours); tr.PricePaid > cap {
+			t.Fatalf("trade %d: price %v above prorated cap %v", i, tr.PricePaid, cap)
+		}
+		if tr.Hour != hour || tr.ListedAt > tr.Hour {
+			t.Fatalf("trade %d: hours inconsistent (exec %d, listed %d, now %d)", i, tr.Hour, tr.ListedAt, hour)
+		}
+		if i > 0 {
+			prev := trades[i-1]
+			if tr.EffectiveAsk < prev.EffectiveAsk {
+				t.Fatalf("trade %d: ask %v filled after %v (priority inversion)", i, tr.EffectiveAsk, prev.EffectiveAsk)
+			}
+			if tr.EffectiveAsk == prev.EffectiveAsk && tr.ListingID < prev.ListingID {
+				t.Fatalf("trade %d: equal-ask listings filled out of listing order (%d after %d)",
+					i, tr.ListingID, prev.ListingID)
+			}
+		}
+	}
+}
+
+// auditBook asserts the whole-session conservation invariants: the
+// ledger re-sums bit-exactly to the book's money totals, Σ payments ==
+// Σ proceeds + Σ fees, and every listing is accounted for exactly once.
+func auditBook(t testing.TB, b *OrderBook, trades []Trade, listed, rejected int) {
+	t.Helper()
+	var paid, split float64
+	for _, tr := range trades {
+		paid += tr.PricePaid
+		split += tr.Fee + tr.SellerProceeds
+	}
+	if paid != split {
+		t.Fatalf("conservation broken: buyers paid %v, sellers+fees received %v", paid, split)
+	}
+	gotPaid, gotProceeds, gotFees := b.Totals()
+	if gotPaid != paid {
+		t.Fatalf("book paid total %v != ledger re-sum %v", gotPaid, paid)
+	}
+	var proceeds, fees float64
+	for _, tr := range trades {
+		proceeds += tr.SellerProceeds
+		fees += tr.Fee
+	}
+	if gotProceeds != proceeds || gotFees != fees {
+		t.Fatalf("book totals (%v, %v) != ledger re-sums (%v, %v)", gotProceeds, gotFees, proceeds, fees)
+	}
+	open := b.OpenCount()
+	if accounted := len(trades) + b.ExpiredCount() + b.CancelledCount() + open; accounted != listed {
+		t.Fatalf("listing leak: %d listed but %d accounted (sold %d, expired %d, cancelled %d, open %d)",
+			listed, accounted, len(trades), b.ExpiredCount(), b.CancelledCount(), open)
+	}
+	_ = rejected
+}
+
+// driveMarket interprets data as an op program over a fresh order
+// book — the shared engine of the conservation property suite and
+// FuzzMarketMatch. Every byte consumed is deterministic, so the same
+// program always produces the same market.
+func driveMarket(t testing.TB, data []byte) {
+	cards := auditCards()
+	b, err := NewOrderBook(AmazonFee)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := 0
+	next := func() int {
+		if pos >= len(data) {
+			return -1
+		}
+		v := int(data[pos])
+		pos++
+		return v
+	}
+	var (
+		trades   []Trade
+		ids      []ListingID
+		listed   int
+		rejected int
+	)
+	for op := next(); op >= 0; op = next() {
+		switch op % 8 {
+		case 0, 1: // list under the default declining schedule
+			it := cards[abs(next())%len(cards)]
+			months := 1 + abs(next())%12
+			rem := months*HoursPerMonth - abs(next())*2
+			if rem <= 0 {
+				rem = 1
+			}
+			if rem >= it.PeriodHours {
+				rem = it.PeriodHours - 1
+			}
+			discount := float64(1+abs(next())%100) / 100
+			id, err := b.ListDeclining("seller", it, rem, discount)
+			if err != nil {
+				rejected++
+				continue
+			}
+			listed++
+			ids = append(ids, id)
+		case 2: // list under a handcrafted sparse schedule (may be invalid)
+			it := cards[abs(next())%len(cards)]
+			months := 2 + abs(next())%11
+			rem := months * HoursPerMonth
+			if rem >= it.PeriodHours {
+				rem = it.PeriodHours - 1
+				months = MonthsRemaining(rem)
+			}
+			hi := float64(1+abs(next())%100) / 100 * ProratedCap(it, rem)
+			loTerm := 1 + abs(next())%(months-1)
+			lo := float64(1+abs(next())%100) / 100 * ProratedCap(it, loTerm*HoursPerMonth)
+			id, err := b.List("seller", it, rem, PriceSchedule{{Term: months, Price: hi}, {Term: loTerm, Price: lo}})
+			if err != nil {
+				rejected++
+				continue
+			}
+			listed++
+			ids = append(ids, id)
+		case 3, 7: // buy
+			it := cards[abs(next())%len(cards)]
+			count := 1 + abs(next())%20
+			got, err := b.Buy("buyer", it.Name, count)
+			if err != nil {
+				continue
+			}
+			checkTrades(t, b, got)
+			trades = append(trades, got...)
+		case 4: // cancel a (possibly dead) listing
+			if len(ids) == 0 {
+				continue
+			}
+			_ = b.Cancel(ids[abs(next())%len(ids)])
+		case 5: // small step
+			for n := 1 + abs(next())%5; n > 0; n-- {
+				b.Step()
+			}
+		case 6: // large step, crossing month boundaries
+			for n := abs(next()) * 8; n > 0; n-- {
+				b.Step()
+			}
+		}
+	}
+	if got := b.Trades(); len(got) != len(trades) {
+		t.Fatalf("ledger holds %d trades, session saw %d", len(got), len(trades))
+	}
+	auditBook(t, b, trades, listed, rejected)
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// TestPropertyBookConservation runs the conservation interpreter over
+// many long random op programs: for any sequence of
+// list/buy/cancel/step, money is conserved bit-exactly, no fill
+// exceeds the prorated cap or survives expiry, and equal-ask listings
+// fill in listing order.
+func TestPropertyBookConservation(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		program := make([]byte, 4096)
+		rng.Read(program)
+		driveMarket(t, program)
+	}
+}
+
+// TestBookConcurrentReaders runs a scripted mutator against concurrent
+// readers of every read-only accessor; under -race this pins the
+// book's locking discipline.
+func TestBookConcurrentReaders(t *testing.T) {
+	b := mustBook(t, AmazonFee)
+	it := yearCard()
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				b.OpenCount()
+				b.TypeCount()
+				b.Depth(it.Name)
+				b.OpenBook(it.Name)
+				b.Trades()
+				b.Totals()
+				b.Now()
+				b.ExpiredCount()
+				b.CancelledCount()
+			}
+		}()
+	}
+	rng := rand.New(rand.NewSource(7))
+	var ids []ListingID
+	for i := 0; i < 3000; i++ {
+		switch rng.Intn(4) {
+		case 0:
+			rem := 1 + rng.Intn(it.PeriodHours-1)
+			if id, err := b.ListDeclining("seller", it, rem, 0.8); err == nil {
+				ids = append(ids, id)
+			}
+		case 1:
+			_, _ = b.Buy("buyer", it.Name, 1+rng.Intn(3))
+		case 2:
+			if len(ids) > 0 {
+				_ = b.Cancel(ids[rng.Intn(len(ids))])
+			}
+		case 3:
+			for n := rng.Intn(50); n > 0; n-- {
+				b.Step()
+			}
+		}
+	}
+	close(done)
+	wg.Wait()
+	auditBook(t, b, b.Trades(), len(ids), 0)
+}

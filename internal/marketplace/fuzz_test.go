@@ -1,0 +1,30 @@
+package marketplace
+
+import (
+	"testing"
+)
+
+// FuzzMarketMatch feeds arbitrary op programs (random schedules,
+// arrivals, cancellations and clock jumps) through the conservation
+// interpreter: whatever the sequence, the book must conserve money
+// bit-exactly, never fill above the prorated cap or after expiry,
+// keep price-then-listing-order priority, and never panic. The
+// committed corpus pins one representative of each op class; CI runs
+// a short fuzz pass on every build.
+func FuzzMarketMatch(f *testing.F) {
+	// A dense mixed session: listings of every card, buys, cancels and
+	// both step sizes.
+	f.Add([]byte{0, 1, 6, 3, 8, 2, 9, 10, 3, 0, 2, 5, 3, 11, 2, 12, 250, 4, 0, 6, 30, 3, 1, 5, 7, 2, 19})
+	// Schedule crossings: list, jump a month at a time, buy after each.
+	f.Add([]byte{0, 0, 12, 1, 90, 6, 92, 3, 0, 1, 6, 92, 3, 0, 1, 6, 92, 3, 0, 1})
+	// Expiry pressure: short listings, then a large jump past them.
+	f.Add([]byte{1, 0, 1, 200, 80, 1, 1, 1, 220, 90, 6, 255, 3, 0, 5})
+	// Sparse handcrafted schedules, some invalid (rejected, not fatal).
+	f.Add([]byte{2, 0, 7, 60, 3, 40, 2, 1, 4, 250, 1, 10, 3, 0, 3, 4, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 4096 {
+			data = data[:4096]
+		}
+		driveMarket(t, data)
+	})
+}

@@ -181,6 +181,13 @@ func (m *Market) removeFromBookLocked(l *Listing) {
 	book := m.books[l.Instance.Name]
 	for i, e := range book {
 		if e.ID == l.ID {
+			if len(book) == 1 {
+				// Last listing of the type: drop the key, not just the
+				// elements, so a long-lived market over many instance
+				// types does not retain one empty slice per type seen.
+				delete(m.books, l.Instance.Name)
+				return
+			}
 			m.books[l.Instance.Name] = append(book[:i], book[i+1:]...)
 			return
 		}
@@ -224,7 +231,13 @@ func (m *Market) Buy(buyer, instanceType string, count int) ([]Sale, error) {
 		delete(m.byID, l.ID)
 		sales = append(sales, sale)
 	}
-	m.books[instanceType] = append([]*Listing(nil), book[n:]...)
+	if n == len(book) {
+		// The book drained: delete the key so the map shrinks instead of
+		// accumulating one empty slice per instance type ever traded.
+		delete(m.books, instanceType)
+	} else {
+		m.books[instanceType] = append([]*Listing(nil), book[n:]...)
+	}
 	return sales, nil
 }
 

@@ -1,0 +1,136 @@
+package marketplace
+
+import (
+	"fmt"
+
+	"rimarket/internal/pricing"
+)
+
+// HoursPerMonth is the month granularity of price schedules: the real
+// EC2 listing API prices a listing per month remaining, and this
+// reproduction uses the pricing package's 1/12-year month so a
+// full-period listing spans exactly 12 terms.
+const HoursPerMonth = pricing.HoursPerMonth
+
+// PriceTerm is one step of a declining price schedule — exactly the
+// {Term, Price} element of the real EC2 CreateReservedInstancesListing
+// PriceSchedules parameter. The price applies while the listing has at
+// most Term months remaining, until the next (smaller-Term) entry
+// takes over.
+type PriceTerm struct {
+	// Term is the number of months remaining at which Price takes
+	// effect.
+	Term int
+	// Price is the fixed upfront ask while the term is in effect.
+	Price float64
+}
+
+// PriceSchedule is a month-granularity declining ask: entries in
+// strictly descending Term order, each covering the months from its
+// Term down to just above the next entry's Term (the last entry covers
+// down to one month). The effective ask of a listing is the schedule
+// evaluated at its current months-remaining — a function of the
+// simulated hour, not a constant.
+type PriceSchedule []PriceTerm
+
+// MonthsRemaining converts remaining hours to the schedule month the
+// listing is in: the smallest number of whole months covering the
+// remaining period (1..12 for a one-year reservation).
+func MonthsRemaining(hours int) int {
+	if hours <= 0 {
+		return 0
+	}
+	return (hours + HoursPerMonth - 1) / HoursPerMonth
+}
+
+// Validate checks the schedule against a listing of the given price
+// card and remaining period:
+//
+//   - entries in strictly descending Term order, every Term >= 1;
+//   - the first entry covers the listing's starting month;
+//   - prices positive and non-increasing as the term shrinks (the
+//     marketplace requires declining schedules, mirroring how sellers
+//     must price aging inventory);
+//   - each entry's price is at most the prorated cap at the entry's
+//     maximum applicable remaining hours (the paper's rule that an ask
+//     never exceeds R * remaining/T, checked where the entry is most
+//     valuable; within a term the cap keeps shrinking while the price
+//     is flat, and the book clamps the executed price to the cap at
+//     the fill hour).
+func (s PriceSchedule) Validate(it pricing.InstanceType, remainingHours int) error {
+	if len(s) == 0 {
+		return fmt.Errorf("marketplace: empty price schedule")
+	}
+	startMonth := MonthsRemaining(remainingHours)
+	if s[0].Term < startMonth {
+		return fmt.Errorf("marketplace: schedule starts at term %d, below the listing's %d months remaining", s[0].Term, startMonth)
+	}
+	prev := s[0].Term + 1
+	prevPrice := s[0].Price
+	for i, pt := range s {
+		if pt.Term < 1 {
+			return fmt.Errorf("marketplace: schedule term %d at entry %d must be >= 1", pt.Term, i)
+		}
+		if pt.Term >= prev {
+			return fmt.Errorf("marketplace: schedule terms not strictly descending at entry %d (%d then %d)", i, prev-1, pt.Term)
+		}
+		if pt.Price <= 0 {
+			return fmt.Errorf("marketplace: schedule price %v at term %d must be positive", pt.Price, pt.Term)
+		}
+		if pt.Price > prevPrice {
+			return fmt.Errorf("marketplace: schedule price rises from %v to %v at term %d; schedules must decline", prevPrice, pt.Price, pt.Term)
+		}
+		maxRem := pt.Term * HoursPerMonth
+		if maxRem > remainingHours {
+			maxRem = remainingHours
+		}
+		if cap := ProratedCap(it, maxRem); pt.Price > cap+1e-9 {
+			return fmt.Errorf("marketplace: schedule price %v at term %d above the prorated cap %v", pt.Price, pt.Term, cap)
+		}
+		prev = pt.Term
+		prevPrice = pt.Price
+	}
+	return nil
+}
+
+// PriceAt evaluates the schedule at the given months remaining: the
+// price of the entry with the smallest Term >= monthsRemaining. The
+// second return is false when the schedule has no entry covering the
+// month (monthsRemaining above the first term or below 1).
+func (s PriceSchedule) PriceAt(monthsRemaining int) (float64, bool) {
+	if monthsRemaining < 1 || len(s) == 0 || monthsRemaining > s[0].Term {
+		return 0, false
+	}
+	price := s[0].Price
+	for _, pt := range s[1:] {
+		if pt.Term < monthsRemaining {
+			break
+		}
+		price = pt.Price
+	}
+	return price, true
+}
+
+// DecliningSchedule builds the default declining schedule the paper's
+// sellers use, at month granularity: for each month m remaining, the
+// ask is discount * ProratedCap at the month's maximum remaining hours
+// — the paper's a * R * remaining/T, stepped monthly the way the real
+// listing API prices. The discount is the paper's a in (0, 1].
+func DecliningSchedule(it pricing.InstanceType, remainingHours int, discount float64) (PriceSchedule, error) {
+	if discount <= 0 || discount > 1 {
+		return nil, fmt.Errorf("marketplace: discount %v outside (0, 1]", discount)
+	}
+	if remainingHours <= 0 {
+		return nil, fmt.Errorf("marketplace: remaining hours %d must be positive", remainingHours)
+	}
+	months := MonthsRemaining(remainingHours)
+	s := make(PriceSchedule, 0, months)
+	for m := months; m >= 1; m-- {
+		maxRem := m * HoursPerMonth
+		if maxRem > remainingHours {
+			maxRem = remainingHours
+		}
+		s = append(s, PriceTerm{Term: m, Price: discount * ProratedCap(it, maxRem)})
+	}
+	return s, nil
+}

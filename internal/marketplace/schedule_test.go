@@ -1,0 +1,117 @@
+package marketplace
+
+import (
+	"testing"
+
+	"rimarket/internal/pricing"
+)
+
+// yearCard is a card with round month math: cap at m months remaining
+// is exactly 100*m.
+func yearCard() pricing.InstanceType {
+	return pricing.InstanceType{
+		Name:           "sched.large",
+		OnDemandHourly: 1.0,
+		Upfront:        1200,
+		ReservedHourly: 0.3,
+		PeriodHours:    pricing.HoursPerYear,
+	}
+}
+
+func TestMonthsRemaining(t *testing.T) {
+	cases := []struct{ hours, want int }{
+		{0, 0}, {-5, 0}, {1, 1}, {HoursPerMonth, 1}, {HoursPerMonth + 1, 2},
+		{2 * HoursPerMonth, 2}, {pricing.HoursPerYear, 12},
+	}
+	for _, c := range cases {
+		if got := MonthsRemaining(c.hours); got != c.want {
+			t.Errorf("MonthsRemaining(%d) = %d, want %d", c.hours, got, c.want)
+		}
+	}
+}
+
+func TestScheduleValidate(t *testing.T) {
+	it := yearCard()
+	rem := 6 * HoursPerMonth // cap 600 at the start, 100*m per month
+	cases := []struct {
+		name  string
+		sched PriceSchedule
+		ok    bool
+	}{
+		{"empty", PriceSchedule{}, false},
+		{"single flat", PriceSchedule{{Term: 6, Price: 300}}, true},
+		{"full declining", PriceSchedule{{6, 480}, {5, 400}, {4, 320}, {3, 240}, {2, 160}, {1, 80}}, true},
+		{"sparse declining", PriceSchedule{{6, 400}, {3, 150}}, true},
+		{"starts below current month", PriceSchedule{{5, 300}}, false},
+		{"term zero", PriceSchedule{{6, 300}, {0, 100}}, false},
+		{"not descending", PriceSchedule{{6, 300}, {6, 200}}, false},
+		{"rising price", PriceSchedule{{6, 200}, {5, 300}}, false},
+		{"negative price", PriceSchedule{{6, -1}}, false},
+		{"above cap at start", PriceSchedule{{6, 601}}, false},
+		{"above cap mid-schedule", PriceSchedule{{6, 400}, {2, 201}}, false},
+		{"at cap exactly", PriceSchedule{{6, 600}, {2, 200}}, true},
+	}
+	for _, c := range cases {
+		err := c.sched.Validate(it, rem)
+		if c.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", c.name, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("%s: validation passed, want error", c.name)
+		}
+	}
+}
+
+func TestSchedulePriceAt(t *testing.T) {
+	s := PriceSchedule{{Term: 6, Price: 400}, {Term: 3, Price: 150}, {Term: 1, Price: 40}}
+	cases := []struct {
+		months int
+		want   float64
+		ok     bool
+	}{
+		{7, 0, false}, {6, 400, true}, {5, 400, true}, {4, 400, true},
+		{3, 150, true}, {2, 150, true}, {1, 40, true}, {0, 0, false},
+	}
+	for _, c := range cases {
+		got, ok := s.PriceAt(c.months)
+		if ok != c.ok || got != c.want {
+			t.Errorf("PriceAt(%d) = (%v, %v), want (%v, %v)", c.months, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestDecliningSchedule(t *testing.T) {
+	it := yearCard()
+	rem := 6*HoursPerMonth - 100 // partway into the sixth month
+	s, err := DecliningSchedule(it, rem, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 6 || s[0].Term != 6 || s[len(s)-1].Term != 1 {
+		t.Fatalf("schedule shape %v, want terms 6..1", s)
+	}
+	if err := s.Validate(it, rem); err != nil {
+		t.Fatalf("generated schedule does not validate: %v", err)
+	}
+	// First term caps at the actual remaining hours, not the month top.
+	want := 0.8 * ProratedCap(it, rem)
+	if s[0].Price != want {
+		t.Errorf("first term price %v, want %v", s[0].Price, want)
+	}
+	// Later terms are 0.8 * cap at the month boundary: 80*m.
+	for _, pt := range s[1:] {
+		if want := 0.8 * ProratedCap(it, pt.Term*HoursPerMonth); pt.Price != want {
+			t.Errorf("term %d price %v, want %v", pt.Term, pt.Price, want)
+		}
+	}
+
+	if _, err := DecliningSchedule(it, rem, 0); err == nil {
+		t.Error("discount 0 accepted")
+	}
+	if _, err := DecliningSchedule(it, rem, 1.1); err == nil {
+		t.Error("discount > 1 accepted")
+	}
+	if _, err := DecliningSchedule(it, 0, 0.8); err == nil {
+		t.Error("zero remaining accepted")
+	}
+}

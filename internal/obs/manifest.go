@@ -13,8 +13,10 @@ import (
 // field rename or semantic change so downstream tooling can dispatch.
 // Schema 4 added the metrics snapshot's serving section (requests,
 // shed, timeouts, panics, reloads, request latency) written by the rid
-// recommendation daemon.
-const ManifestSchema = 4
+// recommendation daemon. Schema 5 added the market section (listings,
+// trades, expiries, buyer demand, time-to-sale) written by the
+// two-sided marketplace session.
+const ManifestSchema = 5
 
 // Manifest records the provenance of one binary invocation: what ran,
 // with which flags and seed, against which traces, on which build, for

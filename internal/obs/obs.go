@@ -87,6 +87,26 @@ type Metrics struct {
 	SnapshotReloadFails Counter
 	ServeRequestNs      Histogram
 
+	// Market counters, fed by the two-sided marketplace session driver
+	// (internal/experiments.RunMarketScenario). Offline cohort tools
+	// never touch them, so the manifest's market section stays absent
+	// unless a market session ran.
+	//
+	// MarketListings counts listings placed on the order book,
+	// MarketTrades matched fills, and MarketExpiries listings that aged
+	// off the book unsold. MarketBuyOrders counts buyer demand units
+	// entering the session and MarketFreshBuys the units that fell
+	// through to a fresh reservation because the book held no listing
+	// worth taking. MarketHoursToSale accumulates listing-to-fill waits
+	// in hours over matched trades, so mean time-to-sale derives from it
+	// and MarketTrades.
+	MarketListings    Counter
+	MarketTrades      Counter
+	MarketExpiries    Counter
+	MarketBuyOrders   Counter
+	MarketFreshBuys   Counter
+	MarketHoursToSale Counter
+
 	mu    sync.Mutex
 	spans map[string]*SpanStat
 	cells []CellStat
@@ -189,6 +209,7 @@ type Snapshot struct {
 	JobsStolen      int64             `json:"jobs_stolen"`
 	EngineRunNs     HistogramSnapshot `json:"engine_run_ns"`
 	Serving         *ServingSnapshot  `json:"serving,omitempty"`
+	Market          *MarketSnapshot   `json:"market,omitempty"`
 	Spans           []SpanStat        `json:"spans,omitempty"`
 	Cells           []CellStat        `json:"cells,omitempty"`
 }
@@ -206,6 +227,20 @@ type ServingSnapshot struct {
 	Reloads     int64             `json:"reloads"`
 	ReloadFails int64             `json:"reload_fails"`
 	RequestNs   HistogramSnapshot `json:"request_ns"`
+}
+
+// MarketSnapshot is the manifest's market section: the two-sided
+// marketplace session's listing, fill, expiry and buyer-demand
+// counters. It is present only when a market session actually ran
+// (any market counter nonzero), so cohort-tool manifests are
+// unchanged.
+type MarketSnapshot struct {
+	Listings    int64 `json:"listings"`
+	Trades      int64 `json:"trades"`
+	Expiries    int64 `json:"expiries"`
+	BuyOrders   int64 `json:"buy_orders"`
+	FreshBuys   int64 `json:"fresh_buys"`
+	HoursToSale int64 `json:"hours_to_sale_total"`
 }
 
 // Snapshot captures the current metric values. Spans are sorted by
@@ -244,6 +279,17 @@ func (m *Metrics) Snapshot() *Snapshot {
 	}
 	if serving.Requests+serving.Shed+serving.Timeouts+serving.Panics+serving.Reloads+serving.ReloadFails > 0 {
 		s.Serving = &serving
+	}
+	market := MarketSnapshot{
+		Listings:    m.MarketListings.Value(),
+		Trades:      m.MarketTrades.Value(),
+		Expiries:    m.MarketExpiries.Value(),
+		BuyOrders:   m.MarketBuyOrders.Value(),
+		FreshBuys:   m.MarketFreshBuys.Value(),
+		HoursToSale: m.MarketHoursToSale.Value(),
+	}
+	if market.Listings+market.Trades+market.Expiries+market.BuyOrders+market.FreshBuys+market.HoursToSale > 0 {
+		s.Market = &market
 	}
 	m.mu.Lock()
 	for _, sp := range m.spans {

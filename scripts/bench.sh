@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Refresh the committed benchmark baseline (BENCH_8.json).
+# Refresh the committed benchmark baselines (BENCH_8.json and
+# BENCH_10.json).
 #
 # Runs the BenchmarkEngineRun matrix (terms x checkpoint density x
 # schedule recording), BenchmarkObsOverhead (the engine hot path with
@@ -26,9 +27,16 @@
 # change to internal/simulate, internal/obs, internal/ridserver, or
 # the internal/experiments pool, and commit the result:
 #
-#   scripts/bench.sh             # writes BENCH_8.json
+#   scripts/bench.sh             # writes BENCH_8.json and BENCH_10.json
 #   COUNT=10 scripts/bench.sh    # more repeats, tighter minima
 #   OUT=/tmp/b.json scripts/bench.sh   # write elsewhere for comparison
+#
+# BENCH_10.json holds BenchmarkMarketMatch: order-book matching
+# throughput with one million (and one hundred thousand) listings open
+# concurrently, each buy-and-relist round trip timed at a fixed op
+# count so the book's depth — and the allocs/op, gated exactly in CI —
+# stay deterministic. Losing the per-type heap or the absolute-hour
+# event buckets costs integer factors here and trips the gate.
 #
 # The benchgate helper is ordinary module code (rimarket/scripts/benchgate):
 # it is built by `go build ./...`, linted by `scripts/lint.sh` and the
@@ -40,6 +48,7 @@ cd "$(dirname "$0")/.."
 COUNT="${COUNT:-5}"
 MU_COUNT="${MU_COUNT:-2}"
 OUT="${OUT:-BENCH_8.json}"
+MARKET_OUT="${MARKET_OUT:-BENCH_10.json}"
 
 {
 	go test -run '^$' -bench '^(BenchmarkEngineRun|BenchmarkObsOverhead|BenchmarkGridSkewed)$' -benchmem -count "$COUNT" . ./internal/experiments
@@ -48,3 +57,8 @@ OUT="${OUT:-BENCH_8.json}"
 } |
 	tee /dev/stderr |
 	go run ./scripts/benchgate -update -baseline "$OUT"
+
+go test -run '^$' -bench '^BenchmarkMarketMatch$' -benchmem -benchtime=50000x -count "$COUNT" ./internal/marketplace |
+	tee /dev/stderr |
+	go run ./scripts/benchgate -update -baseline "$MARKET_OUT" \
+		-note "Marketplace order-book matching baseline; refresh with scripts/bench.sh (see EXPERIMENTS.md)."
